@@ -1,0 +1,106 @@
+package clientlog
+
+import (
+	"path/filepath"
+
+	"clientlog/internal/core"
+	"clientlog/internal/ident"
+	"clientlog/internal/lock"
+	"clientlog/internal/page"
+	"clientlog/internal/storage"
+	"clientlog/internal/wal"
+)
+
+// Core types re-exported as the public API surface.
+type (
+	// Cluster assembles a server and clients over the in-process
+	// transport, with crash/restart orchestration.
+	Cluster = core.Cluster
+	// Client is a client engine: local transactions, private WAL,
+	// local lock manager, local cache, local recovery.
+	Client = core.Client
+	// Txn is a transaction, executing entirely at its client.
+	Txn = core.Txn
+	// Config selects page size, pool sizes and the concurrency /
+	// logging scheme (the paper's, or one of the related-work
+	// baselines).
+	Config = core.Config
+	// ObjectID names an object: a (page, slot) pair, the unit of
+	// fine-granularity locking.
+	ObjectID = page.ObjectID
+	// PageID names a database page, the unit of transfer and caching.
+	PageID = page.ID
+	// ClientID identifies a client workstation.
+	ClientID = ident.ClientID
+)
+
+// Configuration mode constants (see Config).
+const (
+	// GranAdaptive is the paper's adaptive object/page locking.
+	GranAdaptive = core.GranAdaptive
+	// GranObject always uses object locks.
+	GranObject = core.GranObject
+	// GranPage uses page-level locking only (baseline).
+	GranPage = core.GranPage
+	// LogLocal is the paper's client-based logging.
+	LogLocal = core.LogLocal
+	// LogShipCommit ships log records to the server at commit
+	// (ARIES/CSA-style baseline).
+	LogShipCommit = core.LogShipCommit
+	// LogShipPages ships dirty pages at commit (Versant-style baseline).
+	LogShipPages = core.LogShipPages
+	// UpdateMerge reconciles concurrent same-page updates by merging
+	// page copies (the paper's approach).
+	UpdateMerge = core.UpdateMerge
+	// UpdateToken serializes page updates with an update token
+	// (update-privilege baseline).
+	UpdateToken = core.UpdateToken
+)
+
+// Errors surfaced by transaction operations.
+var (
+	// ErrDeadlock marks the transaction a deadlock victim; abort and
+	// retry it.
+	ErrDeadlock = lock.ErrDeadlock
+	// ErrTimeout reports a lock wait that exceeded Config.LockTimeout.
+	ErrTimeout = lock.ErrTimeout
+	// ErrTxnDone reports use of a terminated transaction.
+	ErrTxnDone = core.ErrTxnDone
+	// ErrCrashed reports an operation on a crashed client engine.
+	ErrCrashed = core.ErrCrashed
+	// ErrPageFull reports that an insert did not fit.
+	ErrPageFull = page.ErrPageFull
+)
+
+// DefaultConfig returns the paper's scheme with reasonable sizes.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewCluster builds a memory-backed cluster: stable storage and logs
+// live in memory but survive simulated crashes, which is what the tests
+// and benchmarks use.
+func NewCluster(cfg Config) *Cluster { return core.NewCluster(cfg) }
+
+// OpenCluster builds a file-backed cluster under dir: the page store
+// lives in dir/pages, the server log in dir/server.log, and each
+// AddDurableClient log in dir/client-<n>.log.
+func OpenCluster(cfg Config, dir string) (*Cluster, error) {
+	store, err := storage.OpenDiskStore(filepath.Join(dir, "pages"), cfg.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	slog, err := wal.OpenFileStore(filepath.Join(dir, "server.log"), 0)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewClusterWithStores(cfg, store, slog), nil
+}
+
+// AddDurableClient joins a client whose private log is a real file
+// under dir.
+func AddDurableClient(cl *Cluster, dir string, name string) (*Client, error) {
+	logStore, err := wal.OpenFileStore(filepath.Join(dir, name+".log"), cl.Config().ClientLogCapacity)
+	if err != nil {
+		return nil, err
+	}
+	return cl.AddClientWithLog(logStore)
+}

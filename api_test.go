@@ -1,0 +1,100 @@
+package clientlog_test
+
+import (
+	"bytes"
+	"testing"
+
+	"clientlog"
+)
+
+func TestPublicAPISmoke(t *testing.T) {
+	cfg := clientlog.DefaultConfig()
+	cluster := clientlog.NewCluster(cfg)
+	pages, err := cluster.SeedPages(2, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := cluster.AddClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := clientlog.ObjectID{Page: pages[0], Slot: 0}
+	txn, err := client.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("0123456789abcdef")
+	if err := txn.Overwrite(obj, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	txn2, _ := client.Begin()
+	got, err := txn2.Read(obj)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("read back %q err=%v", got, err)
+	}
+	txn2.Commit()
+}
+
+func TestPublicAPIFileBacked(t *testing.T) {
+	dir := t.TempDir()
+	cfg := clientlog.DefaultConfig()
+	cluster, err := clientlog.OpenCluster(cfg, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages, err := cluster.SeedPages(1, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := clientlog.AddDurableClient(cluster, dir, "client-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn, _ := client.Begin()
+	obj := clientlog.ObjectID{Page: pages[0], Slot: 1}
+	want := []byte("durable-value!!!")
+	if err := txn.Overwrite(obj, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := client.FlushCache(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cluster.ReadObject(obj)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("file-backed read back %q err=%v", got, err)
+	}
+}
+
+func TestPublicAPICrashRecovery(t *testing.T) {
+	cfg := clientlog.DefaultConfig()
+	cluster := clientlog.NewCluster(cfg)
+	pages, _ := cluster.SeedPages(1, 4, 16)
+	client, _ := cluster.AddClient()
+	obj := clientlog.ObjectID{Page: pages[0], Slot: 0}
+
+	txn, _ := client.Begin()
+	want := []byte("survives a crash")
+	if err := txn.Overwrite(obj, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	cluster.CrashClient(client.ID())
+	recovered, err := cluster.RestartClient(client.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn2, _ := recovered.Begin()
+	got, err := txn2.Read(obj)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("after recovery: %q err=%v", got, err)
+	}
+	txn2.Commit()
+}

@@ -1,0 +1,77 @@
+// Command bench regenerates every experiment table in EXPERIMENTS.md.
+//
+//	bench -list                 list the experiments
+//	bench                       run the full suite (text tables)
+//	bench -run E1,E3            run a subset
+//	bench -markdown             emit EXPERIMENTS.md-ready markdown
+//	bench -quick                reduced sizes (CI-friendly)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"clientlog/internal/sim"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiments and exit")
+	run := flag.String("run", "", "comma-separated experiment ids (default: all)")
+	markdown := flag.Bool("markdown", false, "emit markdown tables")
+	quick := flag.Bool("quick", false, "reduced experiment sizes")
+	txns := flag.Int("txns", 0, "override per-client transaction count")
+	clients := flag.Int("clients", 0, "override the maximum client count")
+	seed := flag.Int64("seed", 1, "workload seed")
+	flag.Parse()
+
+	experiments := sim.All()
+	if *list {
+		for _, e := range experiments {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	params := sim.DefaultParams()
+	if *quick {
+		params = sim.QuickParams()
+	}
+	if *txns > 0 {
+		params.Txns = *txns
+	}
+	if *clients > 0 {
+		params.MaxClients = *clients
+	}
+	params.Seed = *seed
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*run, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+	failed := false
+	for _, e := range experiments {
+		if len(want) > 0 && !want[e.ID] {
+			continue
+		}
+		start := time.Now()
+		table, err := e.Run(params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
+		if *markdown {
+			table.Markdown(os.Stdout)
+		} else {
+			table.Fprint(os.Stdout)
+		}
+		fmt.Fprintf(os.Stderr, "[%s done in %s]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

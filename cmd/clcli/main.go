@@ -1,0 +1,90 @@
+// Command clcli is an interactive (or scripted) client for a clsrv
+// server.  All transactional facilities run locally: the private log
+// lives in -log, commit forces only that file, and crash recovery is
+// local (restart with the same -log and -id to recover).  Pass
+// -diskless to host the private log at the server instead (Section 2's
+// option for clients without local disks).
+//
+//	clcli -addr 127.0.0.1:7070 -log ./client.log
+//
+// Type `help` for the command language (see internal/repl).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"clientlog/internal/core"
+	"clientlog/internal/ident"
+	"clientlog/internal/msg"
+	"clientlog/internal/netrpc"
+	"clientlog/internal/repl"
+	"clientlog/internal/wal"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7070", "server address")
+	logPath := flag.String("log", "./client.log", "private log file")
+	id := flag.Uint("id", 0, "recover as this previously crashed client id")
+	objSize := flag.Int("objsize", 32, "object size for write padding")
+	diskless := flag.Bool("diskless", false, "host the private log at the server")
+	flag.Parse()
+
+	tr, err := netrpc.Dial(*addr)
+	if err != nil {
+		log.Fatalf("dial: %v", err)
+	}
+	defer tr.Close()
+
+	cfg := core.DefaultConfig()
+	client, err := connect(cfg, tr, *logPath, ident.ClientID(*id), *diskless)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr.SetLocal(client)
+	fmt.Printf("connected as client %v (recover later with -id %d)\n",
+		client.ID(), uint32(client.ID()))
+
+	sess := repl.NewSession(client, *objSize)
+	defer sess.Close()
+	if err := sess.Run(os.Stdin, os.Stdout, true); err != nil {
+		fmt.Fprintf(os.Stderr, "repl: %v\n", err)
+	}
+	if err := client.Disconnect(); err != nil {
+		fmt.Fprintf(os.Stderr, "disconnect: %v\n", err)
+	}
+}
+
+// connect builds the client engine: fresh or recovering, local-disk or
+// diskless.
+func connect(cfg core.Config, tr *netrpc.Transport, logPath string, id ident.ClientID, diskless bool) (*core.Client, error) {
+	var logStore wal.Store
+	if diskless {
+		if id == 0 {
+			// Register first: the remote log device needs the id.
+			reply, err := tr.Register(msg.RegisterReq{})
+			if err != nil {
+				return nil, err
+			}
+			return core.NewClientWithID(cfg, tr, core.NewRemoteLogStore(tr, reply.ID), reply.ID)
+		}
+		logStore = core.NewRemoteLogStore(tr, id)
+	} else {
+		fs, err := wal.OpenFileStore(logPath, 0)
+		if err != nil {
+			return nil, fmt.Errorf("opening private log: %w", err)
+		}
+		logStore = fs
+	}
+	if id != 0 {
+		c, err := core.RecoverClient(cfg, tr, logStore, id)
+		if err != nil {
+			return nil, fmt.Errorf("restart recovery: %w", err)
+		}
+		fmt.Printf("recovered as client %v\n", c.ID())
+		return c, nil
+	}
+	return core.NewClient(cfg, tr, logStore)
+}

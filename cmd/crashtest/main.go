@@ -1,0 +1,50 @@
+// Command crashtest is the randomized crash-recovery torture test: it
+// drives random transactions, cache replacements, checkpoints, client
+// crashes, server crashes and complex crashes against a cluster, and
+// fails loudly if the recovered database ever diverges from a
+// sequential replay of exactly the committed transactions.
+//
+//	crashtest -seeds 100 -rounds 200
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"clientlog/internal/core"
+	"clientlog/internal/sim"
+)
+
+func main() {
+	seeds := flag.Int("seeds", 25, "number of random schedules to run")
+	first := flag.Int64("first-seed", 1, "first seed")
+	rounds := flag.Int("rounds", 150, "rounds per schedule")
+	clients := flag.Int("clients", 3, "clients per cluster")
+	noServer := flag.Bool("no-server-crashes", false, "client crashes only")
+	flag.Parse()
+
+	var total sim.TortureStats
+	for i := 0; i < *seeds; i++ {
+		seed := *first + int64(i)
+		opt := sim.DefaultTortureOptions(seed)
+		opt.Rounds = *rounds
+		opt.Clients = *clients
+		opt.ServerCrashes = !*noServer
+		stats, err := sim.Torture(core.DefaultConfig(), opt)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL seed %d: %v\n", seed, err)
+			os.Exit(1)
+		}
+		total.Commits += stats.Commits
+		total.Aborts += stats.Aborts
+		total.ClientCrashes += stats.ClientCrashes
+		total.ServerCrashes += stats.ServerCrashes
+		total.Complex += stats.Complex
+		total.Verifications += stats.Verifications
+		fmt.Printf("seed %-5d ok: %4d commits %3d aborts %2d client-crashes %2d server-crashes (%d complex)\n",
+			seed, stats.Commits, stats.Aborts, stats.ClientCrashes, stats.ServerCrashes, stats.Complex)
+	}
+	fmt.Printf("\nALL PASS: %d commits, %d aborts, %d client crashes, %d server crashes (%d complex), %d verifications\n",
+		total.Commits, total.Aborts, total.ClientCrashes, total.ServerCrashes, total.Complex, total.Verifications)
+}

@@ -1,0 +1,33 @@
+// Package clientlog is a Go implementation of the page-server DBMS
+// architecture of Panagos, Biliris, Jagadish and Rastogi,
+// "Fine-granularity Locking and Client-Based Logging for Distributed
+// Architectures" (EDBT 1996).
+//
+// Every transactional facility is provided locally at the clients:
+// transactions execute at the client where they start, all log records
+// go to the client's private write-ahead log, commit forces only that
+// log (no pages, no log records travel to the server), rollback and
+// client crash recovery are handled by the client, and clients take
+// independent fuzzy checkpoints.  Fine-granularity (object) locking
+// with callback-based cache consistency lets multiple clients update
+// different objects of the same page concurrently; page copies are
+// reconciled with the paper's merge procedure and the PSN bookkeeping
+// of its Section 3.1 makes recovery exact even when the server and
+// several clients crash together.
+//
+// # Quick start
+//
+//	cfg := clientlog.DefaultConfig()
+//	cluster := clientlog.NewCluster(cfg)
+//	pages, _ := cluster.SeedPages(2, 8, 16) // 2 pages x 8 objects x 16B
+//	client, _ := cluster.AddClient()
+//
+//	txn, _ := client.Begin()
+//	obj := clientlog.ObjectID{Page: pages[0], Slot: 0}
+//	_ = txn.Overwrite(obj, []byte("hello EDBT 1996!"))
+//	_ = txn.Commit() // forces only the client's private log
+//
+// See the examples directory for multi-client, crash-recovery and
+// savepoint walkthroughs, and DESIGN.md / EXPERIMENTS.md for the
+// reproduction of the paper's claims.
+package clientlog

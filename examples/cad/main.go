@@ -1,0 +1,101 @@
+// CAD: the paper's motivating workload.  A drawing is a set of design
+// objects packed onto shared pages; several engineers edit different
+// objects of the same drawing page at the same time.  With
+// fine-granularity locking and page-copy merging nobody waits for the
+// page, nothing is forced to disk, and every committed edit survives.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"clientlog"
+)
+
+const (
+	engineers      = 4
+	objectsPerPage = 16
+	editsEach      = 25
+	objSize        = 24
+)
+
+func main() {
+	cfg := clientlog.DefaultConfig()
+	cluster := clientlog.NewCluster(cfg)
+	// One "drawing": all engineers edit objects of this one page set.
+	pages, err := cluster.SeedPages(2, objectsPerPage, objSize)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	clients := make([]*clientlog.Client, engineers)
+	for i := range clients {
+		if clients[i], err = cluster.AddClient(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	stamp := func(eng, edit int) []byte {
+		b := make([]byte, objSize)
+		copy(b, fmt.Sprintf("eng%d-edit%02d", eng, edit))
+		return b
+	}
+
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *clientlog.Client) {
+			defer wg.Done()
+			for edit := 0; edit < editsEach; edit++ {
+				txn, err := c.Begin()
+				if err != nil {
+					log.Fatal(err)
+				}
+				// Each engineer owns a disjoint set of objects on the
+				// SAME pages: object-level X locks never conflict, so the
+				// edits proceed fully in parallel.
+				for _, pid := range pages {
+					obj := clientlog.ObjectID{Page: pid, Slot: uint16(i)}
+					if err := txn.Overwrite(obj, stamp(i, edit)); err != nil {
+						log.Fatalf("engineer %d: %v", i, err)
+					}
+				}
+				if err := txn.Commit(); err != nil {
+					log.Fatalf("engineer %d commit: %v", i, err)
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+
+	fmt.Printf("%d engineers x %d edits committed\n", engineers, editsEach)
+	fmt.Printf("server page merges: %d   callbacks: %d   pages forced to disk: %d\n",
+		cluster.Server().Metrics.Merges.Load(),
+		cluster.Server().Metrics.CallbacksSent.Load(),
+		cluster.Server().Metrics.PageForces.Load())
+
+	// A reviewer (fresh client) reads the final drawing: every
+	// engineer's last edit must be there, pulled together by callbacks
+	// and the merge procedure.
+	reviewer, err := cluster.AddClient()
+	if err != nil {
+		log.Fatal(err)
+	}
+	txn, _ := reviewer.Begin()
+	for _, pid := range pages {
+		for i := 0; i < engineers; i++ {
+			obj := clientlog.ObjectID{Page: pid, Slot: uint16(i)}
+			got, err := txn.Read(obj)
+			if err != nil {
+				log.Fatal(err)
+			}
+			want := stamp(i, editsEach-1)
+			if string(got) != string(want) {
+				log.Fatalf("drawing corrupted at page %d slot %d: %q", pid, i, got)
+			}
+		}
+	}
+	txn.Commit()
+	fmt.Println("review passed: all concurrent same-page edits merged correctly")
+}

@@ -1,0 +1,116 @@
+// Recovery walkthrough: the full crash matrix of the paper, narrated.
+//
+//  1. Client crash (§3.3): committed updates that never left the
+//     client's cache are redone from its private log; uncommitted ones
+//     are rolled back; other clients keep running throughout.
+//  2. Server crash (§3.4): updates that lived only in the server's
+//     buffer pool are reconstructed by the clients in parallel, with
+//     callback log records preserving cross-client update order.
+//  3. Complex crash (§3.5): server and a client crash together.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"clientlog"
+)
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func val(tag string) []byte {
+	b := make([]byte, 16)
+	copy(b, tag)
+	return b
+}
+
+func main() {
+	cfg := clientlog.DefaultConfig()
+	cluster := clientlog.NewCluster(cfg)
+	pages, err := cluster.SeedPages(3, 8, 16)
+	check(err)
+	alice, err := cluster.AddClient()
+	check(err)
+	bob, err := cluster.AddClient()
+	check(err)
+
+	sharedObj := clientlog.ObjectID{Page: pages[0], Slot: 0}
+	aliceObj := clientlog.ObjectID{Page: pages[1], Slot: 0}
+	bobObj := clientlog.ObjectID{Page: pages[2], Slot: 0}
+
+	// --- Act 1: client crash -------------------------------------------
+	fmt.Println("== Act 1: client crash (§3.3) ==")
+	t1, _ := alice.Begin()
+	check(t1.Overwrite(aliceObj, val("committed")))
+	check(t1.Commit())
+	t2, _ := alice.Begin()
+	check(t2.Overwrite(aliceObj, val("uncommitted")))
+	check(alice.Log().ForceAll()) // the tail survives, the txn does not
+	cluster.CrashClient(alice.ID())
+	fmt.Println("alice crashed with one committed and one in-flight update")
+
+	// Bob keeps working while alice is down.
+	tb, _ := bob.Begin()
+	check(tb.Overwrite(bobObj, val("bob-was-here")))
+	check(tb.Commit())
+	fmt.Println("bob kept committing while alice was down")
+
+	alice, err = cluster.RestartClient(alice.ID())
+	check(err)
+	ta, _ := alice.Begin()
+	got, err := ta.Read(aliceObj)
+	check(err)
+	ta.Commit()
+	if !bytes.Equal(got, val("committed")) {
+		log.Fatalf("client recovery wrong: %q", got)
+	}
+	fmt.Printf("alice recovered locally: committed survives, in-flight rolled back (%q)\n\n", got)
+
+	// --- Act 2: server crash -------------------------------------------
+	fmt.Println("== Act 2: server crash (§3.4) ==")
+	// Alice then Bob update the SAME object: the callback log record
+	// written by Bob preserves the order for server recovery.
+	t3, _ := alice.Begin()
+	check(t3.Overwrite(sharedObj, val("alice-v1")))
+	check(t3.Commit())
+	t4, _ := bob.Begin()
+	check(t4.Overwrite(sharedObj, val("bob-v2")))
+	check(t4.Commit())
+	// Both replace the page: its newest state now lives only in the
+	// server's buffer pool, which is about to evaporate.
+	check(alice.ReplacePage(pages[0]))
+	check(bob.ReplacePage(pages[0]))
+	cluster.CrashServer()
+	fmt.Println("server crashed holding the only merged copy of the shared page")
+	check(cluster.RestartServer())
+	got, err = cluster.ReadObject(sharedObj)
+	check(err)
+	if !bytes.Equal(got, val("bob-v2")) {
+		log.Fatalf("cross-client order lost: %q", got)
+	}
+	fmt.Printf("server recovery rebuilt the page from both private logs in order: %q\n\n", got)
+
+	// --- Act 3: complex crash ------------------------------------------
+	fmt.Println("== Act 3: complex crash (§3.5) ==")
+	t5, _ := alice.Begin()
+	check(t5.Overwrite(aliceObj, val("pre-disaster")))
+	check(t5.Commit())
+	check(alice.ReplacePage(pages[1]))
+	cluster.CrashServer(alice.ID())
+	fmt.Println("server AND alice crashed together")
+	check(cluster.RestartServer())
+	_, err = cluster.RestartClient(alice.ID())
+	check(err)
+	got, err = cluster.ReadObject(aliceObj)
+	check(err)
+	if !bytes.Equal(got, val("pre-disaster")) {
+		log.Fatalf("complex crash lost data: %q", got)
+	}
+	fmt.Printf("complex crash recovered: %q\n", got)
+	fmt.Println("\nall three recovery algorithms exercised; private logs were never merged")
+}

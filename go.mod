@@ -1,0 +1,3 @@
+module clientlog
+
+go 1.22

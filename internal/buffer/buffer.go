@@ -1,0 +1,213 @@
+// Package buffer implements the steal/no-force buffer pools used by the
+// clients and the server (Section 2 of the paper).
+//
+// "Steal" means a dirty page may be evicted while the updating
+// transaction is still active; the engine that owns the pool decides
+// what eviction means (a client ships the page to the server, the
+// server forces a replacement log record and writes the page in
+// place).  "No-force" means commit never writes pages anywhere.
+package buffer
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+
+	"sync"
+
+	"clientlog/internal/page"
+)
+
+// ErrAllPinned reports that eviction failed because every frame is
+// pinned.
+var ErrAllPinned = errors.New("buffer: all frames pinned")
+
+type frame struct {
+	pg    *page.Page
+	dirty bool
+	pins  int
+	elem  *list.Element // position in the LRU list (front = most recent)
+}
+
+// Pool is a fixed-capacity page cache with LRU replacement.  It is safe
+// for concurrent use.
+type Pool struct {
+	mu       sync.Mutex
+	capacity int
+	frames   map[page.ID]*frame
+	lru      *list.List // of page.ID
+}
+
+// New returns a pool that holds at most capacity pages (capacity <= 0
+// panics: the engines always size their pools explicitly).
+func New(capacity int) *Pool {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("buffer.New: capacity %d", capacity))
+	}
+	return &Pool{capacity: capacity, frames: make(map[page.ID]*frame), lru: list.New()}
+}
+
+// Capacity returns the configured frame count.
+func (b *Pool) Capacity() int { return b.capacity }
+
+// Len returns the number of cached pages.
+func (b *Pool) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.frames)
+}
+
+// Get returns the cached page and marks it recently used.  The page is
+// shared, not copied: callers serialize page access through the lock
+// protocol, exactly as the paper's clients do.
+func (b *Pool) Get(id page.ID) (*page.Page, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f, ok := b.frames[id]
+	if !ok {
+		return nil, false
+	}
+	b.lru.MoveToFront(f.elem)
+	return f.pg, true
+}
+
+// Contains reports whether the page is cached.
+func (b *Pool) Contains(id page.ID) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.frames[id]
+	return ok
+}
+
+// Put inserts or replaces a page.  The caller must have made room with
+// EvictVictim if the pool was full; Put on a full pool still succeeds
+// (the pool grows past capacity) so that correctness never depends on
+// eviction, but NeedsEviction turns true.
+func (b *Pool) Put(p *page.Page, dirty bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if f, ok := b.frames[p.ID()]; ok {
+		f.pg = p
+		f.dirty = f.dirty || dirty
+		b.lru.MoveToFront(f.elem)
+		return
+	}
+	f := &frame{pg: p, dirty: dirty}
+	f.elem = b.lru.PushFront(p.ID())
+	b.frames[p.ID()] = f
+}
+
+// NeedsEviction reports whether the pool exceeds its capacity.
+func (b *Pool) NeedsEviction() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.frames) > b.capacity
+}
+
+// MarkDirty flags a cached page as modified.
+func (b *Pool) MarkDirty(id page.ID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if f, ok := b.frames[id]; ok {
+		f.dirty = true
+	}
+}
+
+// IsDirty reports whether the page is cached and dirty.
+func (b *Pool) IsDirty(id page.ID) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f, ok := b.frames[id]
+	return ok && f.dirty
+}
+
+// Clean clears the dirty flag (after the page reached the server/disk
+// and was not modified since).
+func (b *Pool) Clean(id page.ID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if f, ok := b.frames[id]; ok {
+		f.dirty = false
+	}
+}
+
+// Pin prevents eviction of the page until Unpin.
+func (b *Pool) Pin(id page.ID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if f, ok := b.frames[id]; ok {
+		f.pins++
+	}
+}
+
+// Unpin releases a pin.
+func (b *Pool) Unpin(id page.ID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if f, ok := b.frames[id]; ok && f.pins > 0 {
+		f.pins--
+	}
+}
+
+// Drop removes a page without returning it (callback in exclusive mode
+// drops the page from the client cache).
+func (b *Pool) Drop(id page.ID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if f, ok := b.frames[id]; ok {
+		b.lru.Remove(f.elem)
+		delete(b.frames, id)
+	}
+}
+
+// EvictVictim removes and returns the least recently used unpinned
+// page.  The caller ships it (client) or writes it in place (server) if
+// dirty.
+func (b *Pool) EvictVictim() (p *page.Page, dirty bool, err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for e := b.lru.Back(); e != nil; e = e.Prev() {
+		id := e.Value.(page.ID)
+		f := b.frames[id]
+		if f.pins > 0 {
+			continue
+		}
+		b.lru.Remove(e)
+		delete(b.frames, id)
+		return f.pg, f.dirty, nil
+	}
+	return nil, false, ErrAllPinned
+}
+
+// IDs returns the ids of all cached pages (unordered); §3.4 server
+// recovery asks each client for this list.
+func (b *Pool) IDs() []page.ID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]page.ID, 0, len(b.frames))
+	for id := range b.frames {
+		out = append(out, id)
+	}
+	return out
+}
+
+// DirtyIDs returns the ids of all dirty cached pages.
+func (b *Pool) DirtyIDs() []page.ID {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var out []page.ID
+	for id, f := range b.frames {
+		if f.dirty {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Clear empties the pool (a crash loses all cached pages).
+func (b *Pool) Clear() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.frames = make(map[page.ID]*frame)
+	b.lru.Init()
+}

@@ -1,0 +1,392 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"clientlog/internal/ident"
+	"clientlog/internal/lock"
+	"clientlog/internal/msg"
+	"clientlog/internal/page"
+	"clientlog/internal/storage"
+	"clientlog/internal/trace"
+	"clientlog/internal/wal"
+)
+
+// serverHandle lets client-side transports survive a server restart:
+// the loopback conns delegate to whatever engine currently backs the
+// handle.
+type serverHandle struct {
+	mu    sync.RWMutex
+	inner msg.Server
+}
+
+func (h *serverHandle) get() msg.Server {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.inner
+}
+
+func (h *serverHandle) set(s msg.Server) {
+	h.mu.Lock()
+	h.inner = s
+	h.mu.Unlock()
+}
+
+// Each method delegates to the current engine.
+func (h *serverHandle) Register(r msg.RegisterReq) (msg.RegisterReply, error) {
+	return h.get().Register(r)
+}
+func (h *serverHandle) Lock(r msg.LockReq) (msg.LockReply, error) { return h.get().Lock(r) }
+func (h *serverHandle) Unlock(r msg.UnlockReq) error              { return h.get().Unlock(r) }
+func (h *serverHandle) Fetch(r msg.FetchReq) (msg.FetchReply, error) {
+	return h.get().Fetch(r)
+}
+func (h *serverHandle) Ship(r msg.ShipReq) error                     { return h.get().Ship(r) }
+func (h *serverHandle) Force(r msg.ForceReq) (msg.ForceReply, error) { return h.get().Force(r) }
+func (h *serverHandle) Alloc(r msg.AllocReq) (msg.FetchReply, error) {
+	return h.get().Alloc(r)
+}
+func (h *serverHandle) Free(r msg.FreeReq) error             { return h.get().Free(r) }
+func (h *serverHandle) CommitShip(r msg.CommitShipReq) error { return h.get().CommitShip(r) }
+func (h *serverHandle) Token(r msg.TokenReq) (msg.TokenReply, error) {
+	return h.get().Token(r)
+}
+func (h *serverHandle) RecoveryFetch(r msg.RecoveryFetchReq) (msg.FetchReply, error) {
+	return h.get().RecoveryFetch(r)
+}
+func (h *serverHandle) Reinstall(c ident.ClientID, holds []lock.Holding) error {
+	return h.get().Reinstall(c, holds)
+}
+func (h *serverHandle) RecoverQuery(c ident.ClientID, pages []page.ID) ([]msg.DCTRow, error) {
+	return h.get().RecoverQuery(c, pages)
+}
+func (h *serverHandle) LogOp(r msg.LogReq) (msg.LogReply, error) { return h.get().LogOp(r) }
+func (h *serverHandle) RecoverEnd(c ident.ClientID) error        { return h.get().RecoverEnd(c) }
+func (h *serverHandle) Disconnect(c ident.ClientID) error        { return h.get().Disconnect(c) }
+
+// clientSlot tracks one client's engine and durable log device across
+// crashes.
+type clientSlot struct {
+	engine   *Client
+	logStore wal.Store
+	crashed  bool
+}
+
+// Cluster assembles a server and a set of clients over the in-process
+// loopback transport, with crash/restart orchestration.  It is the
+// substrate of the integration tests, the simulator, the benchmarks and
+// the public API.
+type Cluster struct {
+	cfg        Config
+	Stats      *msg.Stats
+	store      storage.Store
+	slog       wal.Store
+	remoteLogs *RemoteLogHost
+	handle     *serverHandle
+
+	mu      sync.Mutex
+	server  *Server
+	clients map[ident.ClientID]*clientSlot
+	tracer  trace.Recorder
+}
+
+// NewCluster builds a memory-backed cluster (the "disks" survive
+// simulated crashes).
+func NewCluster(cfg Config) *Cluster {
+	return NewClusterWithStores(cfg, storage.NewMemStore(cfg.PageSize), wal.NewMemStore(0))
+}
+
+// NewClusterWithStores builds a cluster over explicit stable storage
+// and a server log device (e.g. file-backed, for the cmd tools).
+func NewClusterWithStores(cfg Config, store storage.Store, slog wal.Store) *Cluster {
+	cl := &Cluster{
+		cfg:     cfg,
+		Stats:   msg.NewStats(),
+		store:   store,
+		slog:    slog,
+		handle:  &serverHandle{},
+		clients: make(map[ident.ClientID]*clientSlot),
+	}
+	cl.remoteLogs = NewRemoteLogHost(cfg.ClientLogCapacity)
+	cl.server = NewServer(cfg, store, slog)
+	cl.server.HostRemoteLogs(cl.remoteLogs)
+	cl.handle.set(cl.server)
+	return cl
+}
+
+// SetTracer installs a protocol-event recorder on the current server
+// engine (and future incarnations after RestartServer).
+func (cl *Cluster) SetTracer(r trace.Recorder) {
+	cl.mu.Lock()
+	cl.tracer = r
+	server := cl.server
+	cl.mu.Unlock()
+	server.SetTracer(r)
+}
+
+// Server returns the current server engine.
+func (cl *Cluster) Server() *Server {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.server
+}
+
+// Config returns the cluster configuration.
+func (cl *Cluster) Config() Config { return cl.cfg }
+
+// serverConn builds the client's view of the server.
+func (cl *Cluster) serverConn() msg.Server {
+	return &msg.LoopbackServer{Inner: cl.handle, Latency: cl.cfg.Latency, Stats: cl.Stats}
+}
+
+// AddClient joins a new client with a memory-backed private log.
+func (cl *Cluster) AddClient() (*Client, error) {
+	return cl.AddClientWithLog(wal.NewMemStore(cl.cfg.ClientLogCapacity))
+}
+
+// AddDisklessClient joins a client without a local log disk: its
+// private log lives at the server (Section 2's remote-log option) and
+// every append/force is a protocol round trip.
+func (cl *Cluster) AddDisklessClient() (*Client, error) {
+	srv := cl.serverConn()
+	reply, err := srv.Register(msg.RegisterReq{})
+	if err != nil {
+		return nil, err
+	}
+	logStore := NewRemoteLogStore(srv, reply.ID)
+	c, err := NewClientWithID(cl.cfg, srv, logStore, reply.ID)
+	if err != nil {
+		return nil, err
+	}
+	conn := &msg.LoopbackClient{Inner: c, Latency: cl.cfg.Latency, Stats: cl.Stats}
+	cl.mu.Lock()
+	server := cl.server
+	cl.clients[c.ID()] = &clientSlot{engine: c, logStore: logStore}
+	cl.mu.Unlock()
+	server.Attach(c.ID(), conn)
+	return c, nil
+}
+
+// AddClientWithLog joins a new client over an explicit log device.
+func (cl *Cluster) AddClientWithLog(logStore wal.Store) (*Client, error) {
+	c, err := NewClient(cl.cfg, cl.serverConn(), logStore)
+	if err != nil {
+		return nil, err
+	}
+	conn := &msg.LoopbackClient{Inner: c, Latency: cl.cfg.Latency, Stats: cl.Stats}
+	cl.mu.Lock()
+	server := cl.server
+	cl.clients[c.ID()] = &clientSlot{engine: c, logStore: logStore}
+	cl.mu.Unlock()
+	server.Attach(c.ID(), conn)
+	return c, nil
+}
+
+// Client returns the current engine for a client id.
+func (cl *Cluster) Client(id ident.ClientID) *Client {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if slot := cl.clients[id]; slot != nil {
+		return slot.engine
+	}
+	return nil
+}
+
+// CrashClient simulates a client crash: the engine loses its volatile
+// state and the server reacts per §3.3.
+func (cl *Cluster) CrashClient(id ident.ClientID) {
+	cl.mu.Lock()
+	slot := cl.clients[id]
+	server := cl.server
+	cl.mu.Unlock()
+	if slot == nil {
+		return
+	}
+	slot.engine.Crash()
+	slot.crashed = true
+	server.ClientCrashed(id)
+}
+
+// RestartClient runs §3.3 restart recovery for a crashed client and
+// returns the fresh engine.
+func (cl *Cluster) RestartClient(id ident.ClientID) (*Client, error) {
+	cl.mu.Lock()
+	slot := cl.clients[id]
+	server := cl.server
+	cl.mu.Unlock()
+	if slot == nil {
+		return nil, fmt.Errorf("core: unknown client %s", id)
+	}
+	c, err := RecoverClient(cl.cfg, cl.serverConn(), slot.logStore, id)
+	if err != nil {
+		return nil, err
+	}
+	conn := &msg.LoopbackClient{Inner: c, Latency: cl.cfg.Latency, Stats: cl.Stats}
+	server.Attach(id, conn)
+	cl.mu.Lock()
+	slot.engine = c
+	slot.crashed = false
+	cl.mu.Unlock()
+	return c, nil
+}
+
+// SurrogateRecover recovers a crashed client's updates from its log
+// without bringing the client back: the surrogate redoes/undoes per
+// §3.3, ships the result, releases the locks and removes the client.
+func (cl *Cluster) SurrogateRecover(id ident.ClientID) error {
+	cl.mu.Lock()
+	slot := cl.clients[id]
+	cl.mu.Unlock()
+	if slot == nil {
+		return fmt.Errorf("core: unknown client %s", id)
+	}
+	if err := SurrogateRecover(cl.cfg, cl.serverConn(), slot.logStore, id); err != nil {
+		return err
+	}
+	cl.mu.Lock()
+	delete(cl.clients, id)
+	cl.mu.Unlock()
+	return nil
+}
+
+// CrashServer simulates a server crash, optionally taking clients down
+// with it (§3.5 complex crash).  RestartServer must follow.
+func (cl *Cluster) CrashServer(alsoClients ...ident.ClientID) {
+	cl.mu.Lock()
+	server := cl.server
+	var slots []*clientSlot
+	for _, id := range alsoClients {
+		if slot := cl.clients[id]; slot != nil {
+			slots = append(slots, slot)
+			slot.crashed = true
+		}
+	}
+	cl.mu.Unlock()
+	server.Crash()
+	// The hosted remote logs lose their unflushed tails with the server.
+	cl.remoteLogs.Crash()
+	for _, slot := range slots {
+		slot.engine.Crash()
+	}
+}
+
+// RestartServer constructs a fresh server over the surviving store and
+// log and runs §3.4 restart recovery with the operational clients.
+// Clients that crashed along with the server recover afterwards via
+// RestartClient (§3.5).
+func (cl *Cluster) RestartServer() error {
+	cl.mu.Lock()
+	server := NewServer(cl.cfg, cl.store, cl.slog)
+	server.HostRemoteLogs(cl.remoteLogs)
+	if cl.tracer != nil {
+		server.SetTracer(cl.tracer)
+	}
+	cl.server = server
+	operational := make(map[ident.ClientID]msg.Client)
+	var crashed []ident.ClientID
+	for id, slot := range cl.clients {
+		if slot.crashed {
+			crashed = append(crashed, id)
+			continue
+		}
+		operational[id] = &msg.LoopbackClient{Inner: slot.engine, Latency: cl.cfg.Latency, Stats: cl.Stats}
+	}
+	cl.mu.Unlock()
+	// Reconnect the transports first: the recovery protocol itself makes
+	// the clients ship pages back to the new engine.
+	cl.handle.set(server)
+	return server.RecoverServer(operational, crashed)
+}
+
+// SeedPages creates n pages with objsPerPage objects of objSize bytes
+// directly in stable storage, before any client joins; it returns the
+// page ids.  The initial object bytes are deterministic
+// (pageID/slot-derived) so tests can predict them.
+func (cl *Cluster) SeedPages(n, objsPerPage, objSize int) ([]page.ID, error) {
+	ids := make([]page.ID, 0, n)
+	for i := 0; i < n; i++ {
+		p, err := cl.store.Allocate()
+		if err != nil {
+			return nil, err
+		}
+		for s := 0; s < objsPerPage; s++ {
+			data := make([]byte, objSize)
+			for b := range data {
+				data[b] = byte(uint64(p.ID())*31 + uint64(s)*7 + uint64(b))
+			}
+			if _, _, err := p.Insert(data); err != nil {
+				return nil, fmt.Errorf("core: seeding page %d: %w", p.ID(), err)
+			}
+		}
+		if err := cl.store.Write(p); err != nil {
+			return nil, err
+		}
+		ids = append(ids, p.ID())
+	}
+	return ids, nil
+}
+
+// DebugPage renders every tier's view of a page (debug tooling).
+func (cl *Cluster) DebugPage(pid page.ID) string {
+	cl.mu.Lock()
+	server := cl.server
+	var clientIDs []ident.ClientID
+	for id := range cl.clients {
+		clientIDs = append(clientIDs, id)
+	}
+	cl.mu.Unlock()
+	out := ""
+	server.mu.Lock()
+	if p, ok := server.pool.Get(pid); ok {
+		out += fmt.Sprintf("server pool: psn=%d dirty=%v slots:", p.PSN(), server.pool.IsDirty(pid))
+		for _, sl := range p.UsedSlotIDs() {
+			d, _ := p.Read(sl)
+			out += fmt.Sprintf(" %d@%d=%x", sl, p.SlotPSN(sl), d[:4])
+		}
+		out += "\n"
+	} else {
+		out += "server pool: not cached\n"
+	}
+	for k, e := range server.dct {
+		if k.pg == pid {
+			out += fmt.Sprintf("dct[%v]: psn=%d redo=%v\n", k.c, e.psn, e.redoLSN)
+		}
+	}
+	server.mu.Unlock()
+	if disk, err := cl.store.Read(pid); err == nil {
+		out += fmt.Sprintf("disk: psn=%d slots:", disk.PSN())
+		for _, sl := range disk.UsedSlotIDs() {
+			d, _ := disk.Read(sl)
+			out += fmt.Sprintf(" %d@%d=%x", sl, disk.SlotPSN(sl), d[:4])
+		}
+		out += "\n"
+	}
+	for _, id := range clientIDs {
+		if c := cl.Client(id); c != nil {
+			out += c.DebugPage(pid) + "\n"
+		}
+	}
+	return out
+}
+
+// ReadObject reads an object's current durable-or-cached state through
+// the server (test/verification helper; it does not take locks).
+func (cl *Cluster) ReadObject(obj page.ObjectID) ([]byte, error) {
+	cl.mu.Lock()
+	server := cl.server
+	cl.mu.Unlock()
+	reply, err := server.Fetch(msg.FetchReq{Page: obj.Page})
+	if err != nil {
+		return nil, err
+	}
+	p := new(page.Page)
+	if err := p.UnmarshalBinary(reply.Image); err != nil {
+		return nil, err
+	}
+	data, ok := p.Read(obj.Slot)
+	if !ok {
+		return nil, page.ErrBadSlot
+	}
+	return data, nil
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"clientlog/internal/ident"
+	"clientlog/internal/page"
+)
+
+// refState is the sequential reference: the value every object must
+// have after replaying the committed transactions in commit order.
+type refState map[page.ObjectID][]byte
+
+// crashScenario drives a deterministic random schedule of transactions
+// and crashes against the cluster, maintaining the reference state, and
+// verifies at the end that every object matches the reference.
+//
+// This is the repository's strongest correctness artifact: whatever the
+// interleaving of client crashes, server crashes and complex crashes,
+// the recovered database must equal a sequential replay of exactly the
+// committed transactions.
+func crashScenario(t *testing.T, seed int64, rounds int, withServerCrashes bool) {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	cfg := testConfig()
+	const nClients, nPages, slots = 3, 4, 8
+	cl, ids, cs := seededCluster(t, cfg, nPages, nClients)
+
+	ref := make(refState)
+	for _, pid := range ids {
+		for s := 0; s < slots; s++ {
+			data := make([]byte, 16)
+			for b := range data {
+				data[b] = byte(uint64(pid)*31 + uint64(s)*7 + uint64(b))
+			}
+			ref[page.ObjectID{Page: pid, Slot: uint16(s)}] = data
+		}
+	}
+	alive := make(map[ident.ClientID]bool)
+	for _, c := range cs {
+		alive[c.ID()] = true
+	}
+	clientByIdx := func(i int) *Client { return cl.Client(cs[i].ID()) }
+
+	verifyAll := func(tag string) {
+		// Read every object through a live client (locks + callbacks pull
+		// the freshest committed copies together).
+		var reader *Client
+		for i := range cs {
+			if alive[cs[i].ID()] {
+				reader = clientByIdx(i)
+				break
+			}
+		}
+		if reader == nil {
+			t.Fatalf("%s: no live client to verify with", tag)
+		}
+		txn, err := reader.Begin()
+		if err != nil {
+			t.Fatalf("%s: begin: %v", tag, err)
+		}
+		for obj, want := range ref {
+			got, err := txn.Read(obj)
+			if err != nil {
+				t.Fatalf("%s: read %v: %v", tag, obj, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: object %v = %q, reference %q (seed %d)", tag, obj, got, want, seed)
+			}
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatalf("%s: verify commit: %v", tag, err)
+		}
+	}
+
+	for round := 0; round < rounds; round++ {
+		action := r.Intn(100)
+		switch {
+		case action < 70: // a transaction on a random live client
+			idx := r.Intn(nClients)
+			if !alive[cs[idx].ID()] {
+				continue
+			}
+			c := clientByIdx(idx)
+			txn, err := c.Begin()
+			if err != nil {
+				t.Fatalf("round %d begin: %v", round, err)
+			}
+			n := 1 + r.Intn(4)
+			pending := make(refState)
+			failed := false
+			for i := 0; i < n; i++ {
+				obj := page.ObjectID{Page: ids[r.Intn(nPages)], Slot: uint16(r.Intn(slots))}
+				v := make([]byte, 16)
+				r.Read(v)
+				if err := txn.Overwrite(obj, v); err != nil {
+					// Lock timeouts/deadlocks are legal: abort and move on.
+					txn.Abort()
+					failed = true
+					break
+				}
+				pending[obj] = v
+			}
+			if failed {
+				continue
+			}
+			if r.Intn(4) == 0 { // voluntary abort
+				if err := txn.Abort(); err != nil {
+					t.Fatalf("round %d abort: %v", round, err)
+				}
+				continue
+			}
+			if err := txn.Commit(); err != nil {
+				t.Fatalf("round %d commit: %v", round, err)
+			}
+			for obj, v := range pending {
+				ref[obj] = v
+			}
+		case action < 78: // replace a random page from a client cache
+			idx := r.Intn(nClients)
+			if alive[cs[idx].ID()] {
+				if err := clientByIdx(idx).ReplacePage(ids[r.Intn(nPages)]); err != nil {
+					t.Fatalf("round %d replace: %v", round, err)
+				}
+			}
+		case action < 83: // checkpoint someone
+			idx := r.Intn(nClients)
+			if alive[cs[idx].ID()] {
+				if err := clientByIdx(idx).Checkpoint(); err != nil {
+					t.Fatalf("round %d checkpoint: %v", round, err)
+				}
+			}
+		case action < 93: // client crash + immediate recovery
+			idx := r.Intn(nClients)
+			id := cs[idx].ID()
+			if !alive[id] {
+				continue
+			}
+			cl.CrashClient(id)
+			if _, err := cl.RestartClient(id); err != nil {
+				t.Fatalf("round %d client restart (seed %d): %v", round, err, seed)
+			}
+		default: // server crash, possibly complex
+			if !withServerCrashes {
+				continue
+			}
+			var down []ident.ClientID
+			if r.Intn(2) == 0 { // complex: take one client down too
+				down = append(down, cs[r.Intn(nClients)].ID())
+			}
+			cl.CrashServer(down...)
+			if err := cl.RestartServer(); err != nil {
+				t.Fatalf("round %d server restart (seed %d): %v", round, seed, err)
+			}
+			for _, id := range down {
+				if _, err := cl.RestartClient(id); err != nil {
+					t.Fatalf("round %d complex client restart (seed %d): %v", round, seed, err)
+				}
+			}
+		}
+		if round%25 == 24 {
+			verifyAll(fmt.Sprintf("round %d", round))
+		}
+	}
+	verifyAll("final")
+}
+
+func TestCrashScenarioClientCrashesOnly(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			crashScenario(t, seed, 80, false)
+		})
+	}
+}
+
+func TestCrashScenarioWithServerCrashes(t *testing.T) {
+	for seed := int64(10); seed <= 14; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			crashScenario(t, seed, 80, true)
+		})
+	}
+}
+
+func TestCrashScenarioLong(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long scenario")
+	}
+	crashScenario(t, 99, 300, true)
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"clientlog/internal/lock"
+	"clientlog/internal/page"
+)
+
+func TestDeescalationRetainsCommittedObjectLocks(t *testing.T) {
+	// A gets an adaptive page X lock, commits updates to two objects,
+	// then B forces a de-escalation by touching a third object.  A must
+	// retain object X locks for the objects it accessed (inter-
+	// transaction caching), so its next update to them is message-free.
+	cl, ids, cs := seededCluster(t, testConfig(), 1, 2)
+	a, b := cs[0], cs[1]
+	pid := ids[0]
+
+	ta, _ := a.Begin()
+	if err := ta.Overwrite(page.ObjectID{Page: pid, Slot: 0}, val('a')); err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Overwrite(page.ObjectID{Page: pid, Slot: 1}, val('a')); err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if a.LLM().CachedMode(lock.PageName(pid)) != lock.X {
+		t.Fatal("adaptive grant did not give A a page lock")
+	}
+	// B updates slot 5: page conflict, A de-escalates.
+	tb, _ := b.Begin()
+	if err := tb.Overwrite(page.ObjectID{Page: pid, Slot: 5}, val('b')); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if a.LLM().CachedMode(lock.PageName(pid)) != lock.None {
+		t.Fatal("A's page lock survived the de-escalation")
+	}
+	for slot := uint16(0); slot < 2; slot++ {
+		if got := a.LLM().CachedMode(lock.ObjName(page.ObjectID{Page: pid, Slot: slot})); got != lock.X {
+			t.Fatalf("A lost object lock on slot %d after de-escalation: %v", slot, got)
+		}
+	}
+	// A's next update to its retained objects costs zero messages.
+	before := cl.Stats.Messages()
+	ta2, _ := a.Begin()
+	if err := ta2.Overwrite(page.ObjectID{Page: pid, Slot: 0}, val('A')); err != nil {
+		t.Fatal(err)
+	}
+	if err := ta2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := cl.Stats.Messages(); got != before {
+		t.Fatalf("retained-lock update sent %d messages", got-before)
+	}
+}
+
+func TestCallbackRecordWrittenPerOrigin(t *testing.T) {
+	// When B takes over two objects A holds X, B must write one callback
+	// log record per called-back object (§3.1).
+	_, ids, cs := seededCluster(t, testConfig(), 1, 2)
+	a, b := cs[0], cs[1]
+	pid := ids[0]
+	ta, _ := a.Begin()
+	for slot := uint16(0); slot < 2; slot++ {
+		if err := ta.Overwrite(page.ObjectID{Page: pid, Slot: slot}, val('a')); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ta.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := b.Begin()
+	for slot := uint16(0); slot < 2; slot++ {
+		if err := tb.Overwrite(page.ObjectID{Page: pid, Slot: slot}, val('b')); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tb.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Metrics.CallbackRecords.Load(); got < 2 {
+		t.Fatalf("callback records written = %d, want >= 2", got)
+	}
+}
+
+func TestSharedReadersAcrossClients(t *testing.T) {
+	// Three clients reading the same object must coexist on S locks with
+	// no further synchronization after the first reads.
+	cl, ids, cs := seededCluster(t, testConfig(), 1, 3)
+	obj := page.ObjectID{Page: ids[0], Slot: 0}
+	want, _ := cl.ReadObject(obj)
+	for _, c := range cs {
+		txn, _ := c.Begin()
+		got, err := txn.Read(obj)
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("%v: %q err=%v", c.ID(), got, err)
+		}
+		txn.Commit()
+	}
+	// Second round: everything is cached, zero messages.
+	before := cl.Stats.Messages()
+	for _, c := range cs {
+		txn, _ := c.Begin()
+		if _, err := txn.Read(obj); err != nil {
+			t.Fatal(err)
+		}
+		txn.Commit()
+	}
+	if got := cl.Stats.Messages(); got != before {
+		t.Fatalf("warm shared reads sent %d messages", got-before)
+	}
+	if cl.Server().Metrics.CallbacksSent.Load() != 0 {
+		t.Fatal("S/S sharing triggered callbacks")
+	}
+}
+
+func TestDowngradeNotReleaseOnSharedCallback(t *testing.T) {
+	// §2: "exclusive locks that are called back in shared mode are
+	// demoted to shared" — after a reader takes over, the writer keeps
+	// an S lock and can still read locally.
+	cl, ids, cs := seededCluster(t, testConfig(), 1, 2)
+	a, b := cs[0], cs[1]
+	obj := page.ObjectID{Page: ids[0], Slot: 3}
+	ta, _ := a.Begin()
+	if err := ta.Overwrite(obj, val('w')); err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := b.Begin()
+	if _, err := tb.Read(obj); err != nil {
+		t.Fatal(err)
+	}
+	tb.Commit()
+	// A's lock must be S now (downgraded, not dropped): local reads are
+	// free, and the GLM agrees.
+	name := lock.ObjName(obj)
+	mode := a.LLM().CachedMode(name)
+	pageMode := a.LLM().CachedMode(lock.PageName(obj.Page))
+	if mode != lock.S && pageMode != lock.S {
+		t.Fatalf("A's lock after shared callback: obj=%v page=%v, want S", mode, pageMode)
+	}
+	before := cl.Stats.Messages()
+	ta2, _ := a.Begin()
+	if _, err := ta2.Read(obj); err != nil {
+		t.Fatal(err)
+	}
+	ta2.Commit()
+	if got := cl.Stats.Messages(); got != before {
+		t.Fatal("A's post-downgrade read was not local")
+	}
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"clientlog/internal/page"
+)
+
+func TestServerDirtyLimitForcesPages(t *testing.T) {
+	cfg := testConfig()
+	cfg.ServerDirtyLimit = 2
+	cl, ids, cs := seededCluster(t, cfg, 8, 1)
+	a := cs[0]
+	for _, pid := range ids {
+		txn, _ := a.Begin()
+		if err := txn.Overwrite(page.ObjectID{Page: pid, Slot: 0}, val('d')); err != nil {
+			t.Fatal(err)
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.ReplacePage(pid); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cl.Server().Metrics.PageForces.Load() == 0 {
+		t.Fatal("dirty limit never forced a page")
+	}
+	if cl.Server().Metrics.Replacements.Load() == 0 {
+		t.Fatal("forces happened without replacement records")
+	}
+	// The flush notifications must have advanced the client's DPT: at
+	// most the last few pages remain.
+	if got := len(a.DPTSnapshot()); got > 4 {
+		t.Fatalf("DPT still has %d entries despite background flushing", got)
+	}
+}
+
+func TestServerDirtyLimitKeepsRecoveryCorrect(t *testing.T) {
+	cfg := testConfig()
+	cfg.ServerDirtyLimit = 1
+	cl, ids, cs := seededCluster(t, cfg, 4, 1)
+	a := cs[0]
+	for round := 0; round < 12; round++ {
+		pid := ids[round%len(ids)]
+		txn, _ := a.Begin()
+		if err := txn.Overwrite(page.ObjectID{Page: pid, Slot: uint16(round % 8)}, val(byte(round))); err != nil {
+			t.Fatal(err)
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if round%3 == 0 {
+			if err := a.ReplacePage(pid); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	cl.CrashServer()
+	if err := cl.RestartServer(); err != nil {
+		t.Fatal(err)
+	}
+	cl.CrashClient(a.ID())
+	a2, err := cl.RestartClient(a.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn, _ := a2.Begin()
+	got, err := txn.Read(page.ObjectID{Page: ids[11%len(ids)], Slot: uint16(11 % 8)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 11 {
+		t.Fatalf("last committed value lost under dirty-limit flushing: %x", got[:2])
+	}
+	txn.Commit()
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"clientlog/internal/page"
+)
+
+func TestRepeatedClientCrashes(t *testing.T) {
+	// Recovery must be idempotent: crash, recover, crash again before
+	// any new work, recover again — the committed state is unchanged.
+	cl, ids, cs := seededCluster(t, testConfig(), 2, 1)
+	a := cs[0]
+	obj := page.ObjectID{Page: ids[0], Slot: 0}
+	txn, _ := a.Begin()
+	if err := txn.Overwrite(obj, val('1')); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		cl.CrashClient(cs[0].ID())
+		if _, err := cl.RestartClient(cs[0].ID()); err != nil {
+			t.Fatalf("restart %d: %v", i, err)
+		}
+	}
+	rec := cl.Client(cs[0].ID())
+	txn2, _ := rec.Begin()
+	got, err := txn2.Read(obj)
+	if err != nil || !bytes.Equal(got, val('1')) {
+		t.Fatalf("after repeated crashes: %q err=%v", got, err)
+	}
+	txn2.Commit()
+}
+
+func TestRepeatedServerCrashes(t *testing.T) {
+	cl, ids, cs := seededCluster(t, testConfig(), 2, 2)
+	a := cs[0]
+	obj := page.ObjectID{Page: ids[0], Slot: 1}
+	txn, _ := a.Begin()
+	if err := txn.Overwrite(obj, val('2')); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ReplacePage(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		cl.CrashServer()
+		if err := cl.RestartServer(); err != nil {
+			t.Fatalf("server restart %d: %v", i, err)
+		}
+	}
+	got, err := cl.ReadObject(obj)
+	if err != nil || !bytes.Equal(got, val('2')) {
+		t.Fatalf("after repeated server crashes: %q err=%v", got, err)
+	}
+}
+
+func TestCrashAgainBetweenUpdates(t *testing.T) {
+	// Interleave work and crashes: value progression must always follow
+	// the committed order.
+	cl, ids, cs := seededCluster(t, testConfig(), 1, 1)
+	id := cs[0].ID()
+	obj := page.ObjectID{Page: ids[0], Slot: 2}
+	for round := byte(0); round < 5; round++ {
+		c := cl.Client(id)
+		txn, _ := c.Begin()
+		if err := txn.Overwrite(obj, val('a'+round)); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if round%2 == 0 {
+			cl.CrashClient(id)
+			if _, err := cl.RestartClient(id); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			cl.CrashServer()
+			if err := cl.RestartServer(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c := cl.Client(id)
+	txn, _ := c.Begin()
+	got, err := txn.Read(obj)
+	if err != nil || !bytes.Equal(got, val('a'+4)) {
+		t.Fatalf("final: %q err=%v", got, err)
+	}
+	txn.Commit()
+}
+
+func TestComplexCrashThenClientCrash(t *testing.T) {
+	// §3.5 then §3.3 back to back: a client that just finished complex
+	// crash recovery crashes again on its own.
+	cl, ids, cs := seededCluster(t, testConfig(), 1, 2)
+	a, b := cs[0], cs[1]
+	obj := page.ObjectID{Page: ids[0], Slot: 3}
+	txn, _ := a.Begin()
+	if err := txn.Overwrite(obj, val('X')); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	cl.CrashServer(a.ID())
+	if err := cl.RestartServer(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.RestartClient(a.ID()); err != nil {
+		t.Fatal(err)
+	}
+	cl.CrashClient(a.ID())
+	if _, err := cl.RestartClient(a.ID()); err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := b.Begin()
+	got, err := tb.Read(obj)
+	if err != nil || !bytes.Equal(got, val('X')) {
+		t.Fatalf("after complex+client crash: %q err=%v", got, err)
+	}
+	tb.Commit()
+}

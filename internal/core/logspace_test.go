@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"clientlog/internal/page"
+)
+
+// TestBoundedLogTwoClientsWithCallbacks drives two clients over a tiny
+// private log so that callback log records, checkpoints and the §3.6
+// force-page protocol all contend for log space.
+func TestBoundedLogTwoClientsWithCallbacks(t *testing.T) {
+	cfg := testConfig()
+	cfg.ClientLogCapacity = 8 * 1024
+	cl := NewCluster(cfg)
+	ids, err := cl.SeedPages(8, 16, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := cl.AddClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cl.AddClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alternate ownership of the same objects so callbacks (and their
+	// log records) flow constantly while the log wraps.
+	for round := 0; round < 120; round++ {
+		c := a
+		if round%2 == 1 {
+			c = b
+		}
+		txn, _ := c.Begin()
+		for op := 0; op < 4; op++ {
+			obj := page.ObjectID{Page: ids[(round+op)%len(ids)], Slot: uint16(op)}
+			if err := txn.Overwrite(obj, make([]byte, 32)); err != nil {
+				t.Fatalf("round %d: %v", round, err)
+			}
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatalf("round %d commit: %v", round, err)
+		}
+		if round%30 == 29 {
+			if err := c.Checkpoint(); err != nil {
+				t.Fatalf("round %d checkpoint: %v", round, err)
+			}
+		}
+	}
+	if a.Metrics.ForceRequests.Load()+b.Metrics.ForceRequests.Load() == 0 {
+		t.Fatal("bounded logs never triggered §3.6 forces")
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"clientlog/internal/msg"
+	"clientlog/internal/page"
+	"clientlog/internal/wal"
+)
+
+// latestBelow returns, per slot, the after-image of the client's latest
+// full-overwrite action (update or compensation) whose pre-update PSN
+// is below limit.
+func latestBelow(t *testing.T, c *Client, pid page.ID, limit page.PSN) map[uint16][]byte {
+	t.Helper()
+	best := make(map[uint16][]byte)
+	bestPSN := make(map[uint16]page.PSN)
+	consider := func(slot uint16, psn page.PSN, after []byte) {
+		if psn < limit && psn >= bestPSN[slot] {
+			bestPSN[slot] = psn
+			best[slot] = after
+		}
+	}
+	sc := c.Log().Scan(c.Log().Horizon())
+	for sc.Next() {
+		switch u := sc.Record().(type) {
+		case *wal.Update:
+			if u.Page == pid && u.Op == wal.OpOverwrite {
+				consider(u.Slot, u.PSN, u.After)
+			}
+		case *wal.CLR:
+			if u.Page == pid && u.Op == wal.OpOverwrite {
+				consider(u.Slot, u.PSN, u.After)
+			}
+		}
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	return best
+}
+
+func TestProperty1ServerCopyReflectsUpdatesBelowDCTPSN(t *testing.T) {
+	// Property 1 (§3.1): updates in a client log record with PSN below
+	// the PSN the server remembers for (page, client) are reflected on
+	// the server's copy.
+	cl, ids, cs := seededCluster(t, testConfig(), 1, 1)
+	a := cs[0]
+	pid := ids[0]
+	for round := 0; round < 6; round++ {
+		txn, _ := a.Begin()
+		for slot := uint16(0); slot < 4; slot++ {
+			if err := txn.Overwrite(page.ObjectID{Page: pid, Slot: slot}, val(byte('a'+round))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if round == 3 {
+			if err := a.ReplacePage(pid); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Force the latest state across (but keep further updates pending).
+	if err := a.ReplacePage(pid); err != nil {
+		t.Fatal(err)
+	}
+	dctPSN, ok := cl.Server().DCTPSN(pid, a.ID())
+	if !ok {
+		t.Fatal("no DCT entry after ship")
+	}
+	// Fetch the server's copy and compare against the log's assertion.
+	serverCopy := func() *page.Page {
+		p := new(page.Page)
+		reply, err := cl.Server().Fetch(msg.FetchReq{Page: pid})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.UnmarshalBinary(reply.Image); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}()
+	for slot, want := range latestBelow(t, a, pid, dctPSN) {
+		got, ok := serverCopy.Read(slot)
+		if !ok || !bytes.Equal(got, want) {
+			t.Fatalf("Property 1 violated at slot %d: server %q, log says %q", slot, got, want)
+		}
+	}
+}
+
+func TestProperty2ReplacementRecordDescribesDiskState(t *testing.T) {
+	// Property 2 (§3.1): when the disk PSN of a page equals the PSN in
+	// a replacement log record, that record's per-client PSNs determine
+	// exactly which client updates the disk copy holds.
+	cl, ids, cs := seededCluster(t, testConfig(), 1, 2)
+	a, b := cs[0], cs[1]
+	pid := ids[0]
+	// Interleave updates by two clients on different objects with
+	// multiple forces.
+	for round := 0; round < 4; round++ {
+		ta, _ := a.Begin()
+		if err := ta.Overwrite(page.ObjectID{Page: pid, Slot: 0}, val(byte('a'+round))); err != nil {
+			t.Fatal(err)
+		}
+		if err := ta.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		tb, _ := b.Begin()
+		if err := tb.Overwrite(page.ObjectID{Page: pid, Slot: 1}, val(byte('A'+round))); err != nil {
+			t.Fatal(err)
+		}
+		if err := tb.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.ReplacePage(pid); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.ReplacePage(pid); err != nil {
+			t.Fatal(err)
+		}
+		if err := cl.Server().FlushAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Read the disk copy directly.
+	disk, err := cl.Server().Store().Read(pid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the replacement record whose PSN matches the disk PSN.
+	var match *wal.Replacement
+	sc := cl.Server().Log().Scan(cl.Server().Log().Horizon())
+	for sc.Next() {
+		if rep, ok := sc.Record().(*wal.Replacement); ok && rep.Page == pid && rep.PagePSN == disk.PSN() {
+			match = rep
+		}
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	if match == nil {
+		t.Fatalf("no replacement record matches disk PSN %d", disk.PSN())
+	}
+	clients := map[byte]*Client{0: a, 1: b}
+	for _, ent := range match.Entries {
+		var c *Client
+		for _, cc := range clients {
+			if cc.ID() == ent.Client {
+				c = cc
+			}
+		}
+		if c == nil {
+			continue
+		}
+		for slot, want := range latestBelow(t, c, pid, ent.PSN) {
+			got, ok := disk.Read(slot)
+			if !ok || !bytes.Equal(got, want) {
+				t.Fatalf("Property 2 violated: disk slot %d = %q, client %v log says %q (limit %d)",
+					slot, got, c.ID(), want, ent.PSN)
+			}
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"clientlog/internal/page"
+)
+
+// TestStaleFlushAckDoesNotDropDPTEntry is the deterministic regression
+// for the torture-sweep finding (DESIGN.md note 8): an acknowledgment
+// for an older force must not drop a DPT entry covering a newer ship.
+func TestStaleFlushAckDoesNotDropDPTEntry(t *testing.T) {
+	_, ids, cs := seededCluster(t, testConfig(), 1, 1)
+	a := cs[0]
+	pid := ids[0]
+	obj := page.ObjectID{Page: pid, Slot: 0}
+
+	// Ship v1 to the server.
+	t1, _ := a.Begin()
+	if err := t1.Overwrite(obj, val('1')); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ReplacePage(pid); err != nil {
+		t.Fatal(err)
+	}
+	// Update again (v2) and ship again: the latest shipped copy has a
+	// higher PSN.
+	t2, _ := a.Begin()
+	if err := t2.Overwrite(obj, val('2')); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ReplacePage(pid); err != nil {
+		t.Fatal(err)
+	}
+	a.mu.Lock()
+	e := a.dpt[pid]
+	lastShip := e.lastShipPSN
+	a.mu.Unlock()
+	// Deliver a STALE acknowledgment (for a force below the last ship):
+	// the entry must survive.
+	a.NotifyFlushed(pid, lastShip-1)
+	a.mu.Lock()
+	_, stillThere := a.dpt[pid]
+	a.mu.Unlock()
+	if !stillThere {
+		t.Fatal("stale flush ack dropped the DPT entry")
+	}
+	// A covering acknowledgment may drop it (nothing re-dirtied since).
+	a.NotifyFlushed(pid, lastShip)
+	a.mu.Lock()
+	_, stillThere = a.dpt[pid]
+	a.mu.Unlock()
+	if stillThere {
+		t.Fatal("covering flush ack did not drop the DPT entry")
+	}
+}
+
+// TestServerRestartRebuildsDCTForCachedXLocks is the deterministic
+// regression for DESIGN.md note 10: a client whose page was fully
+// flushed before a server crash still holds a (rebuilt) X lock; its
+// post-restart updates under that cached lock must be recoverable after
+// a subsequent client crash.
+func TestServerRestartRebuildsDCTForCachedXLocks(t *testing.T) {
+	cl, ids, cs := seededCluster(t, testConfig(), 1, 2)
+	a, b := cs[0], cs[1]
+	obj := page.ObjectID{Page: ids[0], Slot: 0}
+
+	// A writes, ships, and the server forces: A's DPT entry is dropped
+	// (everything durable) but A retains its cached X lock.
+	t1, _ := a.Begin()
+	if err := t1.Overwrite(obj, val('1')); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.ReplacePage(ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Server().FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	a.mu.Lock()
+	_, hasEntry := a.dpt[ids[0]]
+	a.mu.Unlock()
+	if hasEntry {
+		t.Fatal("setup: DPT entry not dropped after flush")
+	}
+	// Server crashes and restarts; A's locks are rebuilt from its LLM.
+	cl.CrashServer()
+	if err := cl.RestartServer(); err != nil {
+		t.Fatal(err)
+	}
+	// A updates under the rebuilt cached lock (no Lock RPC, so no
+	// first-X DCT insertion happens) and commits; then A crashes.
+	t2, _ := a.Begin()
+	if err := t2.Overwrite(obj, val('2')); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	cl.CrashClient(a.ID())
+	if _, err := cl.RestartClient(a.ID()); err != nil {
+		t.Fatal(err)
+	}
+	// The committed post-restart update must have been recovered.
+	tb, _ := b.Begin()
+	got, err := tb.Read(obj)
+	if err != nil || !bytes.Equal(got, val('2')) {
+		t.Fatalf("post-restart update lost: %q err=%v", got, err)
+	}
+	tb.Commit()
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"clientlog/internal/page"
+)
+
+func TestDisklessClientCommitAndRecovery(t *testing.T) {
+	cfg := testConfig()
+	cl := NewCluster(cfg)
+	ids, err := cl.SeedPages(2, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cl.AddDisklessClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := page.ObjectID{Page: ids[0], Slot: 0}
+	txn, _ := c.Begin()
+	if err := txn.Overwrite(obj, val('R')); err != nil {
+		t.Fatal(err)
+	}
+	msgsBefore := cl.Stats.Messages()
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Unlike the local-disk design, a diskless commit necessarily talks
+	// to the server (the log force is a round trip).
+	if cl.Stats.Messages() == msgsBefore {
+		t.Fatal("diskless commit sent no messages; the remote log is not being used")
+	}
+	// Crash the client: its cache is gone but the committed record sits
+	// in the server-hosted private log, so §3.3 recovery still works.
+	cl.CrashClient(c.ID())
+	rec, err := cl.RestartClient(c.ID())
+	if err != nil {
+		t.Fatalf("diskless restart: %v", err)
+	}
+	txn2, _ := rec.Begin()
+	got, err := txn2.Read(obj)
+	if err != nil || !bytes.Equal(got, val('R')) {
+		t.Fatalf("after diskless recovery: %q err=%v", got, err)
+	}
+	txn2.Commit()
+}
+
+func TestDisklessClientServerCrash(t *testing.T) {
+	// The hosted log's durable prefix must survive a server crash; the
+	// client's committed update is recoverable afterwards.
+	cfg := testConfig()
+	cl := NewCluster(cfg)
+	ids, err := cl.SeedPages(1, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cl.AddDisklessClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := page.ObjectID{Page: ids[0], Slot: 2}
+	txn, _ := c.Begin()
+	if err := txn.Overwrite(obj, val('H')); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// The page's only fresh copy lives in the client cache; the log's
+	// only copy lives (durably) at the server.  Crash both ends of the
+	// durability story at once: server down, then client down.
+	cl.CrashServer(c.ID())
+	if err := cl.RestartServer(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.RestartClient(c.ID()); err != nil {
+		t.Fatalf("diskless complex restart: %v", err)
+	}
+	got, err := cl.ReadObject(obj)
+	if err != nil || !bytes.Equal(got, val('H')) {
+		t.Fatalf("diskless complex crash lost committed data: %q err=%v", got, err)
+	}
+}
+
+func TestDisklessAndLocalClientsInterleave(t *testing.T) {
+	cfg := testConfig()
+	cl := NewCluster(cfg)
+	ids, err := cl.SeedPages(1, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := cl.AddClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	diskless, err := cl.AddDisklessClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1 := page.ObjectID{Page: ids[0], Slot: 0}
+	o2 := page.ObjectID{Page: ids[0], Slot: 1}
+	t1, _ := local.Begin()
+	if err := t1.Overwrite(o1, val('L')); err != nil {
+		t.Fatal(err)
+	}
+	if err := t1.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	t2, _ := diskless.Begin()
+	if err := t2.Overwrite(o2, val('D')); err != nil {
+		t.Fatal(err)
+	}
+	if err := t2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Cross-reads pull both copies together via callbacks + merge.
+	t3, _ := local.Begin()
+	got, err := t3.Read(o2)
+	if err != nil || !bytes.Equal(got, val('D')) {
+		t.Fatalf("local reads diskless update: %q err=%v", got, err)
+	}
+	t3.Commit()
+	t4, _ := diskless.Begin()
+	got, err = t4.Read(o1)
+	if err != nil || !bytes.Equal(got, val('L')) {
+		t.Fatalf("diskless reads local update: %q err=%v", got, err)
+	}
+	t4.Commit()
+}

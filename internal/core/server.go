@@ -1,0 +1,932 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clientlog/internal/buffer"
+	"clientlog/internal/ident"
+	"clientlog/internal/lock"
+	"clientlog/internal/msg"
+	"clientlog/internal/page"
+	"clientlog/internal/storage"
+	"clientlog/internal/trace"
+	"clientlog/internal/wal"
+)
+
+// ServerMetrics counts server-side protocol events for the experiments.
+type ServerMetrics struct {
+	Merges         atomic.Uint64 // page-copy merges performed (§2)
+	PageForces     atomic.Uint64 // pages written in place to disk
+	Replacements   atomic.Uint64 // replacement log records written (§3.1)
+	TokenTransfers atomic.Uint64 // update-token migrations (baseline)
+	CallbacksSent  atomic.Uint64 // object callbacks issued
+	Deescalations  atomic.Uint64 // page de-escalation callbacks issued
+}
+
+// dctKey identifies a DCT entry: one (page, client) pair.
+type dctKey struct {
+	pg page.ID
+	c  ident.ClientID
+}
+
+// dctEntry is one dirty-client-table row (§3.2): the PSN the page had
+// the last time it was received from the client (or at the first
+// exclusive grant), and the LSN of the first replacement log record
+// written for the page after the entry appeared.
+type dctEntry struct {
+	psn     page.PSN
+	redoLSN wal.LSN
+}
+
+// Server is the page server: stable storage, the server buffer pool,
+// the global lock manager, the server log (replacement records and
+// checkpoints) and the DCT.  It implements msg.Server.
+type Server struct {
+	cfg   Config
+	glm   *lock.GLM
+	store storage.Store
+	slog  *wal.Log
+	pool  *buffer.Pool
+
+	mu         sync.Mutex
+	dct        map[dctKey]*dctEntry
+	clients    map[ident.ClientID]msg.Client
+	nextClient uint32
+	// shippedBy tracks, per page, the clients that replaced the page to
+	// the server since the last force; they get a flush notification so
+	// their DPT/log-space bookkeeping advances (§3.2, §3.6).
+	shippedBy map[page.ID]map[ident.ClientID]bool
+	// tokens maps pages to their update-token owner (baseline mode).
+	tokens map[page.ID]ident.ClientID
+	// pendingOrigins collects, per requesting client, the callback
+	// origins its next Lock reply must carry so it can write callback
+	// log records (§3.1).
+	pendingOrigins map[ident.ClientID][]msg.CallbackOrigin
+	// inflight dedupes concurrent identical callbacks.
+	inflight map[inflightKey]bool
+	// remoteLogs hosts diskless clients' private logs (Section 2).
+	remoteLogs *RemoteLogHost
+	// inflightWait holds Lock requests blocked behind in-flight
+	// callback applications (see waitInflightClear).
+	inflightWait []chan struct{}
+	// complexPending counts clients that crashed together with the
+	// server and have not finished §3.5 recovery.  While it is nonzero,
+	// new GLM grants wait: the rebuilt lock tables cannot contain the
+	// crashed clients' exclusive locks (lock tables are volatile, paper
+	// claim 7), so granting in that window could hand out pages whose
+	// freshest state is still being recovered.
+	complexPending map[ident.ClientID]bool
+	complexWait    []chan struct{}
+	// recovering marks (page, client) pairs with an in-flight §3.4 page
+	// recovery; recovered marks completed ones.  RecoveryFetch consults
+	// both: a pair that was never recovering has all its durable state
+	// in the server's copy already.
+	recovering    map[dctKey]bool
+	recovered     map[dctKey]bool
+	recWaiter     []chan struct{}
+	notifyPending []pendingNotify
+	restart       *restartInfo
+	stopped       bool
+
+	Metrics ServerMetrics
+	tracer  trace.Recorder
+}
+
+// SetTracer installs a protocol-event recorder (default: discard).
+// Install it before the server starts handling requests.
+func (s *Server) SetTracer(r trace.Recorder) {
+	if r == nil {
+		r = trace.Nop{}
+	}
+	s.tracer = r
+}
+
+type inflightKey struct {
+	holder ident.ClientID
+	name   lock.Name
+	wanted lock.Mode
+	deesc  bool
+}
+
+// NewServer builds a server engine over existing stable storage and a
+// server log (both survive crashes; a restart constructs a fresh Server
+// over the same store and log and then runs RecoverServer).
+func NewServer(cfg Config, store storage.Store, logStore wal.Store) *Server {
+	s := &Server{
+		cfg:            cfg,
+		store:          store,
+		slog:           wal.NewLog(logStore),
+		pool:           buffer.New(cfg.ServerPool),
+		dct:            make(map[dctKey]*dctEntry),
+		clients:        make(map[ident.ClientID]msg.Client),
+		shippedBy:      make(map[page.ID]map[ident.ClientID]bool),
+		tokens:         make(map[page.ID]ident.ClientID),
+		pendingOrigins: make(map[ident.ClientID][]msg.CallbackOrigin),
+		inflight:       make(map[inflightKey]bool),
+		complexPending: make(map[ident.ClientID]bool),
+		recovering:     make(map[dctKey]bool),
+		recovered:      make(map[dctKey]bool),
+	}
+	s.glm = lock.NewGLM(nil, cfg.LockTimeout)
+	s.glm.SetCallbacker(serverCallbacker{s})
+	s.tracer = trace.Nop{}
+	return s
+}
+
+// GLM exposes the global lock manager (tests and recovery use it).
+func (s *Server) GLM() *lock.GLM { return s.glm }
+
+// Log exposes the server log (experiments read its byte counters).
+func (s *Server) Log() *wal.Log { return s.slog }
+
+// Store exposes stable storage (experiments read its I/O counters).
+func (s *Server) Store() storage.Store { return s.store }
+
+// Attach connects a client conn under the given id; the transport layer
+// calls it right after Register.
+func (s *Server) Attach(id ident.ClientID, conn msg.Client) {
+	s.mu.Lock()
+	s.clients[id] = conn
+	if uint32(id) >= s.nextClient {
+		s.nextClient = uint32(id)
+	}
+	s.mu.Unlock()
+}
+
+// conn returns the transport handle for a client.
+func (s *Server) conn(id ident.ClientID) msg.Client {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clients[id]
+}
+
+// Register implements msg.Server.
+func (s *Server) Register(req msg.RegisterReq) (msg.RegisterReply, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if req.Recover {
+		// §3.3: a crashed client reconnects; the server hands it the
+		// exclusive locks it retained and the DCT rows that bound the
+		// set of pages needing recovery.
+		reply := msg.RegisterReply{ID: req.ID, PageSize: s.store.PageSize()}
+		for _, h := range s.glm.HeldBy(req.ID) {
+			if h.Mode == lock.X {
+				reply.HeldX = append(reply.HeldX, h)
+			}
+		}
+		return reply, nil
+	}
+	s.nextClient++
+	return msg.RegisterReply{ID: ident.ClientID(s.nextClient), PageSize: s.store.PageSize()}, nil
+}
+
+// Lock implements msg.Server: the GLM acquisition, DCT insertion on
+// first exclusive grant (§3.2), and delivery of callback origins.
+func (s *Server) Lock(req msg.LockReq) (msg.LockReply, error) {
+	// Hold new grants while clients that crashed together with the
+	// server are still recovering (§3.5): the rebuilt GLM cannot know
+	// their exclusive locks, so granting now could expose state their
+	// recovery is about to supersede.
+	s.waitComplexRecovered(req.Client)
+	// Barrier against the callback-application race: if a callback
+	// response from this client is still being applied to the GLM, a
+	// fresh (non-upgrade) grant for the same resource could be clobbered
+	// by the in-flight release.  Wait for the application to finish.
+	if !req.Upgrade {
+		s.waitInflightClear(req.Client, req.Name)
+	}
+	grant, err := s.glm.Acquire(lock.Request{
+		Client:     req.Client,
+		Name:       req.Name,
+		Mode:       req.Mode,
+		PreferPage: req.PreferPage,
+		Upgrade:    req.Upgrade,
+	})
+	if err != nil {
+		return msg.LockReply{}, err
+	}
+	s.mu.Lock()
+	if grant.FirstX {
+		key := dctKey{pg: grant.Name.Page, c: req.Client}
+		if _, ok := s.dct[key]; !ok {
+			psn := page.PSN(0)
+			if req.HasCached {
+				psn = req.CachedPSN
+			} else {
+				psn = s.currentPSNLocked(grant.Name.Page)
+			}
+			s.dct[key] = &dctEntry{psn: psn, redoLSN: wal.NilLSN}
+		}
+		delete(s.recovered, dctKey{pg: grant.Name.Page, c: req.Client})
+	}
+	origins := s.pendingOrigins[req.Client]
+	delete(s.pendingOrigins, req.Client)
+	s.mu.Unlock()
+	s.tracer.Record(trace.LockGrant, req.Client, grant.Name.Page,
+		fmt.Sprintf("grant %v %v", grant.Name, grant.Mode))
+	return msg.LockReply{Name: grant.Name, Mode: grant.Mode, Origins: origins}, nil
+}
+
+// currentPSNLocked returns the PSN of the server's current copy of the
+// page, reading it from disk into the pool if necessary.  Called with
+// s.mu held.
+func (s *Server) currentPSNLocked(pid page.ID) page.PSN {
+	if p, ok := s.pool.Get(pid); ok {
+		return p.PSN()
+	}
+	p, err := s.store.Read(pid)
+	if err != nil {
+		return 0
+	}
+	s.pool.Put(p, false)
+	return p.PSN()
+}
+
+// Unlock implements msg.Server.
+func (s *Server) Unlock(req msg.UnlockReq) error {
+	switch req.Action {
+	case msg.ActionRelease:
+		s.glm.Release(req.Client, req.Name)
+	case msg.ActionDowngrade:
+		s.glm.Downgrade(req.Client, req.Name)
+	case msg.ActionDeescalate:
+		s.glm.Deescalate(req.Client, req.Name.Page, req.Objs)
+	default:
+		return fmt.Errorf("core: unknown unlock action %d", req.Action)
+	}
+	return nil
+}
+
+// Fetch implements msg.Server: it returns the server's current copy and
+// the DCT PSN for this client (§3.2: sent along with every page; the
+// client ignores it during normal processing and installs it during
+// restart recovery).
+func (s *Server) Fetch(req msg.FetchReq) (msg.FetchReply, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fetchLocked(req.Client, req.Page)
+}
+
+func (s *Server) fetchLocked(c ident.ClientID, pid page.ID) (msg.FetchReply, error) {
+	p, ok := s.pool.Get(pid)
+	if !ok {
+		read, err := s.store.Read(pid)
+		if err != nil {
+			return msg.FetchReply{}, err
+		}
+		s.pool.Put(read, false)
+		p = read
+		s.evictLocked()
+	}
+	img, err := p.MarshalBinary()
+	if err != nil {
+		return msg.FetchReply{}, err
+	}
+	var psn page.PSN
+	if e, ok := s.dct[dctKey{pg: pid, c: c}]; ok {
+		psn = e.psn
+	}
+	return msg.FetchReply{Image: img, DCTPSN: psn}, nil
+}
+
+// Ship implements msg.Server: the §2 merge procedure plus DCT and
+// flush-notification bookkeeping.
+func (s *Server) Ship(req msg.ShipReq) error {
+	incoming := new(page.Page)
+	if err := incoming.UnmarshalBinary(req.Image); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	err := s.receiveLocked(req.Client, incoming, req.Reason)
+	s.evictLocked()
+	s.enforceDirtyLimitLocked()
+	notify := s.drainNotifyLocked()
+	s.mu.Unlock()
+	sendNotifications(notify)
+	return err
+}
+
+// enforceDirtyLimitLocked plays background disk writer: while the pool
+// holds more dirty pages than the configured limit, the oldest dirty
+// pages are forced to disk.  Called with s.mu held.
+func (s *Server) enforceDirtyLimitLocked() {
+	if s.cfg.ServerDirtyLimit <= 0 {
+		return
+	}
+	dirty := s.pool.DirtyIDs()
+	for len(dirty) > s.cfg.ServerDirtyLimit {
+		pid := dirty[0]
+		dirty = dirty[1:]
+		if _, err := s.forcePageLocked(pid); err != nil {
+			return
+		}
+	}
+}
+
+// receiveLocked merges a page received from a client into the pool and
+// updates the DCT entry for (page, client) with the PSN present on the
+// received copy (§3.1, §3.2).  Called with s.mu held.
+func (s *Server) receiveLocked(c ident.ClientID, incoming *page.Page, reason msg.ShipReason) error {
+	pid := incoming.ID()
+	key := dctKey{pg: pid, c: c}
+	if e, ok := s.dct[key]; ok {
+		if incoming.PSN() > e.psn {
+			e.psn = incoming.PSN()
+		}
+	} else {
+		s.dct[key] = &dctEntry{psn: incoming.PSN(), redoLSN: wal.NilLSN}
+	}
+	s.tracer.Record(trace.PageShip, c, pid, fmt.Sprintf("reason=%d psn=%d", reason, incoming.PSN()))
+	cur, ok := s.pool.Get(pid)
+	if !ok {
+		// §2: read the disk version first, then merge.
+		read, err := s.store.Read(pid)
+		if err != nil {
+			return err
+		}
+		cur = read
+	}
+	merged := page.Merge(cur, incoming)
+	s.Metrics.Merges.Add(1)
+	s.tracer.Record(trace.PageMerge, c, pid, fmt.Sprintf("psn=%d", merged.PSN()))
+	s.pool.Put(merged, true)
+	if reason == msg.ShipReplace {
+		set := s.shippedBy[pid]
+		if set == nil {
+			set = make(map[ident.ClientID]bool)
+			s.shippedBy[pid] = set
+		}
+		set[c] = true
+	}
+	if reason == msg.ShipRecovery {
+		s.markRecoveredLocked(pid, c)
+	}
+	s.wakeRecoveryWaitersLocked()
+	return nil
+}
+
+// pendingNotify pairs a client conn with the page id and forced PSN it
+// must be told about.
+type pendingNotify struct {
+	conn msg.Client
+	pid  page.ID
+	psn  page.PSN
+}
+
+// evictLocked brings the pool back under capacity, forcing dirty
+// victims to disk (steal policy).  Called with s.mu held; the returned
+// notifications are queued on s.notifyQueue by forcePageLocked.
+func (s *Server) evictLocked() {
+	for s.pool.NeedsEviction() {
+		victim, dirty, err := s.pool.EvictVictim()
+		if err != nil {
+			return // everything pinned; let the pool run over capacity
+		}
+		if dirty {
+			s.forceImageLocked(victim)
+		}
+	}
+}
+
+// forcePageLocked forces the current copy of pid to disk.  Called with
+// s.mu held.
+func (s *Server) forcePageLocked(pid page.ID) (page.PSN, error) {
+	p, ok := s.pool.Get(pid)
+	if !ok {
+		// Nothing cached: the disk version is current.
+		psn := s.currentPSNLocked(pid)
+		s.queueNotifyLocked(pid, psn)
+		return psn, nil
+	}
+	if !s.pool.IsDirty(pid) {
+		s.queueNotifyLocked(pid, p.PSN())
+		return p.PSN(), nil
+	}
+	if err := s.forceImageLocked(p); err != nil {
+		return 0, err
+	}
+	s.pool.Clean(pid)
+	return p.PSN(), nil
+}
+
+// forceImageLocked writes the replacement log record (§3.1) and then
+// the page in place.  Called with s.mu held.
+func (s *Server) forceImageLocked(p *page.Page) error {
+	pid := p.ID()
+	rec := &wal.Replacement{Page: pid, PagePSN: p.PSN()}
+	for k, e := range s.dct {
+		if k.pg == pid {
+			rec.Entries = append(rec.Entries, wal.ReplEntry{Client: k.c, PSN: e.psn})
+		}
+	}
+	lsn, err := s.slog.AppendAndForce(rec)
+	if err != nil {
+		return err
+	}
+	s.Metrics.Replacements.Add(1)
+	s.tracer.Record(trace.Replacement, 0, pid, fmt.Sprintf("psn=%d entries=%d", p.PSN(), len(rec.Entries)))
+	if err := s.store.Write(p); err != nil {
+		return err
+	}
+	s.Metrics.PageForces.Add(1)
+	s.tracer.Record(trace.PageForce, 0, pid, "")
+	// §3.2 assigns the first replacement record's LSN to a NULL RedoLSN;
+	// we additionally advance it on every force.  Property 2 only ever
+	// needs the replacement record whose PSN matches the page's disk PSN
+	// — the most recent force — so earlier records for this page are
+	// obsolete and keeping RedoLSN at the newest one lets the server
+	// checkpoint reclaim its log (the server-side analog of §3.6).
+	// Entries whose client holds no exclusive locks on the page are
+	// dropped now that the page is on disk.
+	for k, e := range s.dct {
+		if k.pg != pid {
+			continue
+		}
+		e.redoLSN = lsn
+		if !s.glm.HoldsAnyX(k.c, pid) {
+			delete(s.dct, k)
+		}
+	}
+	s.queueNotifyLocked(pid, p.PSN())
+	return nil
+}
+
+// notifications pending while s.mu is held.
+func (s *Server) queueNotifyLocked(pid page.ID, psn page.PSN) {
+	set := s.shippedBy[pid]
+	if len(set) == 0 {
+		return
+	}
+	delete(s.shippedBy, pid)
+	for c := range set {
+		if conn := s.clients[c]; conn != nil {
+			s.notifyPending = append(s.notifyPending, pendingNotify{conn: conn, pid: pid, psn: psn})
+		}
+	}
+}
+
+func (s *Server) drainNotifyLocked() []pendingNotify {
+	out := s.notifyPending
+	s.notifyPending = nil
+	return out
+}
+
+func sendNotifications(notify []pendingNotify) {
+	for _, n := range notify {
+		n.conn.NotifyFlushed(n.pid, n.psn)
+	}
+}
+
+// Force implements msg.Server: §3.6 — a client out of log space asks
+// the server to force a page so its min RedoLSN can advance.  The reply
+// carries the forced copy's PSN so the caller knows which of its ships
+// the force covered.
+func (s *Server) Force(req msg.ForceReq) (msg.ForceReply, error) {
+	s.mu.Lock()
+	psn, err := s.forcePageLocked(req.Page)
+	notify := s.drainNotifyLocked()
+	s.mu.Unlock()
+	sendNotifications(notify)
+	return msg.ForceReply{PSN: psn}, err
+}
+
+// Alloc implements msg.Server: allocates a page, grants the client an
+// exclusive page lock on it, and inserts the DCT entry (first X grant).
+func (s *Server) Alloc(req msg.AllocReq) (msg.FetchReply, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p, err := s.store.Allocate()
+	if err != nil {
+		return msg.FetchReply{}, err
+	}
+	s.pool.Put(p, false)
+	s.evictLocked()
+	s.glm.Install(req.Client, lock.PageName(p.ID()), lock.X)
+	s.dct[dctKey{pg: p.ID(), c: req.Client}] = &dctEntry{psn: p.PSN(), redoLSN: wal.NilLSN}
+	img, err := p.MarshalBinary()
+	if err != nil {
+		return msg.FetchReply{}, err
+	}
+	return msg.FetchReply{Image: img, DCTPSN: p.PSN()}, nil
+}
+
+// Free implements msg.Server.  Before deallocating, the page's PSN on
+// disk is raised to the highest PSN the server knows about (pool copy,
+// DCT entries, the client-supplied view), so the Mohan-Narang seed of a
+// future reincarnation stays above every log record ever written for
+// the dead incarnation.
+func (s *Server) Free(req msg.FreeReq) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	best := s.currentPSNLocked(req.Page)
+	for k, e := range s.dct {
+		if k.pg == req.Page && e.psn > best {
+			best = e.psn
+		}
+	}
+	if p, ok := s.pool.Get(req.Page); ok {
+		if p.PSN() < best {
+			p.SetPSN(best)
+		}
+		if err := s.store.Write(p); err != nil {
+			return err
+		}
+	} else if disk, err := s.store.Read(req.Page); err == nil && disk.PSN() < best {
+		disk.SetPSN(best)
+		if err := s.store.Write(disk); err != nil {
+			return err
+		}
+	}
+	s.pool.Drop(req.Page)
+	for k := range s.dct {
+		if k.pg == req.Page {
+			delete(s.dct, k)
+		}
+	}
+	delete(s.shippedBy, req.Page)
+	delete(s.tokens, req.Page)
+	return s.store.Free(req.Page)
+}
+
+// CommitShip implements msg.Server (ARIES/CSA- and Versant-style
+// baselines): the shipped log records are appended to the server log
+// and forced; shipped pages are merged.
+func (s *Server) CommitShip(req msg.CommitShipReq) error {
+	for _, raw := range req.Records {
+		if _, err := s.slog.AppendEncoded(raw); err != nil {
+			return err
+		}
+	}
+	if err := s.slog.ForceAll(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, img := range req.Pages {
+		p := new(page.Page)
+		if err := p.UnmarshalBinary(img); err != nil {
+			return err
+		}
+		if err := s.receiveLocked(req.Client, p, msg.ShipCommit); err != nil {
+			return err
+		}
+	}
+	s.evictLocked()
+	return nil
+}
+
+// Token implements msg.Server (update-privilege baseline): the token
+// migrates to the requester; the page travels with it, recalled from
+// the previous owner if necessary.
+func (s *Server) Token(req msg.TokenReq) (msg.TokenReply, error) {
+	s.mu.Lock()
+	owner, owned := s.tokens[req.Page]
+	s.mu.Unlock()
+	if owned && owner != req.Client {
+		conn := s.conn(owner)
+		if conn != nil {
+			reply, err := conn.RecallToken(req.Page)
+			if err != nil {
+				return msg.TokenReply{}, err
+			}
+			if len(reply.Image) > 0 {
+				p := new(page.Page)
+				if err := p.UnmarshalBinary(reply.Image); err != nil {
+					return msg.TokenReply{}, err
+				}
+				s.mu.Lock()
+				if err := s.receiveLocked(owner, p, msg.ShipCallback); err != nil {
+					s.mu.Unlock()
+					return msg.TokenReply{}, err
+				}
+				s.mu.Unlock()
+			}
+		}
+		s.Metrics.TokenTransfers.Add(1)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tokens[req.Page] = req.Client
+	reply, err := s.fetchLocked(req.Client, req.Page)
+	if err != nil {
+		return msg.TokenReply{}, err
+	}
+	return msg.TokenReply{Image: reply.Image}, nil
+}
+
+// RecoverEnd implements msg.Server: the client finished §3.3 restart
+// recovery.
+func (s *Server) RecoverEnd(c ident.ClientID) error {
+	s.glm.ClientRecovered(c)
+	s.mu.Lock()
+	if s.complexPending[c] {
+		delete(s.complexPending, c)
+		for _, ch := range s.complexWait {
+			close(ch)
+		}
+		s.complexWait = nil
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// waitComplexRecovered blocks new grants until every client that
+// crashed with the server has recovered (or the configured lock
+// timeout passes — an operator who never restarts a crashed client
+// must SurrogateRecover it instead).  Recovering clients themselves
+// are not blocked.
+func (s *Server) waitComplexRecovered(requester ident.ClientID) {
+	deadline := time.Now().Add(s.cfg.LockTimeout)
+	s.mu.Lock()
+	for {
+		if len(s.complexPending) == 0 || s.complexPending[requester] {
+			s.mu.Unlock()
+			return
+		}
+		ch := make(chan struct{})
+		s.complexWait = append(s.complexWait, ch)
+		s.mu.Unlock()
+		select {
+		case <-ch:
+		case <-time.After(time.Until(deadline)):
+			return
+		}
+		s.mu.Lock()
+	}
+}
+
+// Disconnect implements msg.Server: a cleanly departing client (it must
+// have shipped its dirty pages first) gives up all its locks.
+func (s *Server) Disconnect(c ident.ClientID) error {
+	s.glm.ReleaseAll(c)
+	s.mu.Lock()
+	delete(s.clients, c)
+	delete(s.pendingOrigins, c)
+	s.mu.Unlock()
+	return nil
+}
+
+// ClientCrashed implements the §3.3 server-side reaction: shared locks
+// of the crashed client are released, exclusive locks retained, and
+// callbacks against them queued until the client recovers.
+func (s *Server) ClientCrashed(c ident.ClientID) {
+	s.glm.ClientCrashed(c)
+}
+
+// Checkpoint writes a server checkpoint record carrying the DCT (§3.2)
+// and then reclaims the server-log prefix that restart recovery can no
+// longer need: everything below the minimum RedoLSN in the DCT (the
+// §3.4 scan never starts earlier) and below the checkpoint itself.
+func (s *Server) Checkpoint() error {
+	s.mu.Lock()
+	rec := &wal.ServerCheckpoint{}
+	for k, e := range s.dct {
+		rec.DCT = append(rec.DCT, wal.DCTEntry{Page: k.pg, Client: k.c, PSN: e.psn, RedoLSN: e.redoLSN})
+	}
+	s.mu.Unlock()
+	lsn, err := s.slog.AppendAndForce(rec)
+	if err != nil {
+		return err
+	}
+	horizon := lsn
+	s.mu.Lock()
+	for _, e := range s.dct {
+		if e.redoLSN != wal.NilLSN && e.redoLSN < horizon {
+			horizon = e.redoLSN
+		}
+	}
+	s.mu.Unlock()
+	return s.slog.Reclaim(horizon)
+}
+
+// FlushAll forces every dirty page to disk (used by orderly shutdown
+// and by tests that want a clean disk state).
+func (s *Server) FlushAll() error {
+	s.mu.Lock()
+	dirty := s.pool.DirtyIDs()
+	for _, pid := range dirty {
+		if _, err := s.forcePageLocked(pid); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
+	notify := s.drainNotifyLocked()
+	s.mu.Unlock()
+	sendNotifications(notify)
+	return nil
+}
+
+// Crash simulates a server crash: the pool, DCT, GLM and token table
+// evaporate; stable storage and the server log (its durable prefix)
+// survive.  The cluster then constructs a fresh Server over the same
+// store/log and runs RecoverServer.
+func (s *Server) Crash() {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+	s.glm.Stop()
+	if ms, ok := s.slog.Store().(*wal.MemStore); ok {
+		ms.Crash()
+	}
+	s.pool.Clear()
+}
+
+// DCTSnapshot returns a copy of the DCT (tests assert Properties 1-2
+// against it).
+func (s *Server) DCTSnapshot() map[dctKey]dctEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[dctKey]dctEntry, len(s.dct))
+	for k, e := range s.dct {
+		out[k] = *e
+	}
+	return out
+}
+
+// DCTPSN returns the DCT PSN for (page, client) and whether the entry
+// exists.
+func (s *Server) DCTPSN(pid page.ID, c ident.ClientID) (page.PSN, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.dct[dctKey{pg: pid, c: c}]
+	if !ok {
+		return 0, false
+	}
+	return e.psn, true
+}
+
+// serverCallbacker implements lock.Callbacker: it runs the callback
+// conversation with the holding client and applies the outcome to the
+// GLM and the DCT.
+type serverCallbacker struct{ s *Server }
+
+// CallbackObject implements lock.Callbacker.
+func (cb serverCallbacker) CallbackObject(holder, requester ident.ClientID, obj lock.Name, wanted lock.Mode) {
+	go cb.s.runObjectCallback(holder, requester, obj, wanted)
+}
+
+// DeescalatePage implements lock.Callbacker.
+func (cb serverCallbacker) DeescalatePage(holder, requester ident.ClientID, pg page.ID, wanted lock.Mode) {
+	go cb.s.runDeescalation(holder, requester, pg, wanted)
+}
+
+func (s *Server) beginInflight(k inflightKey) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.inflight[k] {
+		return false
+	}
+	s.inflight[k] = true
+	return true
+}
+
+func (s *Server) endInflight(k inflightKey) {
+	s.mu.Lock()
+	delete(s.inflight, k)
+	for _, ch := range s.inflightWait {
+		close(ch)
+	}
+	s.inflightWait = nil
+	s.mu.Unlock()
+}
+
+// inflightTouches reports whether an in-flight callback to client c
+// involves the lock name (exact object, or a page-level callback on
+// its page).
+func inflightTouches(k inflightKey, c ident.ClientID, name lock.Name) bool {
+	if k.holder != c || k.name.Page != name.Page {
+		return false
+	}
+	return k.name == name || k.name.IsPage || name.IsPage
+}
+
+// waitInflightClear blocks until no in-flight callback to the client
+// overlaps the name.
+func (s *Server) waitInflightClear(c ident.ClientID, name lock.Name) {
+	s.mu.Lock()
+	for {
+		blocked := false
+		for k := range s.inflight {
+			if inflightTouches(k, c, name) {
+				blocked = true
+				break
+			}
+		}
+		if !blocked {
+			s.mu.Unlock()
+			return
+		}
+		ch := make(chan struct{})
+		s.inflightWait = append(s.inflightWait, ch)
+		s.mu.Unlock()
+		<-ch
+		s.mu.Lock()
+	}
+}
+
+func (s *Server) runObjectCallback(holder, requester ident.ClientID, obj lock.Name, wanted lock.Mode) {
+	k := inflightKey{holder: holder, name: obj, wanted: wanted}
+	if !s.beginInflight(k) {
+		return
+	}
+	defer s.endInflight(k)
+	conn := s.conn(holder)
+	if conn == nil {
+		// The holder is gone without crashing (clean disconnect races);
+		// release its lock so the requester makes progress.
+		s.glm.Release(holder, obj)
+		return
+	}
+	s.Metrics.CallbacksSent.Add(1)
+	s.tracer.Record(trace.CallbackSent, holder, obj.Page, fmt.Sprintf("obj=%v wanted=%v for=%v", obj, wanted, requester))
+	reply, err := conn.CallbackObject(msg.CallbackReq{Requester: requester, Object: obj, Wanted: wanted})
+	if err != nil {
+		return // holder crashed mid-callback; §3.3 handling takes over
+	}
+	s.mu.Lock()
+	if reply.HadPage {
+		incoming := new(page.Page)
+		if uerr := incoming.UnmarshalBinary(reply.Image); uerr == nil {
+			if rerr := s.receiveLocked(holder, incoming, msg.ShipCallback); rerr != nil {
+				s.mu.Unlock()
+				return
+			}
+		}
+	}
+	// §3.1: the requester of an exclusive lock writes a callback log
+	// record containing the responder and the PSN the page had when the
+	// responder sent it to the server.  When the responder had no page
+	// to ship, its updates were shipped earlier and the DCT remembers
+	// their PSN.
+	if wanted == lock.X {
+		psn := page.PSN(0)
+		if reply.HadPage {
+			if p := new(page.Page); p.UnmarshalBinary(reply.Image) == nil {
+				psn = p.PSN()
+			}
+		} else if e, ok := s.dct[dctKey{pg: obj.Page, c: holder}]; ok {
+			psn = e.psn
+		}
+		s.pendingOrigins[requester] = append(s.pendingOrigins[requester],
+			msg.CallbackOrigin{Object: obj.Object(), Responder: holder, PSN: psn})
+	}
+	s.evictLocked()
+	notify := s.drainNotifyLocked()
+	s.mu.Unlock()
+	sendNotifications(notify)
+	switch {
+	case reply.Released:
+		s.glm.Release(holder, obj)
+	case reply.Downgraded:
+		s.glm.Downgrade(holder, obj)
+	}
+}
+
+func (s *Server) runDeescalation(holder, requester ident.ClientID, pg page.ID, wanted lock.Mode) {
+	k := inflightKey{holder: holder, name: lock.PageName(pg), wanted: wanted, deesc: true}
+	if !s.beginInflight(k) {
+		return
+	}
+	defer s.endInflight(k)
+	conn := s.conn(holder)
+	if conn == nil {
+		s.glm.Release(holder, lock.PageName(pg))
+		return
+	}
+	s.Metrics.Deescalations.Add(1)
+	s.tracer.Record(trace.DeescSent, holder, pg, fmt.Sprintf("wanted=%v for=%v", wanted, requester))
+	reply, err := conn.DeescalatePage(msg.DeescReq{Requester: requester, Page: pg, Wanted: wanted})
+	if err != nil {
+		return
+	}
+	if reply.HadPage {
+		incoming := new(page.Page)
+		if uerr := incoming.UnmarshalBinary(reply.Image); uerr == nil {
+			s.mu.Lock()
+			if rerr := s.receiveLocked(holder, incoming, msg.ShipCallback); rerr != nil {
+				s.mu.Unlock()
+				return
+			}
+			s.evictLocked()
+			notify := s.drainNotifyLocked()
+			s.mu.Unlock()
+			sendNotifications(notify)
+		}
+	}
+	s.glm.Deescalate(holder, pg, reply.Objs)
+}
+
+// DebugInflight renders the in-flight callback table (debug tooling).
+func (s *Server) DebugInflight() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := ""
+	for k := range s.inflight {
+		out += fmt.Sprintf("inflight: holder=%v name=%v wanted=%v deesc=%v\n", k.holder, k.name, k.wanted, k.deesc)
+	}
+	out += fmt.Sprintf("inflightWaiters=%d\n", len(s.inflightWait))
+	return out
+}

@@ -1,0 +1,427 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"clientlog/internal/ident"
+	"clientlog/internal/lock"
+	"clientlog/internal/msg"
+	"clientlog/internal/page"
+	"clientlog/internal/trace"
+	"clientlog/internal/wal"
+)
+
+// restartInfo is the state the server retains from its own restart
+// recovery so that clients crashed at the same time (§3.5 complex
+// crash) can later be answered by RecoverQuery.
+type restartInfo struct {
+	diskPSN map[page.ID]page.PSN
+	logDCT  map[dctKey]page.PSN
+	crashed map[ident.ClientID]bool
+}
+
+// RecoverServer runs the §3.4 server restart recovery on a freshly
+// constructed Server over the surviving stable storage and server log.
+//
+//	operational: conns of the clients that survived the crash
+//	crashed:     ids of clients that crashed together with the server
+//	             (§3.5); they run RecoverClient afterwards
+//
+// The steps follow the paper: (a) determine the pages requiring
+// recovery, (b) identify the involved clients, (c) reconstruct the DCT,
+// (d) coordinate the per-page recovery among the involved clients —
+// which proceeds in parallel across clients and pages (advantage 3).
+func (s *Server) RecoverServer(operational map[ident.ClientID]msg.Client, crashed []ident.ClientID) error {
+	for id, conn := range operational {
+		s.Attach(id, conn)
+	}
+	s.tracer.Record(trace.RecoveryStep, 0, 0,
+		fmt.Sprintf("server restart: %d operational, %d crashed", len(operational), len(crashed)))
+	ri := &restartInfo{
+		diskPSN: make(map[page.ID]page.PSN),
+		logDCT:  make(map[dctKey]page.PSN),
+		crashed: make(map[ident.ClientID]bool),
+	}
+	s.mu.Lock()
+	for _, c := range crashed {
+		ri.crashed[c] = true
+		s.complexPending[c] = true
+	}
+	s.mu.Unlock()
+	for _, c := range crashed {
+		s.glm.ClientCrashed(c)
+	}
+
+	// Solicit each operational client's DPT, cache list and LLM table;
+	// the GLM is rebuilt from the latter.
+	infos := make(map[ident.ClientID]msg.RecoveryInfoReply)
+	for id, conn := range operational {
+		info, err := conn.RecoveryInfo()
+		if err != nil {
+			return fmt.Errorf("core: recovery info from %s: %w", id, err)
+		}
+		infos[id] = info
+		for _, h := range info.Locks {
+			s.glm.Install(id, h.Name, h.Mode)
+		}
+	}
+
+	// (a)+(b): candidates are pages with a DPT entry at some client that
+	// does not cache the page; those (page, client) pairs are involved.
+	type involvedKey struct {
+		pid page.ID
+		c   ident.ClientID
+	}
+	cached := make(map[ident.ClientID]map[page.ID]bool)
+	for id, info := range infos {
+		set := make(map[page.ID]bool, len(info.Cached))
+		for _, pid := range info.Cached {
+			set[pid] = true
+		}
+		cached[id] = set
+	}
+	var involved []involvedKey
+	candidate := make(map[page.ID]bool)
+	for id, info := range infos {
+		for _, de := range info.DPT {
+			if !cached[id][de.Page] {
+				involved = append(involved, involvedKey{pid: de.Page, c: id})
+				candidate[de.Page] = true
+			}
+		}
+	}
+
+	// (c) DCT reconstruction, steps 1-4 of §3.4.
+	s.mu.Lock()
+	// Step 1: <PID, CID, NULL, NULL> for every page in an operational
+	// client's DPT.
+	for id, info := range infos {
+		for _, de := range info.DPT {
+			s.dct[dctKey{pg: de.Page, c: id}] = &dctEntry{psn: 0, redoLSN: wal.NilLSN}
+		}
+	}
+	// Invariant restoration (beyond the paper's step 1): a client may
+	// hold a rebuilt exclusive lock on a page whose updates were all
+	// flushed (no DPT entry).  Normal processing maintains "X held ⇒
+	// DCT entry exists" — Lock() only inserts on the FIRST exclusive
+	// grant — so reconstruct entries for every reported X lock too, or
+	// the client's post-restart updates under the cached lock would be
+	// invisible to its next crash recovery (found by the randomized
+	// torture sweep, seed 1173).
+	for id, info := range infos {
+		for _, h := range info.Locks {
+			if h.Mode != lock.X {
+				continue
+			}
+			key := dctKey{pg: h.Name.Page, c: id}
+			if _, ok := s.dct[key]; !ok {
+				s.dct[key] = &dctEntry{psn: 0, redoLSN: wal.NilLSN}
+			}
+		}
+	}
+	// Step 2: read the candidate pages from disk and remember their
+	// PSNs.
+	for pid := range candidate {
+		p, err := s.store.Read(pid)
+		if err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("core: reading candidate page %d: %w", pid, err)
+		}
+		ri.diskPSN[pid] = p.PSN()
+		s.pool.Put(p, false)
+	}
+	s.mu.Unlock()
+
+	// Step 3a: the DCT stored in the last complete server checkpoint
+	// gives the scan start.
+	scanFrom := s.slog.Horizon()
+	{
+		var lastCkpt *wal.ServerCheckpoint
+		sc := s.slog.Scan(s.slog.Horizon())
+		for sc.Next() {
+			if cp, ok := sc.Record().(*wal.ServerCheckpoint); ok {
+				lastCkpt = cp
+			}
+		}
+		if sc.Err() != nil {
+			return fmt.Errorf("core: server checkpoint scan: %w", sc.Err())
+		}
+		if lastCkpt != nil && len(lastCkpt.DCT) > 0 {
+			min := wal.LSN(0)
+			found := false
+			for _, e := range lastCkpt.DCT {
+				if e.RedoLSN == wal.NilLSN {
+					continue
+				}
+				if !found || e.RedoLSN < min {
+					min, found = e.RedoLSN, true
+				}
+			}
+			if found {
+				scanFrom = min
+			}
+		}
+	}
+	// Step 3b: scan replacement records.
+	s.mu.Lock()
+	sc := s.slog.Scan(scanFrom)
+	for sc.Next() {
+		rep, ok := sc.Record().(*wal.Replacement)
+		if !ok {
+			continue
+		}
+		lsn := sc.LSN()
+		anyEntry := false
+		for k, e := range s.dct {
+			if k.pg != rep.Page {
+				continue
+			}
+			anyEntry = true
+			if e.redoLSN == wal.NilLSN {
+				e.redoLSN = lsn // step 3b(i)
+			}
+		}
+		// Step 3b(ii): the record matching the disk PSN pins down which
+		// client updates the disk copy holds (Property 2).
+		if disk, isCand := ri.diskPSN[rep.Page]; isCand && rep.PagePSN == disk {
+			for _, ent := range rep.Entries {
+				ri.logDCT[dctKey{pg: rep.Page, c: ent.Client}] = ent.PSN
+				if anyEntry {
+					if e, ok := s.dct[dctKey{pg: rep.Page, c: ent.Client}]; ok {
+						e.psn = ent.PSN
+					}
+				}
+			}
+		}
+	}
+	s.mu.Unlock()
+	if sc.Err() != nil {
+		return fmt.Errorf("core: replacement scan: %w", sc.Err())
+	}
+
+	// Pages in constructed DCT entries with still-NULL PSNs that are NOT
+	// candidates get the disk PSN fallback at RecoverQuery time; for
+	// candidate pages the §3.4 per-page recovery below fills them in.
+
+	// Step 4: pull the cached copies of DPT pages from the operational
+	// clients and merge them (updates the DCT PSNs through the ship
+	// path).
+	for id, conn := range operational {
+		var want []page.ID
+		for _, de := range infos[id].DPT {
+			if cached[id][de.Page] {
+				want = append(want, de.Page)
+			}
+		}
+		if len(want) == 0 {
+			continue
+		}
+		images, err := conn.FetchCached(want)
+		if err != nil {
+			return fmt.Errorf("core: fetching cached pages from %s: %w", id, err)
+		}
+		s.mu.Lock()
+		for _, img := range images {
+			p := new(page.Page)
+			if uerr := p.UnmarshalBinary(img); uerr != nil {
+				s.mu.Unlock()
+				return uerr
+			}
+			if rerr := s.receiveLocked(id, p, msg.ShipCallback); rerr != nil {
+				s.mu.Unlock()
+				return rerr
+			}
+		}
+		s.evictLocked()
+		s.mu.Unlock()
+	}
+
+	// (d) Per-page coordination: build the merged CallBack_P list for
+	// each involved (page, client) pair and let the clients recover in
+	// parallel.
+	s.mu.Lock()
+	for _, ik := range involved {
+		s.recovering[dctKey{pg: ik.pid, c: ik.c}] = true
+	}
+	s.mu.Unlock()
+	var wg sync.WaitGroup
+	errs := make(chan error, len(involved))
+	for _, ik := range involved {
+		cbList, err := s.collectCallbacks(operational, cached, ik.pid, ik.c)
+		if err != nil {
+			return err
+		}
+		s.mu.Lock()
+		reply, ferr := s.fetchLocked(ik.c, ik.pid)
+		var psn page.PSN
+		if e, ok := s.dct[dctKey{pg: ik.pid, c: ik.c}]; ok {
+			psn = e.psn
+		}
+		if psn == 0 {
+			// No matching replacement entry: the disk PSN bounds what is
+			// durable (see DESIGN.md on the NULL-PSN fallback).
+			psn = ri.diskPSN[ik.pid]
+		}
+		s.mu.Unlock()
+		if ferr != nil {
+			return ferr
+		}
+		conn := operational[ik.c]
+		req := msg.RecoverPageReq{Page: ik.pid, Image: reply.Image, DCTPSN: psn, Callbacks: cbList}
+		wg.Add(1)
+		go func(conn msg.Client, req msg.RecoverPageReq) {
+			defer wg.Done()
+			if err := conn.RecoverPage(req); err != nil {
+				errs <- err
+			}
+		}(conn, req)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			return fmt.Errorf("core: page recovery: %w", err)
+		}
+	}
+	s.tracer.Record(trace.RecoveryStep, 0, 0,
+		fmt.Sprintf("server restart complete: %d page recoveries", len(involved)))
+
+	s.mu.Lock()
+	s.restart = ri
+	s.mu.Unlock()
+	// A fresh checkpoint shortens the next restart.
+	return s.Checkpoint()
+}
+
+// collectCallbacks gathers the CallBack_P lists of §3.4 step 1 from
+// every operational client that caches the page, merging entries for
+// the same object by keeping the maximum PSN (step 2).
+func (s *Server) collectCallbacks(operational map[ident.ClientID]msg.Client,
+	cached map[ident.ClientID]map[page.ID]bool, pid page.ID, target ident.ClientID) ([]msg.CallbackOrigin, error) {
+	best := make(map[page.ObjectID]msg.CallbackOrigin)
+	for id, conn := range operational {
+		if id == target {
+			continue
+		}
+		if !cached[id][pid] {
+			continue // §3.4: "each client Ci that has P in its cache"
+		}
+		reply, err := conn.CallbackList(msg.CallbackListReq{Page: pid, Target: target})
+		if err != nil {
+			return nil, fmt.Errorf("core: callback list from %s: %w", id, err)
+		}
+		for _, e := range reply.Entries {
+			if cur, ok := best[e.Object]; !ok || e.PSN > cur.PSN {
+				best[e.Object] = e
+			}
+		}
+	}
+	out := make([]msg.CallbackOrigin, 0, len(best))
+	for _, e := range best {
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Reinstall implements msg.Server (§3.5): a client recovering from a
+// complex crash regains the exclusive locks covering its uncommitted
+// transactions.
+func (s *Server) Reinstall(c ident.ClientID, holds []lock.Holding) error {
+	for _, h := range holds {
+		s.glm.Install(c, h.Name, h.Mode)
+	}
+	return nil
+}
+
+// RecoverQuery implements msg.Server: map a recovering client's DPT
+// pages to the DCT rows bounding its redo pass.  Live DCT entries win;
+// after a complex crash the rows are reconstructed from the replacement
+// log records (Property 2) with the disk PSN as the fallback for pages
+// that were never forced since the entry appeared.
+func (s *Server) RecoverQuery(c ident.ClientID, pages []page.ID) ([]msg.DCTRow, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var rows []msg.DCTRow
+	for _, pid := range pages {
+		if e, ok := s.dct[dctKey{pg: pid, c: c}]; ok && e.psn != 0 {
+			rows = append(rows, msg.DCTRow{Page: pid, PSN: e.psn})
+			continue
+		}
+		if s.restart != nil && s.restart.crashed[c] {
+			if psn, ok := s.restart.logDCT[dctKey{pg: pid, c: c}]; ok {
+				// A replacement record matching the crash-time disk PSN
+				// names this client: its PSN is the true Property 1
+				// threshold.
+				rows = append(rows, msg.DCTRow{Page: pid, PSN: psn})
+				continue
+			}
+			// No per-client record survives.  The disk PSN is NOT a safe
+			// threshold here: it is inflated by other clients' merges and
+			// forces, while this client's unshipped updates carry PSNs
+			// minted against an older copy — a threshold above them would
+			// silently skip committed work (found by the randomized
+			// torture sweep).  Redo everything instead: replaying from
+			// the beginning is idempotent for this client's objects, and
+			// the per-slot PSN merge keeps other clients' newer updates
+			// on top of any stale re-application.
+			if _, err := s.store.Read(pid); err != nil {
+				continue // page gone (freed); nothing to recover
+			}
+			rows = append(rows, msg.DCTRow{Page: pid, PSN: 0})
+			continue
+		}
+		if e, ok := s.dct[dctKey{pg: pid, c: c}]; ok {
+			// Live entry with PSN 0 (first-X before any receipt): redo
+			// everything for this page.
+			rows = append(rows, msg.DCTRow{Page: pid, PSN: e.psn})
+		}
+	}
+	return rows, nil
+}
+
+// RecoveryFetch implements msg.Server: the §3.4 step-3 page handoff
+// between two clients recovering the same page in parallel.  The server
+// returns its merged copy once CID's recovery has shipped a copy
+// covering all its log records below PSN (or finished the page).
+func (s *Server) RecoveryFetch(req msg.RecoveryFetchReq) (msg.FetchReply, error) {
+	s.mu.Lock()
+	key := dctKey{pg: req.Page, c: req.CID}
+	e := s.dct[key]
+	satisfied := s.recovered[key] || !s.recovering[key] ||
+		(e != nil && e.psn >= req.PSN)
+	conn := s.clients[req.CID]
+	if satisfied || conn == nil {
+		reply, err := s.fetchLocked(req.Client, req.Page)
+		s.mu.Unlock()
+		return reply, err
+	}
+	s.mu.Unlock()
+	// Block until CID's recovery has processed every record below PSN
+	// and shipped its interim copy; the merged server copy then holds
+	// everything the requester needs.
+	if err := conn.RecoveryShipUpTo(req.Page, req.PSN); err != nil {
+		return msg.FetchReply{}, fmt.Errorf("core: recovery handoff of page %d from %s: %w", req.Page, req.CID, err)
+	}
+	s.mu.Lock()
+	reply, err := s.fetchLocked(req.Client, req.Page)
+	s.mu.Unlock()
+	return reply, err
+}
+
+// markRecoveredLocked notes that CID's recovery of the page completed;
+// RecoveryFetch waiters re-check.  Called with s.mu held.
+func (s *Server) markRecoveredLocked(pid page.ID, c ident.ClientID) {
+	s.recovered[dctKey{pg: pid, c: c}] = true
+	delete(s.recovering, dctKey{pg: pid, c: c})
+	s.wakeRecoveryWaitersLocked()
+}
+
+// wakeRecoveryWaitersLocked wakes blocked RecoveryFetch calls.  Called
+// with s.mu held.
+func (s *Server) wakeRecoveryWaitersLocked() {
+	for _, ch := range s.recWaiter {
+		close(ch)
+	}
+	s.recWaiter = nil
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+import "clientlog/internal/page"
+
+func TestSurrogateRecoveryReleasesEverything(t *testing.T) {
+	// A commits an update that never left its cache and dies for good.
+	// A surrogate (here: the test, holding A's log) recovers on A's
+	// behalf; afterwards B sees the committed value and can lock the
+	// object immediately — no retained X locks linger.
+	cfg := testConfig()
+	cfg.LockTimeout = 2 * time.Second
+	cl, ids, cs := seededCluster(t, cfg, 1, 2)
+	a, b := cs[0], cs[1]
+	obj := page.ObjectID{Page: ids[0], Slot: 0}
+
+	txn, _ := a.Begin()
+	if err := txn.Overwrite(obj, val('S')); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	cl.CrashClient(a.ID())
+	if err := cl.SurrogateRecover(a.ID()); err != nil {
+		t.Fatalf("surrogate recovery: %v", err)
+	}
+	// The dead client is gone; its committed value is at the server and
+	// its locks are released.
+	tb, _ := b.Begin()
+	got, err := tb.Read(obj)
+	if err != nil || !bytes.Equal(got, val('S')) {
+		t.Fatalf("value after surrogate recovery: %q err=%v", got, err)
+	}
+	if err := tb.Overwrite(obj, val('T')); err != nil {
+		t.Fatalf("lock not released by surrogate: %v", err)
+	}
+	if err := tb.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSurrogateRecoveryDiskless(t *testing.T) {
+	// For a diskless client the server already holds the log, so anyone
+	// with a connection can be the surrogate.
+	cfg := testConfig()
+	cl := NewCluster(cfg)
+	ids, err := cl.SeedPages(1, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := cl.AddDisklessClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cl.AddClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj := page.ObjectID{Page: ids[0], Slot: 4}
+	txn, _ := d.Begin()
+	if err := txn.Overwrite(obj, val('D')); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	cl.CrashClient(d.ID())
+	if err := cl.SurrogateRecover(d.ID()); err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := b.Begin()
+	got, err := tb.Read(obj)
+	if err != nil || !bytes.Equal(got, val('D')) {
+		t.Fatalf("diskless surrogate recovery: %q err=%v", got, err)
+	}
+	tb.Commit()
+}
+
+func TestSurrogateRecoveryRollsBackInFlight(t *testing.T) {
+	cfg := testConfig()
+	cl, ids, cs := seededCluster(t, cfg, 1, 2)
+	a, b := cs[0], cs[1]
+	obj := page.ObjectID{Page: ids[0], Slot: 1}
+	orig, _ := cl.ReadObject(obj)
+
+	txn, _ := a.Begin()
+	if err := txn.Overwrite(obj, val('Z')); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Log().ForceAll(); err != nil {
+		t.Fatal(err)
+	}
+	cl.CrashClient(a.ID())
+	if err := cl.SurrogateRecover(a.ID()); err != nil {
+		t.Fatal(err)
+	}
+	tb, _ := b.Begin()
+	got, err := tb.Read(obj)
+	if err != nil || !bytes.Equal(got, orig) {
+		t.Fatalf("in-flight update survived surrogate recovery: %q want %q", got, orig)
+	}
+	tb.Commit()
+}

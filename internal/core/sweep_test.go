@@ -1,0 +1,18 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCrashScenarioSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep")
+	}
+	for seed := int64(100); seed < 140; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("s%d", seed), func(t *testing.T) {
+			crashScenario(t, seed, 120, true)
+		})
+	}
+}

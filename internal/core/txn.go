@@ -1,0 +1,520 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"clientlog/internal/ident"
+	"clientlog/internal/lock"
+	"clientlog/internal/msg"
+	"clientlog/internal/page"
+	"clientlog/internal/wal"
+)
+
+// ErrTxnDone reports use of a committed or aborted transaction.
+var ErrTxnDone = errors.New("core: transaction already terminated")
+
+// ErrNotCounter reports a logical Add on an object that is not an
+// 8-byte counter.
+var ErrNotCounter = errors.New("core: object is not an 8-byte counter")
+
+// Txn is a transaction executing entirely at its client (Section 2 of
+// the paper: transactions never migrate).  A Txn is not safe for
+// concurrent use; run concurrent transactions, not concurrent calls on
+// one transaction.
+type Txn struct {
+	c    *Client
+	st   *txnState
+	done bool
+}
+
+// Begin starts a transaction.
+func (c *Client) Begin() (*Txn, error) {
+	if err := c.checkAlive(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.nextSeq++
+	st := &txnState{id: ident.MakeTxnID(c.id, c.nextSeq), dirtyPages: make(map[page.ID]bool)}
+	c.txns[st.id] = st
+	c.mu.Unlock()
+	return &Txn{c: c, st: st}, nil
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() ident.TxnID { return t.st.id }
+
+func (t *Txn) check() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	return t.c.checkAlive()
+}
+
+// Read returns the object's current value under a shared lock.
+func (t *Txn) Read(obj page.ObjectID) ([]byte, error) {
+	if err := t.check(); err != nil {
+		return nil, err
+	}
+	if err := t.c.acquire(t.st, lock.ObjName(obj), lock.S); err != nil {
+		return nil, err
+	}
+	var out []byte
+	err := t.c.withPage(obj.Page, func(p *page.Page) error {
+		data, ok := p.Read(obj.Slot)
+		if !ok {
+			return page.ErrBadSlot
+		}
+		out = data
+		return nil
+	})
+	return out, err
+}
+
+// record appends a transactional log record, maintains the chain, and
+// does the ship-at-commit buffering for the baseline modes.  Called
+// with c.mu held (from inside withPage).
+func (t *Txn) record(rec wal.Record, pid page.ID) (wal.LSN, error) {
+	lsn, err := t.c.appendLocked(rec)
+	if err != nil {
+		return wal.NilLSN, err
+	}
+	if t.st.firstLSN == wal.NilLSN {
+		t.st.firstLSN = lsn
+	}
+	t.st.lastLSN = lsn
+	if t.c.cfg.Logging != LogLocal {
+		t.st.buffered = append(t.st.buffered, wal.Encode(rec))
+	}
+	t.st.dirtyPages[pid] = true
+	t.c.pool.MarkDirty(pid)
+	if e, ok := t.c.dpt[pid]; ok {
+		e.dirtySinceShip = true
+	} else {
+		// Defensive: an update without a DPT entry means noteExclusive
+		// was bypassed; keep recoverability anyway.
+		t.c.dpt[pid] = &dptEntry{redoLSN: lsn, dirtySinceShip: true}
+	}
+	return lsn, nil
+}
+
+// mutate acquires the lock, the update token if the baseline demands
+// it, and runs the page mutation + logging under the client mutex.
+func (t *Txn) mutate(name lock.Name, fn func(p *page.Page) error) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	if err := t.c.acquire(t.st, name, lock.X); err != nil {
+		return err
+	}
+	for {
+		if t.c.cfg.Update == UpdateToken {
+			if err := t.c.ensureToken(name.Page); err != nil {
+				return err
+			}
+		}
+		retry := false
+		err := t.c.withPage(name.Page, func(p *page.Page) error {
+			if t.c.cfg.Update == UpdateToken && !t.c.tokens[name.Page] {
+				retry = true // token recalled between ensureToken and here
+				return nil
+			}
+			return fn(p)
+		})
+		if err != nil {
+			return err
+		}
+		if !retry {
+			return nil
+		}
+	}
+}
+
+// Overwrite replaces an object's bytes with a same-size value: the
+// mergeable update of §3.1, requiring only an object-level exclusive
+// lock, so other clients may update other objects on the same page
+// concurrently.
+func (t *Txn) Overwrite(obj page.ObjectID, data []byte) error {
+	return t.mutate(lock.ObjName(obj), func(p *page.Page) error {
+		old, before, err := p.Overwrite(obj.Slot, data)
+		if err != nil {
+			return err
+		}
+		_, err = t.record(&wal.Update{
+			TxnID: t.st.id, PrevLSN: t.st.lastLSN,
+			Page: obj.Page, Slot: obj.Slot, PSN: before,
+			Op: wal.OpOverwrite, Before: old, After: cloned(data),
+		}, obj.Page)
+		return err
+	})
+}
+
+// OverwriteAt replaces part of an object in place — the §3.1 wording is
+// "updates that simply overwrite parts of objects residing on the same
+// page"; like Overwrite it is mergeable and needs only an object-level
+// exclusive lock.
+func (t *Txn) OverwriteAt(obj page.ObjectID, off int, frag []byte) error {
+	return t.mutate(lock.ObjName(obj), func(p *page.Page) error {
+		old, before, err := p.OverwriteAt(obj.Slot, off, frag)
+		if err != nil {
+			return err
+		}
+		_, err = t.record(&wal.Update{
+			TxnID: t.st.id, PrevLSN: t.st.lastLSN,
+			Page: obj.Page, Slot: obj.Slot, PSN: before,
+			Op: wal.OpOverwriteAt, Offset: uint32(off),
+			Before: old, After: cloned(frag),
+		}, obj.Page)
+		return err
+	})
+}
+
+// Add applies a logical update: the object is an 8-byte little-endian
+// counter and delta is added to it.  The log record is logical (redo
+// re-adds, undo subtracts), demonstrating the paper's support for
+// logical as well as physical logging (§4.2).
+func (t *Txn) Add(obj page.ObjectID, delta int64) error {
+	return t.mutate(lock.ObjName(obj), func(p *page.Page) error {
+		cur, ok := p.Read(obj.Slot)
+		if !ok {
+			return page.ErrBadSlot
+		}
+		if len(cur) != 8 {
+			return ErrNotCounter
+		}
+		v := int64(binary.LittleEndian.Uint64(cur)) + delta
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		_, before, err := p.Overwrite(obj.Slot, buf[:])
+		if err != nil {
+			return err
+		}
+		_, err = t.record(&wal.Logical{
+			TxnID: t.st.id, PrevLSN: t.st.lastLSN,
+			Page: obj.Page, Slot: obj.Slot, PSN: before, Delta: delta,
+		}, obj.Page)
+		return err
+	})
+}
+
+// ReadCounter reads an 8-byte counter object.
+func (t *Txn) ReadCounter(obj page.ObjectID) (int64, error) {
+	data, err := t.Read(obj)
+	if err != nil {
+		return 0, err
+	}
+	if len(data) != 8 {
+		return 0, ErrNotCounter
+	}
+	return int64(binary.LittleEndian.Uint64(data)), nil
+}
+
+// Insert creates a new object on the page.  Structural updates are
+// non-mergeable (§3.1): a page-level exclusive lock serializes them.
+func (t *Txn) Insert(pid page.ID, data []byte) (page.ObjectID, error) {
+	var obj page.ObjectID
+	err := t.mutate(lock.PageName(pid), func(p *page.Page) error {
+		slot, before, err := p.Insert(data)
+		if err != nil {
+			return err
+		}
+		obj = page.ObjectID{Page: pid, Slot: slot}
+		_, err = t.record(&wal.Update{
+			TxnID: t.st.id, PrevLSN: t.st.lastLSN,
+			Page: pid, Slot: slot, PSN: before,
+			Op: wal.OpInsert, After: cloned(data),
+		}, pid)
+		return err
+	})
+	return obj, err
+}
+
+// Delete removes an object (structural; page-level exclusive lock).
+func (t *Txn) Delete(obj page.ObjectID) error {
+	return t.mutate(lock.PageName(obj.Page), func(p *page.Page) error {
+		old, before, err := p.Delete(obj.Slot)
+		if err != nil {
+			return err
+		}
+		_, err = t.record(&wal.Update{
+			TxnID: t.st.id, PrevLSN: t.st.lastLSN,
+			Page: obj.Page, Slot: obj.Slot, PSN: before,
+			Op: wal.OpDelete, Before: old,
+		}, obj.Page)
+		return err
+	})
+}
+
+// Resize replaces an object with a different-size value (structural,
+// per the paper's footnote 3).
+func (t *Txn) Resize(obj page.ObjectID, data []byte) error {
+	return t.mutate(lock.PageName(obj.Page), func(p *page.Page) error {
+		old, before, err := p.Resize(obj.Slot, data)
+		if err != nil {
+			return err
+		}
+		_, err = t.record(&wal.Update{
+			TxnID: t.st.id, PrevLSN: t.st.lastLSN,
+			Page: obj.Page, Slot: obj.Slot, PSN: before,
+			Op: wal.OpResize, Before: old, After: cloned(data),
+		}, obj.Page)
+		return err
+	})
+}
+
+// AllocPage asks the server for a fresh page; the transaction holds an
+// exclusive page lock on it.
+func (t *Txn) AllocPage() (page.ID, error) {
+	if err := t.check(); err != nil {
+		return 0, err
+	}
+	reply, err := t.c.srv.Alloc(msg.AllocReq{Client: t.c.id})
+	if err != nil {
+		return 0, err
+	}
+	p := new(page.Page)
+	if err := p.UnmarshalBinary(reply.Image); err != nil {
+		return 0, err
+	}
+	t.c.llm.InstallCached(lock.PageName(p.ID()), lock.X)
+	if res, err := t.c.llm.AcquireLocal(t.st.id, lock.PageName(p.ID()), lock.X); err != nil || res != lock.Granted {
+		return 0, fmt.Errorf("core: page lock on fresh page: res=%v err=%w", res, err)
+	}
+	t.c.mu.Lock()
+	t.c.pool.Put(p, false)
+	if _, ok := t.c.dpt[p.ID()]; !ok {
+		t.c.dpt[p.ID()] = &dptEntry{redoLSN: t.c.log.End()}
+	}
+	if t.c.cfg.Update == UpdateToken {
+		t.c.tokens[p.ID()] = true
+	}
+	victims := t.c.collectVictimsLocked()
+	t.c.mu.Unlock()
+	t.c.shipVictims(victims)
+	return p.ID(), nil
+}
+
+// Savepoint returns a token for a later partial rollback (§3.2:
+// "clients can support the savepoint concept and offer partial
+// rollbacks").
+func (t *Txn) Savepoint() wal.LSN { return t.st.lastLSN }
+
+// RollbackTo undoes every update performed after the savepoint; the
+// transaction remains active.
+func (t *Txn) RollbackTo(sp wal.LSN) error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	return t.c.undoChain(t.st, sp)
+}
+
+// Commit terminates the transaction.  In the paper's mode the only
+// durability action is forcing the private log through the commit
+// record: no pages, no log records, no messages to the server.  The
+// baselines ship their buffered records/pages first.
+func (t *Txn) Commit() error {
+	if err := t.check(); err != nil {
+		return err
+	}
+	c := t.c
+	if c.cfg.Logging != LogLocal {
+		req := msg.CommitShipReq{Client: c.id, Txn: t.st.id, Records: t.st.buffered}
+		if c.cfg.Logging == LogShipPages {
+			c.mu.Lock()
+			for pid := range t.st.dirtyPages {
+				if p, ok := c.pool.Get(pid); ok {
+					if img, err := p.MarshalBinary(); err == nil {
+						req.Pages = append(req.Pages, img)
+					}
+				}
+			}
+			c.mu.Unlock()
+		}
+		if err := c.srv.CommitShip(req); err != nil {
+			return err
+		}
+	}
+	c.mu.Lock()
+	lsn, err := c.appendLocked(&wal.Commit{TxnID: t.st.id, PrevLSN: t.st.lastLSN})
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if c.cfg.Logging == LogLocal {
+		if err := c.log.Force(lsn); err != nil {
+			return err
+		}
+	}
+	t.finish()
+	c.Metrics.Commits.Add(1)
+	c.mu.Lock()
+	c.commitsCk++
+	auto := c.cfg.CheckpointEvery > 0 && c.commitsCk >= c.cfg.CheckpointEvery
+	c.mu.Unlock()
+	if auto {
+		return c.Checkpoint()
+	}
+	return nil
+}
+
+// Abort rolls the transaction back completely and terminates it.
+func (t *Txn) Abort() error {
+	if t.done {
+		return ErrTxnDone
+	}
+	c := t.c
+	if err := c.checkAlive(); err != nil {
+		// The crash already wiped the transaction; restart recovery
+		// rolls it back.
+		t.done = true
+		return err
+	}
+	if err := c.undoChain(t.st, wal.NilLSN); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	_, err := c.appendLocked(&wal.Abort{TxnID: t.st.id, PrevLSN: t.st.lastLSN})
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	t.finish()
+	c.Metrics.Aborts.Add(1)
+	return nil
+}
+
+// finish releases the transaction's locks (strict 2PL release point;
+// the cached client-level locks stay, per inter-transaction caching).
+func (t *Txn) finish() {
+	t.done = true
+	t.c.llm.ReleaseTxn(t.st.id)
+	t.c.mu.Lock()
+	delete(t.c.txns, t.st.id)
+	t.c.reclaimLocked()
+	t.c.mu.Unlock()
+}
+
+// undoChain walks the transaction's log chain from its last record down
+// to (exclusive) upTo, applying inverse operations and writing CLRs.
+// It is shared by Abort, RollbackTo and the undo pass of restart
+// recovery (§3.3).
+func (c *Client) undoChain(st *txnState, upTo wal.LSN) error {
+	cur := st.lastLSN
+	for cur != wal.NilLSN && cur > upTo {
+		rec, _, err := c.log.Read(cur)
+		if err != nil {
+			return fmt.Errorf("core: undo read %s: %w", cur, err)
+		}
+		switch r := rec.(type) {
+		case *wal.Update:
+			if err := c.undoUpdate(st, r); err != nil {
+				return err
+			}
+			cur = r.PrevLSN
+		case *wal.Logical:
+			if err := c.undoLogical(st, r); err != nil {
+				return err
+			}
+			cur = r.PrevLSN
+		case *wal.CLR:
+			// Already-compensated prefix: jump over it (ARIES UndoNext).
+			cur = r.UndoNext
+		default:
+			cur = rec.Prev()
+		}
+	}
+	return nil
+}
+
+// undoUpdate applies the inverse of one physical update as a fresh
+// update and logs a CLR describing the compensation.
+func (c *Client) undoUpdate(st *txnState, r *wal.Update) error {
+	return c.withPage(r.Page, func(p *page.Page) error {
+		var (
+			before page.PSN
+			err    error
+			op     wal.OpKind
+			after  []byte
+		)
+		var offset uint32
+		switch r.Op {
+		case wal.OpOverwrite:
+			_, before, err = p.Overwrite(r.Slot, r.Before)
+			op, after = wal.OpOverwrite, r.Before
+		case wal.OpOverwriteAt:
+			_, before, err = p.OverwriteAt(r.Slot, int(r.Offset), r.Before)
+			op, after, offset = wal.OpOverwriteAt, r.Before, r.Offset
+		case wal.OpInsert:
+			_, before, err = p.Delete(r.Slot)
+			op = wal.OpDelete
+		case wal.OpDelete:
+			before, err = p.InsertAt(r.Slot, r.Before)
+			op, after = wal.OpInsert, r.Before
+		case wal.OpResize:
+			_, before, err = p.Resize(r.Slot, r.Before)
+			op, after = wal.OpResize, r.Before
+		default:
+			err = fmt.Errorf("core: cannot undo op %v", r.Op)
+		}
+		if err != nil {
+			return fmt.Errorf("core: undo %v on %v: %w", r.Op, r.Object(), err)
+		}
+		_, err = c.recordCLR(st, &wal.CLR{
+			TxnID: st.id, PrevLSN: st.lastLSN,
+			Page: r.Page, Slot: r.Slot, PSN: before,
+			Op: op, Offset: offset, After: cloned(after), UndoNext: r.PrevLSN,
+		})
+		return err
+	})
+}
+
+// undoLogical subtracts the delta of a logical record and logs a
+// logical CLR.
+func (c *Client) undoLogical(st *txnState, r *wal.Logical) error {
+	return c.withPage(r.Page, func(p *page.Page) error {
+		cur, ok := p.Read(r.Slot)
+		if !ok || len(cur) != 8 {
+			return ErrNotCounter
+		}
+		v := int64(binary.LittleEndian.Uint64(cur)) - r.Delta
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		_, before, err := p.Overwrite(r.Slot, buf[:])
+		if err != nil {
+			return err
+		}
+		_, err = c.recordCLR(st, &wal.CLR{
+			TxnID: st.id, PrevLSN: st.lastLSN,
+			Page: r.Page, Slot: r.Slot, PSN: before,
+			Op: wal.OpLogicalAdd, Delta: -r.Delta, UndoNext: r.PrevLSN,
+		})
+		return err
+	})
+}
+
+// recordCLR appends a compensation record and maintains the per-page
+// bookkeeping.  Called with c.mu held (inside withPage).
+func (c *Client) recordCLR(st *txnState, clr *wal.CLR) (wal.LSN, error) {
+	lsn, err := c.appendLocked(clr)
+	if err != nil {
+		return wal.NilLSN, err
+	}
+	st.lastLSN = lsn
+	c.pool.MarkDirty(clr.Page)
+	if e, ok := c.dpt[clr.Page]; ok {
+		e.dirtySinceShip = true
+	} else {
+		c.dpt[clr.Page] = &dptEntry{redoLSN: lsn, dirtySinceShip: true}
+	}
+	return lsn, nil
+}
+
+func cloned(b []byte) []byte {
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}

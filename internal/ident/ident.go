@@ -1,0 +1,52 @@
+// Package ident defines the identifiers shared by every tier of the
+// system: client ids assigned by the server at registration time and
+// transaction ids minted locally by each client.
+//
+// Transaction ids embed the owning client id so that they are globally
+// unique without any cross-client coordination — consistent with the
+// paper's requirement that clients never synchronize clocks or counters.
+package ident
+
+import "fmt"
+
+// ClientID identifies a client workstation.  Id 0 is reserved for the
+// server itself.
+type ClientID uint32
+
+// ServerID is the pseudo client id used by the server where a ClientID
+// is required (e.g. as the origin of server log records).
+const ServerID ClientID = 0
+
+func (c ClientID) String() string {
+	if c == ServerID {
+		return "server"
+	}
+	return fmt.Sprintf("c%d", uint32(c))
+}
+
+// TxnID identifies a transaction.  The high 32 bits carry the client id,
+// the low 32 bits a per-client sequence number, so ids minted by
+// different clients never collide.
+type TxnID uint64
+
+// NilTxn is the zero transaction id, used for log records that do not
+// belong to a transaction (checkpoints, callback records).
+const NilTxn TxnID = 0
+
+// MakeTxnID combines a client id and a local sequence number.
+func MakeTxnID(c ClientID, seq uint32) TxnID {
+	return TxnID(uint64(c)<<32 | uint64(seq))
+}
+
+// Client extracts the owning client id from a transaction id.
+func (t TxnID) Client() ClientID { return ClientID(t >> 32) }
+
+// Seq extracts the per-client sequence number.
+func (t TxnID) Seq() uint32 { return uint32(t) }
+
+func (t TxnID) String() string {
+	if t == NilTxn {
+		return "txn(nil)"
+	}
+	return fmt.Sprintf("txn(%s:%d)", t.Client(), t.Seq())
+}

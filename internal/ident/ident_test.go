@@ -1,0 +1,45 @@
+package ident
+
+import "testing"
+
+func TestTxnIDRoundTrip(t *testing.T) {
+	for _, c := range []ClientID{1, 2, 255, 1 << 20} {
+		for _, seq := range []uint32{0, 1, 42, 1<<32 - 1} {
+			id := MakeTxnID(c, seq)
+			if id.Client() != c {
+				t.Fatalf("client of %v = %v, want %v", id, id.Client(), c)
+			}
+			if id.Seq() != seq {
+				t.Fatalf("seq of %v = %d, want %d", id, id.Seq(), seq)
+			}
+		}
+	}
+}
+
+func TestTxnIDsGloballyUnique(t *testing.T) {
+	seen := make(map[TxnID]bool)
+	for c := ClientID(1); c <= 8; c++ {
+		for seq := uint32(1); seq <= 64; seq++ {
+			id := MakeTxnID(c, seq)
+			if seen[id] {
+				t.Fatalf("duplicate txn id %v", id)
+			}
+			seen[id] = true
+		}
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if ServerID.String() != "server" {
+		t.Fatalf("ServerID = %q", ServerID.String())
+	}
+	if ClientID(7).String() != "c7" {
+		t.Fatalf("ClientID(7) = %q", ClientID(7).String())
+	}
+	if NilTxn.String() != "txn(nil)" {
+		t.Fatalf("NilTxn = %q", NilTxn.String())
+	}
+	if got := MakeTxnID(3, 9).String(); got != "txn(c3:9)" {
+		t.Fatalf("MakeTxnID(3,9) = %q", got)
+	}
+}

@@ -1,0 +1,646 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"clientlog/internal/ident"
+	"clientlog/internal/page"
+)
+
+// Errors returned by GLM.Acquire.
+var (
+	// ErrDeadlock reports that granting the request would close a cycle
+	// in the (client-level, conservative) waits-for graph; the requester
+	// is chosen as the victim and should abort its transaction.
+	ErrDeadlock = errors.New("lock: deadlock detected")
+	// ErrTimeout reports that the request waited longer than the
+	// configured bound.
+	ErrTimeout = errors.New("lock: wait timed out")
+	// ErrStopped reports that the lock manager was shut down (server
+	// crash) while the request waited.
+	ErrStopped = errors.New("lock: manager stopped")
+)
+
+// Callbacker performs the callback messaging on behalf of the GLM.  The
+// server engine implements it; calls are made without the GLM mutex
+// held and must not block on GLM state (the client's eventual replies
+// arrive through Release/Downgrade/Deescalate).
+type Callbacker interface {
+	// CallbackObject asks holder to give up (wanted==X) or downgrade to
+	// shared (wanted==S) its cached lock on obj, on behalf of requester.
+	CallbackObject(holder, requester ident.ClientID, obj Name, wanted Mode)
+	// DeescalatePage asks holder to replace its cached page lock with
+	// object locks for the objects its transactions accessed.
+	DeescalatePage(holder, requester ident.ClientID, pg page.ID, wanted Mode)
+}
+
+// Request is a lock request presented to the GLM.
+type Request struct {
+	Client ident.ClientID
+	Name   Name
+	Mode   Mode
+	// PreferPage asks for adaptive granularity: if the whole page is
+	// free of other interest, the GLM grants a page lock instead of the
+	// requested object lock.
+	PreferPage bool
+	// Upgrade marks a request by a client that still holds a lock on
+	// the name; it bypasses fairness ordering (see msg.LockReq).
+	Upgrade bool
+}
+
+// Grant reports what the GLM actually granted, which may be a page lock
+// when PreferPage was set.
+type Grant struct {
+	Name Name
+	Mode Mode
+	// FirstX reports that this grant is the first exclusive lock this
+	// client obtains on this page (object or page level); the server
+	// engine uses it to insert the DCT entry of §3.2.
+	FirstX bool
+}
+
+// pageLocks is the per-page lock table.
+type pageLocks struct {
+	page map[ident.ClientID]Mode            // page-level locks
+	objs map[uint16]map[ident.ClientID]Mode // object-level locks
+}
+
+func (pl *pageLocks) empty() bool { return len(pl.page) == 0 && len(pl.objs) == 0 }
+
+// GLM is the server's global lock manager.  Locks are granted to
+// clients (not transactions) and cached by the clients' LLMs until
+// called back.
+type GLM struct {
+	mu      sync.Mutex
+	pages   map[page.ID]*pageLocks
+	crashed map[ident.ClientID]bool
+	// waits is the conservative client-level waits-for graph: for each
+	// waiting client, the multiset of clients blocking it.
+	waits   map[ident.ClientID]map[ident.ClientID]int
+	waiters []chan struct{}
+	// waiting registers blocked requests with their arrival tickets so
+	// newer conflicting requests cannot steal grants from older waiters
+	// (callback locking has no queue of its own; without this, a hot
+	// holder-requester pair starves everyone else).
+	waiting map[*waitingReq]struct{}
+	ticket  uint64
+	stopped bool
+
+	cb      Callbacker
+	timeout time.Duration
+}
+
+// waitingReq is one blocked Acquire.
+type waitingReq struct {
+	ticket uint64
+	client ident.ClientID
+	name   Name
+	mode   Mode
+}
+
+// overlaps reports whether two lock names can conflict: same name, or
+// one is the page lock covering the other's object.
+func overlaps(a, b Name) bool {
+	if a.Page != b.Page {
+		return false
+	}
+	if a.IsPage || b.IsPage {
+		return true
+	}
+	return a.Slot == b.Slot
+}
+
+// NewGLM returns a global lock manager that uses cb for callback
+// messaging and aborts waits after timeout (0 means a generous default).
+func NewGLM(cb Callbacker, timeout time.Duration) *GLM {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &GLM{
+		pages:   make(map[page.ID]*pageLocks),
+		crashed: make(map[ident.ClientID]bool),
+		waits:   make(map[ident.ClientID]map[ident.ClientID]int),
+		waiting: make(map[*waitingReq]struct{}),
+		cb:      cb,
+		timeout: timeout,
+	}
+}
+
+// SetCallbacker installs the callback transport; the server engine calls
+// it once during construction (breaking the GLM/server init cycle).
+func (g *GLM) SetCallbacker(cb Callbacker) {
+	g.mu.Lock()
+	g.cb = cb
+	g.mu.Unlock()
+}
+
+func (g *GLM) pl(p page.ID) *pageLocks {
+	l, ok := g.pages[p]
+	if !ok {
+		l = &pageLocks{page: make(map[ident.ClientID]Mode), objs: make(map[uint16]map[ident.ClientID]Mode)}
+		g.pages[p] = l
+	}
+	return l
+}
+
+// notifyAll wakes every waiting Acquire so it re-examines the table.
+// Called with g.mu held.
+func (g *GLM) notifyAll() {
+	for _, ch := range g.waiters {
+		close(ch)
+	}
+	g.waiters = nil
+}
+
+// callback describes one callback message to issue.
+type callback struct {
+	holder  ident.ClientID
+	obj     Name // object callback target
+	pg      page.ID
+	isDeesc bool
+	wanted  Mode
+}
+
+// conflicts computes, for a request, the set of blocking clients and the
+// callbacks needed to dislodge them.  Called with g.mu held.
+func (g *GLM) conflicts(req Request, name Name) (blockers map[ident.ClientID]bool, cbs []callback) {
+	pl := g.pl(name.Page)
+	blockers = make(map[ident.ClientID]bool)
+	add := func(c ident.ClientID, cb callback) {
+		blockers[c] = true
+		// Callbacks to crashed clients are queued, not sent: the paper's
+		// server "queues any callback requests until the client
+		// recovers" (§3.3).
+		if !g.crashed[c] {
+			cbs = append(cbs, cb)
+		}
+	}
+	// Page-level locks of other clients.
+	for c, m := range pl.page {
+		if c == req.Client {
+			continue
+		}
+		if !Compatible(m, req.Mode) {
+			add(c, callback{holder: c, pg: name.Page, isDeesc: true, wanted: req.Mode})
+		}
+	}
+	if name.IsPage {
+		// Object-level locks of other clients conflict with a page lock
+		// request unless both sides are shared.
+		for slot, owners := range pl.objs {
+			for c, m := range owners {
+				if c == req.Client {
+					continue
+				}
+				if !Compatible(m, req.Mode) {
+					add(c, callback{holder: c, obj: Name{Page: name.Page, Slot: slot}, wanted: req.Mode})
+				}
+			}
+		}
+		return blockers, cbs
+	}
+	// Object-level conflicts on the same object.
+	for c, m := range pl.objs[name.Slot] {
+		if c == req.Client {
+			continue
+		}
+		if !Compatible(m, req.Mode) {
+			add(c, callback{holder: c, obj: name, wanted: req.Mode})
+		}
+	}
+	return blockers, cbs
+}
+
+// covered reports whether the client already holds a lock that covers
+// the request.  Called with g.mu held.
+func (g *GLM) covered(c ident.ClientID, name Name, mode Mode) bool {
+	pl := g.pl(name.Page)
+	if Covers(pl.page[c], mode) {
+		return true
+	}
+	if !name.IsPage && Covers(pl.objs[name.Slot][c], mode) {
+		return true
+	}
+	return false
+}
+
+// grant records the lock.  Called with g.mu held.
+func (g *GLM) grant(c ident.ClientID, name Name, mode Mode) Grant {
+	pl := g.pl(name.Page)
+	firstX := mode == X && !g.holdsAnyXLocked(c, name.Page)
+	if name.IsPage {
+		pl.page[c] = Max(pl.page[c], mode)
+	} else {
+		owners := pl.objs[name.Slot]
+		if owners == nil {
+			owners = make(map[ident.ClientID]Mode)
+			pl.objs[name.Slot] = owners
+		}
+		owners[c] = Max(owners[c], mode)
+	}
+	return Grant{Name: name, Mode: mode, FirstX: firstX}
+}
+
+// holdsAnyXLocked reports whether c holds any exclusive lock (page or
+// object level) on page p.  Called with g.mu held.
+func (g *GLM) holdsAnyXLocked(c ident.ClientID, p page.ID) bool {
+	pl := g.pl(p)
+	if pl.page[c] == X {
+		return true
+	}
+	for _, owners := range pl.objs {
+		if owners[c] == X {
+			return true
+		}
+	}
+	return false
+}
+
+// HoldsAnyX reports whether c holds any exclusive lock on page p; the
+// server's DCT maintenance consults it when deciding whether an entry
+// may be dropped (§3.2).
+func (g *GLM) HoldsAnyX(c ident.ClientID, p page.ID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.holdsAnyXLocked(c, p)
+}
+
+// Acquire blocks until the request can be granted, issuing callbacks to
+// conflicting holders.  It returns ErrDeadlock when the wait would close
+// a cycle, ErrTimeout after the configured bound, and ErrStopped if the
+// manager shuts down.
+func (g *GLM) Acquire(req Request) (Grant, error) {
+	deadline := time.Now().Add(g.timeout)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ticket++
+	wr := &waitingReq{ticket: g.ticket, client: req.Client, name: req.Name, mode: req.Mode}
+	registered := false
+	defer func() {
+		if registered {
+			delete(g.waiting, wr)
+			g.notifyAll()
+		}
+	}()
+	// Upgrades (the requester still holds a lock on the name) bypass
+	// fairness: the older waiter's callback will dislodge them anyway,
+	// and blocking an upgrade behind a waiter deadlocks against itself.
+	upgrade := req.Upgrade || g.holdsOn(req.Client, req.Name)
+	for {
+		if g.stopped {
+			return Grant{}, ErrStopped
+		}
+		// Already covered (e.g. re-acquire during recovery).
+		if g.covered(req.Client, req.Name, req.Mode) {
+			g.clearWait(req.Client)
+			return Grant{Name: req.Name, Mode: req.Mode}, nil
+		}
+		fair := g.fairnessBlockers(wr, upgrade)
+		// Adaptive granularity: try the whole page first.
+		if len(fair) == 0 && req.PreferPage && !req.Name.IsPage {
+			pgName := PageName(req.Name.Page)
+			if b, _ := g.conflicts(Request{Client: req.Client, Name: pgName, Mode: req.Mode}, pgName); len(b) == 0 {
+				if !g.othersHoldOnPage(req.Client, req.Name.Page) {
+					gr := g.grant(req.Client, pgName, req.Mode)
+					g.clearWait(req.Client)
+					return gr, nil
+				}
+			}
+		}
+		blockers, cbs := g.conflicts(req, req.Name)
+		if len(blockers) == 0 && len(fair) == 0 {
+			gr := g.grant(req.Client, req.Name, req.Mode)
+			g.clearWait(req.Client)
+			return gr, nil
+		}
+		for c := range fair {
+			blockers[c] = true
+		}
+		if !registered {
+			registered = true
+			g.waiting[wr] = struct{}{}
+		}
+		// Record the wait and check for deadlock before sleeping.
+		g.setWait(req.Client, blockers)
+		if g.cycleFrom(req.Client) {
+			g.clearWait(req.Client)
+			return Grant{}, ErrDeadlock
+		}
+		ch := make(chan struct{})
+		g.waiters = append(g.waiters, ch)
+		cb := g.cb
+		g.mu.Unlock()
+		// Re-issue the callbacks on every retry: a holder may have
+		// re-acquired the lock since the last callback completed (the
+		// waiter holds nothing while it waits), and a once-only issue
+		// would then starve this request.  The transport layer dedupes
+		// identical callbacks that are still in flight.
+		for _, c := range cbs {
+			if cb != nil {
+				if c.isDeesc {
+					cb.DeescalatePage(c.holder, req.Client, c.pg, c.wanted)
+				} else {
+					cb.CallbackObject(c.holder, req.Client, c.obj, c.wanted)
+				}
+			}
+		}
+		timer := time.NewTimer(time.Until(deadline))
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+			g.mu.Lock()
+			g.clearWait(req.Client)
+			return Grant{}, ErrTimeout
+		}
+		g.mu.Lock()
+	}
+}
+
+// holdsOn reports whether the client holds a lock on the name (or the
+// page covering it).  Called with g.mu held.
+func (g *GLM) holdsOn(c ident.ClientID, name Name) bool {
+	pl := g.pl(name.Page)
+	if pl.page[c] != None {
+		return true
+	}
+	if !name.IsPage && pl.objs[name.Slot][c] != None {
+		return true
+	}
+	return false
+}
+
+// fairnessBlockers returns the clients whose older waiting requests
+// conflict with this one; granting past them would starve them.
+// Called with g.mu held.
+func (g *GLM) fairnessBlockers(wr *waitingReq, upgrade bool) map[ident.ClientID]bool {
+	out := make(map[ident.ClientID]bool)
+	if upgrade {
+		return out
+	}
+	for other := range g.waiting {
+		if other.ticket >= wr.ticket || other.client == wr.client {
+			continue
+		}
+		if overlaps(other.name, wr.name) && !Compatible(other.mode, wr.mode) {
+			out[other.client] = true
+		}
+	}
+	return out
+}
+
+// othersHoldOnPage reports whether any other client holds any lock on
+// the page.  Called with g.mu held.
+func (g *GLM) othersHoldOnPage(c ident.ClientID, p page.ID) bool {
+	pl := g.pl(p)
+	for o := range pl.page {
+		if o != c {
+			return true
+		}
+	}
+	for _, owners := range pl.objs {
+		for o := range owners {
+			if o != c {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// setWait replaces the waiter's current blocker set (the wait edges are
+// re-derived on every retry so stale edges never linger).
+func (g *GLM) setWait(c ident.ClientID, blockers map[ident.ClientID]bool) {
+	w := make(map[ident.ClientID]int, len(blockers))
+	for b := range blockers {
+		w[b] = 1
+	}
+	g.waits[c] = w
+}
+
+func (g *GLM) clearWait(c ident.ClientID) {
+	delete(g.waits, c)
+}
+
+// cycleFrom reports whether the waits-for graph contains a cycle
+// reachable from c.  The graph is client-level and therefore
+// conservative: two independent transactions on the same client are
+// merged into one node, so a detected "deadlock" is occasionally a
+// false positive; the victim simply retries.  Called with g.mu held.
+func (g *GLM) cycleFrom(c ident.ClientID) bool {
+	seen := make(map[ident.ClientID]bool)
+	var dfs func(n ident.ClientID) bool
+	dfs = func(n ident.ClientID) bool {
+		for b := range g.waits[n] {
+			if b == c {
+				return true
+			}
+			if !seen[b] {
+				seen[b] = true
+				if dfs(b) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(c)
+}
+
+// Release removes a client's lock on name.
+func (g *GLM) Release(c ident.ClientID, name Name) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	pl := g.pl(name.Page)
+	if name.IsPage {
+		delete(pl.page, c)
+	} else if owners := pl.objs[name.Slot]; owners != nil {
+		delete(owners, c)
+		if len(owners) == 0 {
+			delete(pl.objs, name.Slot)
+		}
+	}
+	if pl.empty() {
+		delete(g.pages, name.Page)
+	}
+	g.notifyAll()
+}
+
+// Downgrade demotes a client's exclusive lock on name to shared
+// (callback in shared mode, §2).
+func (g *GLM) Downgrade(c ident.ClientID, name Name) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	pl := g.pl(name.Page)
+	if name.IsPage {
+		if pl.page[c] == X {
+			pl.page[c] = S
+		}
+	} else if owners := pl.objs[name.Slot]; owners != nil && owners[c] == X {
+		owners[c] = S
+	}
+	g.notifyAll()
+}
+
+// ObjLock pairs an object slot with a mode; used by de-escalation.
+type ObjLock struct {
+	Slot uint16
+	Mode Mode
+}
+
+// Deescalate replaces a client's page lock with the given object locks
+// (§3.2 page-level conflict handling).
+func (g *GLM) Deescalate(c ident.ClientID, p page.ID, objs []ObjLock) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	pl := g.pl(p)
+	delete(pl.page, c)
+	for _, ol := range objs {
+		owners := pl.objs[ol.Slot]
+		if owners == nil {
+			owners = make(map[ident.ClientID]Mode)
+			pl.objs[ol.Slot] = owners
+		}
+		owners[c] = Max(owners[c], ol.Mode)
+	}
+	if pl.empty() {
+		delete(g.pages, p)
+	}
+	g.notifyAll()
+}
+
+// ClientCrashed implements §3.3: the server releases all shared locks of
+// the crashed client, retains its exclusive locks, and queues callbacks
+// against them until recovery finishes.
+func (g *GLM) ClientCrashed(c ident.ClientID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.crashed[c] = true
+	for p, pl := range g.pages {
+		if pl.page[c] == S {
+			delete(pl.page, c)
+		}
+		for slot, owners := range pl.objs {
+			if owners[c] == S {
+				delete(owners, c)
+				if len(owners) == 0 {
+					delete(pl.objs, slot)
+				}
+			}
+		}
+		if pl.empty() {
+			delete(g.pages, p)
+		}
+	}
+	g.notifyAll()
+}
+
+// ClientRecovered marks the client operational again; queued callbacks
+// may now be delivered (waiting Acquires retry and re-issue them).
+func (g *GLM) ClientRecovered(c ident.ClientID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.crashed, c)
+	g.notifyAll()
+}
+
+// Crashed reports whether the client is in the crashed-but-unrecovered
+// window.
+func (g *GLM) Crashed(c ident.ClientID) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.crashed[c]
+}
+
+// Holding is one (name, mode) pair held by a client.
+type Holding struct {
+	Name Name
+	Mode Mode
+}
+
+// HeldBy returns every lock the client holds; restart recovery sends
+// the crashed client its retained exclusive locks (§3.3).
+func (g *GLM) HeldBy(c ident.ClientID) []Holding {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var out []Holding
+	for p, pl := range g.pages {
+		if m, ok := pl.page[c]; ok {
+			out = append(out, Holding{Name: PageName(p), Mode: m})
+		}
+		for slot, owners := range pl.objs {
+			if m, ok := owners[c]; ok {
+				out = append(out, Holding{Name: Name{Page: p, Slot: slot}, Mode: m})
+			}
+		}
+	}
+	return out
+}
+
+// Install records a holding without conflict checking; server restart
+// recovery rebuilds the GLM from the LLM tables the clients report
+// (§3.4) and crashed-client recovery re-installs retained X locks.
+func (g *GLM) Install(c ident.ClientID, name Name, mode Mode) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.grant(c, name, mode)
+}
+
+// ReleaseAll removes every lock held by the client (used when a client
+// disconnects cleanly).
+func (g *GLM) ReleaseAll(c ident.ClientID) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for p, pl := range g.pages {
+		delete(pl.page, c)
+		for slot, owners := range pl.objs {
+			delete(owners, c)
+			if len(owners) == 0 {
+				delete(pl.objs, slot)
+			}
+		}
+		if pl.empty() {
+			delete(g.pages, p)
+		}
+	}
+	g.notifyAll()
+}
+
+// Stop aborts all waiting requests (server shutdown/crash).
+func (g *GLM) Stop() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.stopped = true
+	g.notifyAll()
+}
+
+// DumpState renders the lock table for debugging.
+func (g *GLM) DumpState() string {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := ""
+	for pid, pl := range g.pages {
+		out += fmt.Sprintf("page %d:\n", pid)
+		for c, m := range pl.page {
+			out += fmt.Sprintf("  page-lock %v %v\n", c, m)
+		}
+		for slot, owners := range pl.objs {
+			for c, m := range owners {
+				out += fmt.Sprintf("  obj %d.%d %v %v\n", pid, slot, c, m)
+			}
+		}
+	}
+	for w, bs := range g.waits {
+		out += fmt.Sprintf("wait: %v -> %v\n", w, bs)
+	}
+	for c := range g.crashed {
+		out += fmt.Sprintf("crashed: %v\n", c)
+	}
+	for wr := range g.waiting {
+		out += fmt.Sprintf("waitingReq: ticket=%d client=%v name=%v mode=%v\n", wr.ticket, wr.client, wr.name, wr.mode)
+	}
+	return out
+}

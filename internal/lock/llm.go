@@ -1,0 +1,516 @@
+package lock
+
+import (
+	"time"
+
+	"sync"
+
+	"clientlog/internal/ident"
+	"clientlog/internal/page"
+)
+
+// LocalResult is the outcome of an LLM acquisition attempt.
+type LocalResult int
+
+const (
+	// Granted means the lock was granted from the client's cache.
+	Granted LocalResult = iota
+	// NeedGlobal means the cache does not cover the request; the client
+	// must ask the server's GLM and then InstallCached the grant.
+	NeedGlobal
+)
+
+// LLM is a client's local lock manager.  It caches the locks the GLM
+// granted to this client across transaction boundaries
+// (inter-transaction lock caching) and grants them to local transactions
+// under strict two-phase locking.  It also keeps, per page, the list of
+// objects accessed by local transactions, which drives de-escalation
+// (§3.2).
+type LLM struct {
+	mu sync.Mutex
+	// cached are the client-level locks granted by the GLM.
+	cached map[Name]Mode
+	// use records active transactions' lock usage.  Object accesses are
+	// recorded under the object name even when covered by a cached page
+	// lock; structural page operations are recorded under the page name.
+	use map[Name]map[ident.TxnID]Mode
+	// accessed remembers, per object, the strongest mode any local
+	// transaction ever used it with while the client held covering
+	// locks; de-escalation retains object locks for these (the paper's
+	// "list of the objects accessed by local transactions", which spans
+	// committed transactions under inter-transaction caching).
+	accessed map[Name]Mode
+	// fences mark names with a pending callback: new conflicting local
+	// acquisitions wait until the callback completes.
+	fences map[Name]Mode
+	// waitsLocal is the transaction-level waits-for graph for local
+	// deadlock detection.
+	waitsLocal map[ident.TxnID]map[ident.TxnID]bool
+
+	waiters []chan struct{}
+	stopped bool
+	timeout time.Duration
+}
+
+// NewLLM returns an empty local lock manager whose blocking operations
+// give up after timeout (0 means a generous default).
+func NewLLM(timeout time.Duration) *LLM {
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	return &LLM{
+		cached:     make(map[Name]Mode),
+		use:        make(map[Name]map[ident.TxnID]Mode),
+		accessed:   make(map[Name]Mode),
+		fences:     make(map[Name]Mode),
+		waitsLocal: make(map[ident.TxnID]map[ident.TxnID]bool),
+		timeout:    timeout,
+	}
+}
+
+func (l *LLM) notifyAll() {
+	for _, ch := range l.waiters {
+		close(ch)
+	}
+	l.waiters = nil
+}
+
+// wait sleeps until the table changes or the deadline passes.  Called
+// with l.mu held; returns with l.mu held.
+func (l *LLM) wait(deadline time.Time) error {
+	ch := make(chan struct{})
+	l.waiters = append(l.waiters, ch)
+	l.mu.Unlock()
+	timer := time.NewTimer(time.Until(deadline))
+	select {
+	case <-ch:
+		timer.Stop()
+		l.mu.Lock()
+		return nil
+	case <-timer.C:
+		l.mu.Lock()
+		return ErrTimeout
+	}
+}
+
+// fenceBlocks reports whether a pending callback on name forbids a new
+// local acquisition with the given mode.  A fence in X takes the lock
+// away entirely; a fence in S leaves shared access.
+func fenceBlocks(fence Mode, mode Mode) bool {
+	if fence == X {
+		return true
+	}
+	return mode == X // fence == S keeps S available
+}
+
+// AcquireLocal grants name@mode to transaction t from the cache, blocks
+// while other local transactions or pending callbacks conflict, or
+// reports NeedGlobal when the server must be consulted.
+func (l *LLM) AcquireLocal(t ident.TxnID, name Name, mode Mode) (LocalResult, error) {
+	deadline := time.Now().Add(l.timeout)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.stopped {
+			return 0, ErrStopped
+		}
+		// Reentrant: the transaction already holds a sufficient use.
+		if Covers(l.use[name][t], mode) {
+			return Granted, nil
+		}
+		// Pending callbacks fence new conflicting acquisitions so the
+		// callback cannot be starved.  A transaction that already uses
+		// the name (or the covering page) bypasses the fence: the
+		// callback must wait for that transaction's end regardless, so
+		// letting it upgrade cannot extend the wait — while blocking it
+		// would deadlock the callback against its own holder.
+		ownUse := l.use[name][t] != None
+		if !name.IsPage && l.use[PageName(name.Page)][t] != None {
+			ownUse = true
+		}
+		if !ownUse {
+			if f, ok := l.fences[name]; ok && fenceBlocks(f, mode) {
+				if err := l.wait(deadline); err != nil {
+					return 0, err
+				}
+				continue
+			}
+			if !name.IsPage {
+				if f, ok := l.fences[PageName(name.Page)]; ok && fenceBlocks(f, mode) {
+					if err := l.wait(deadline); err != nil {
+						return 0, err
+					}
+					continue
+				}
+			}
+		}
+		// Conflicts with other local transactions (strict 2PL).
+		blockers := l.localConflicts(t, name, mode)
+		if len(blockers) > 0 {
+			l.waitsLocal[t] = blockers
+			if l.localCycle(t) {
+				delete(l.waitsLocal, t)
+				return 0, ErrDeadlock
+			}
+			err := l.wait(deadline)
+			delete(l.waitsLocal, t)
+			if err != nil {
+				return 0, err
+			}
+			continue
+		}
+		// Cache coverage.
+		if l.cacheCoversLocked(name, mode) {
+			l.recordUse(t, name, mode)
+			return Granted, nil
+		}
+		return NeedGlobal, nil
+	}
+}
+
+// RecordUse registers a transaction's use of a lock that was just
+// installed from a GLM grant (the caller re-ran AcquireLocal, so the
+// use may already exist; RecordUse is idempotent).
+func (l *LLM) recordUse(t ident.TxnID, name Name, mode Mode) {
+	owners := l.use[name]
+	if owners == nil {
+		owners = make(map[ident.TxnID]Mode)
+		l.use[name] = owners
+	}
+	owners[t] = Max(owners[t], mode)
+	if !name.IsPage {
+		l.accessed[name] = Max(l.accessed[name], mode)
+	}
+}
+
+// localConflicts returns the transactions blocking t's request.  Called
+// with l.mu held.
+func (l *LLM) localConflicts(t ident.TxnID, name Name, mode Mode) map[ident.TxnID]bool {
+	blockers := make(map[ident.TxnID]bool)
+	scan := func(n Name) {
+		for o, m := range l.use[n] {
+			if o != t && !Compatible(m, mode) {
+				blockers[o] = true
+			}
+		}
+	}
+	scan(name)
+	if name.IsPage {
+		// A page request conflicts with other transactions' object uses
+		// on the page.
+		for n, owners := range l.use {
+			if n.IsPage || n.Page != name.Page {
+				continue
+			}
+			for o, m := range owners {
+				if o != t && !Compatible(m, mode) {
+					blockers[o] = true
+				}
+			}
+		}
+	} else {
+		// An object request conflicts with other transactions' page-level
+		// uses (structural operations in progress).
+		scan(PageName(name.Page))
+	}
+	if len(blockers) == 0 {
+		return nil
+	}
+	return blockers
+}
+
+func (l *LLM) localCycle(t ident.TxnID) bool {
+	seen := make(map[ident.TxnID]bool)
+	var dfs func(n ident.TxnID) bool
+	dfs = func(n ident.TxnID) bool {
+		for b := range l.waitsLocal[n] {
+			if b == t {
+				return true
+			}
+			if !seen[b] {
+				seen[b] = true
+				if dfs(b) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return dfs(t)
+}
+
+func (l *LLM) cacheCoversLocked(name Name, mode Mode) bool {
+	if Covers(l.cached[name], mode) {
+		return true
+	}
+	if !name.IsPage && Covers(l.cached[PageName(name.Page)], mode) {
+		return true
+	}
+	return false
+}
+
+// CachesAny reports whether the client caches any lock on the name (or
+// the page covering it); such a request is an upgrade.
+func (l *LLM) CachesAny(name Name) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.cached[name] != None {
+		return true
+	}
+	return !name.IsPage && l.cached[PageName(name.Page)] != None
+}
+
+// CacheCovers reports whether the cached locks cover name@mode.
+func (l *LLM) CacheCovers(name Name, mode Mode) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cacheCoversLocked(name, mode)
+}
+
+// InstallCached records a lock granted by the GLM.
+func (l *LLM) InstallCached(name Name, mode Mode) {
+	l.mu.Lock()
+	l.cached[name] = Max(l.cached[name], mode)
+	l.notifyAll()
+	l.mu.Unlock()
+}
+
+// CachedMode returns the cached mode for name (None if absent).
+func (l *LLM) CachedMode(name Name) Mode {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.cached[name]
+}
+
+// ReleaseTxn drops every use of a terminated transaction; cached locks
+// are retained per inter-transaction caching.
+func (l *LLM) ReleaseTxn(t ident.TxnID) {
+	l.mu.Lock()
+	for n, owners := range l.use {
+		if _, ok := owners[t]; ok {
+			delete(owners, t)
+			if len(owners) == 0 {
+				delete(l.use, n)
+			}
+		}
+	}
+	delete(l.waitsLocal, t)
+	l.notifyAll()
+	l.mu.Unlock()
+}
+
+// TxnUses returns the names t currently uses with their modes.
+func (l *LLM) TxnUses(t ident.TxnID) []Holding {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Holding
+	for n, owners := range l.use {
+		if m, ok := owners[t]; ok {
+			out = append(out, Holding{Name: n, Mode: m})
+		}
+	}
+	return out
+}
+
+// UseMode returns the mode transaction t holds on name (None if none).
+func (l *LLM) UseMode(t ident.TxnID, name Name) Mode {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.use[name][t]
+}
+
+// CachedLocks snapshots the client-level cached locks; server restart
+// recovery collects them to rebuild the GLM tables (§3.4).
+func (l *LLM) CachedLocks() []Holding {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Holding, 0, len(l.cached))
+	for n, m := range l.cached {
+		out = append(out, Holding{Name: n, Mode: m})
+	}
+	return out
+}
+
+// SetFence marks a pending callback on name so that new conflicting
+// local acquisitions wait for its completion.
+func (l *LLM) SetFence(name Name, wanted Mode) {
+	l.mu.Lock()
+	l.fences[name] = Max(l.fences[name], wanted)
+	l.mu.Unlock()
+}
+
+// ClearFence removes the fence and wakes blocked acquisitions.
+func (l *LLM) ClearFence(name Name) {
+	l.mu.Lock()
+	delete(l.fences, name)
+	l.notifyAll()
+	l.mu.Unlock()
+}
+
+// WaitObjectFree blocks until no active transaction holds a use on obj
+// (or, for wanted==S, no exclusive use) and no structural page use
+// covers it; the callback handler then mutates the cache.
+func (l *LLM) WaitObjectFree(obj Name, wanted Mode) error {
+	deadline := time.Now().Add(l.timeout)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.stopped {
+			return ErrStopped
+		}
+		if l.objectFreeLocked(obj, wanted) {
+			return nil
+		}
+		if err := l.wait(deadline); err != nil {
+			return err
+		}
+	}
+}
+
+func (l *LLM) objectFreeLocked(obj Name, wanted Mode) bool {
+	check := func(n Name) bool {
+		for _, m := range l.use[n] {
+			if !Compatible(m, wanted) {
+				return false
+			}
+		}
+		return true
+	}
+	return check(obj) && check(PageName(obj.Page))
+}
+
+// WaitPageQuiesced blocks until no active transaction holds a
+// structural (page-name) use on pg; de-escalation then proceeds.
+func (l *LLM) WaitPageQuiesced(pg page.ID) error {
+	deadline := time.Now().Add(l.timeout)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for {
+		if l.stopped {
+			return ErrStopped
+		}
+		if len(l.use[PageName(pg)]) == 0 {
+			return nil
+		}
+		if err := l.wait(deadline); err != nil {
+			return err
+		}
+	}
+}
+
+// AccessedObjects returns the objects on pg that local transactions
+// accessed (active or committed, per inter-transaction caching) with
+// their strongest modes: the object locks to obtain when de-escalating
+// the page lock (§3.2).
+func (l *LLM) AccessedObjects(pg page.ID) []ObjLock {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []ObjLock
+	for n, m := range l.accessed {
+		if n.Page != pg || m == None {
+			continue
+		}
+		out = append(out, ObjLock{Slot: n.Slot, Mode: m})
+	}
+	return out
+}
+
+// DropCached removes a cached lock (callback in exclusive mode).
+func (l *LLM) DropCached(name Name) {
+	l.mu.Lock()
+	delete(l.cached, name)
+	if name.IsPage {
+		// Access history under the page lock dies with it unless object
+		// locks were installed by de-escalation first.
+		for n := range l.accessed {
+			if n.Page == name.Page {
+				if _, held := l.cached[n]; !held {
+					delete(l.accessed, n)
+				}
+			}
+		}
+	} else {
+		delete(l.accessed, name)
+	}
+	l.notifyAll()
+	l.mu.Unlock()
+}
+
+// DowngradeCached demotes a cached exclusive lock to shared (callback in
+// shared mode).
+func (l *LLM) DowngradeCached(name Name) {
+	l.mu.Lock()
+	if l.cached[name] == X {
+		l.cached[name] = S
+	}
+	if !name.IsPage && l.accessed[name] == X {
+		l.accessed[name] = S
+	}
+	l.notifyAll()
+	l.mu.Unlock()
+}
+
+// Deescalate replaces the cached page lock with the given object locks.
+func (l *LLM) Deescalate(pg page.ID, objs []ObjLock) {
+	l.mu.Lock()
+	delete(l.cached, PageName(pg))
+	for _, ol := range objs {
+		n := Name{Page: pg, Slot: ol.Slot}
+		l.cached[n] = Max(l.cached[n], ol.Mode)
+	}
+	l.notifyAll()
+	l.mu.Unlock()
+}
+
+// CachedObjLocks returns the object locks the cache holds on the page
+// (used by de-escalation replies so the GLM never drops a page lock
+// without installing the object locks that replace it, even when the
+// callback is stale or repeated).
+func (l *LLM) CachedObjLocks(pg page.ID) []ObjLock {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []ObjLock
+	for n, m := range l.cached {
+		if !n.IsPage && n.Page == pg && m != None {
+			out = append(out, ObjLock{Slot: n.Slot, Mode: m})
+		}
+	}
+	return out
+}
+
+// HoldsAnyOnPage reports whether the cache holds the page lock or any
+// object lock on pg; the client drops a page from its buffer only when
+// this is false (§3.2 object-level conflict handling).
+func (l *LLM) HoldsAnyOnPage(pg page.ID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.cached[PageName(pg)]; ok {
+		return true
+	}
+	for n := range l.cached {
+		if !n.IsPage && n.Page == pg {
+			return true
+		}
+	}
+	return false
+}
+
+// Clear wipes all state (client crash loses lock tables).
+func (l *LLM) Clear() {
+	l.mu.Lock()
+	l.cached = make(map[Name]Mode)
+	l.use = make(map[Name]map[ident.TxnID]Mode)
+	l.accessed = make(map[Name]Mode)
+	l.fences = make(map[Name]Mode)
+	l.waitsLocal = make(map[ident.TxnID]map[ident.TxnID]bool)
+	l.notifyAll()
+	l.mu.Unlock()
+}
+
+// Stop aborts all blocked operations.
+func (l *LLM) Stop() {
+	l.mu.Lock()
+	l.stopped = true
+	l.notifyAll()
+	l.mu.Unlock()
+}

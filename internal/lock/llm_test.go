@@ -1,0 +1,249 @@
+package lock
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"clientlog/internal/ident"
+)
+
+var (
+	t1 = ident.MakeTxnID(1, 1)
+	t2 = ident.MakeTxnID(1, 2)
+)
+
+func TestLLMCacheMissThenInstall(t *testing.T) {
+	l := NewLLM(time.Second)
+	res, err := l.AcquireLocal(t1, obj(1, 0), X)
+	if err != nil || res != NeedGlobal {
+		t.Fatalf("cold cache: res=%v err=%v", res, err)
+	}
+	l.InstallCached(obj(1, 0), X)
+	res, err = l.AcquireLocal(t1, obj(1, 0), X)
+	if err != nil || res != Granted {
+		t.Fatalf("after install: res=%v err=%v", res, err)
+	}
+	if l.UseMode(t1, obj(1, 0)) != X {
+		t.Fatal("use not recorded")
+	}
+}
+
+func TestLLMPageLockCoversObjects(t *testing.T) {
+	l := NewLLM(time.Second)
+	l.InstallCached(PageName(1), X)
+	for slot := uint16(0); slot < 3; slot++ {
+		res, err := l.AcquireLocal(t1, obj(1, slot), X)
+		if err != nil || res != Granted {
+			t.Fatalf("slot %d: res=%v err=%v", slot, res, err)
+		}
+	}
+	// Accessed objects feed de-escalation.
+	objs := l.AccessedObjects(1)
+	if len(objs) != 3 {
+		t.Fatalf("AccessedObjects = %v", objs)
+	}
+	for _, ol := range objs {
+		if ol.Mode != X {
+			t.Fatalf("mode %v, want X", ol.Mode)
+		}
+	}
+}
+
+func TestLLMInterTxnCaching(t *testing.T) {
+	l := NewLLM(time.Second)
+	l.InstallCached(obj(1, 0), X)
+	if res, _ := l.AcquireLocal(t1, obj(1, 0), X); res != Granted {
+		t.Fatal("t1 not granted")
+	}
+	l.ReleaseTxn(t1)
+	// The cached lock survives the transaction (inter-transaction
+	// caching): t2 gets it locally without a server round trip.
+	if res, _ := l.AcquireLocal(t2, obj(1, 0), X); res != Granted {
+		t.Fatal("lock not retained across transactions")
+	}
+}
+
+func TestLLMLocalConflictBlocksUntilRelease(t *testing.T) {
+	l := NewLLM(2 * time.Second)
+	l.InstallCached(obj(1, 0), X)
+	if res, _ := l.AcquireLocal(t1, obj(1, 0), X); res != Granted {
+		t.Fatal("setup")
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := l.AcquireLocal(t2, obj(1, 0), X)
+		done <- err
+	}()
+	select {
+	case <-done:
+		t.Fatal("t2 acquired a lock t1 holds")
+	case <-time.After(30 * time.Millisecond):
+	}
+	l.ReleaseTxn(t1)
+	if err := <-done; err != nil {
+		t.Fatalf("t2 after release: %v", err)
+	}
+}
+
+func TestLLMSharedReadersCoexistLocally(t *testing.T) {
+	l := NewLLM(time.Second)
+	l.InstallCached(obj(1, 0), S)
+	if res, _ := l.AcquireLocal(t1, obj(1, 0), S); res != Granted {
+		t.Fatal("t1")
+	}
+	if res, _ := l.AcquireLocal(t2, obj(1, 0), S); res != Granted {
+		t.Fatal("t2")
+	}
+}
+
+func TestLLMLocalDeadlock(t *testing.T) {
+	l := NewLLM(5 * time.Second)
+	l.InstallCached(obj(1, 0), X)
+	l.InstallCached(obj(1, 1), X)
+	if res, _ := l.AcquireLocal(t1, obj(1, 0), X); res != Granted {
+		t.Fatal("setup t1")
+	}
+	if res, _ := l.AcquireLocal(t2, obj(1, 1), X); res != Granted {
+		t.Fatal("setup t2")
+	}
+	errs := make(chan error, 2)
+	go func() { _, err := l.AcquireLocal(t1, obj(1, 1), X); errs <- err }()
+	go func() { _, err := l.AcquireLocal(t2, obj(1, 0), X); errs <- err }()
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("got %v, want ErrDeadlock", err)
+		}
+	case <-time.After(4 * time.Second):
+		t.Fatal("local deadlock not detected")
+	}
+}
+
+func TestLLMFenceBlocksNewAcquisitions(t *testing.T) {
+	l := NewLLM(2 * time.Second)
+	l.InstallCached(obj(1, 0), X)
+	l.SetFence(obj(1, 0), X)
+	done := make(chan struct{})
+	go func() {
+		// Blocks on the fence; once it clears, the cache was dropped, so
+		// the request must go global.
+		res, err := l.AcquireLocal(t1, obj(1, 0), X)
+		if err != nil || res != NeedGlobal {
+			t.Errorf("after fence: res=%v err=%v", res, err)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("fence did not block")
+	case <-time.After(30 * time.Millisecond):
+	}
+	l.DropCached(obj(1, 0))
+	l.ClearFence(obj(1, 0))
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("acquisition stuck after fence cleared")
+	}
+}
+
+func TestLLMFenceSharedKeepsReaders(t *testing.T) {
+	l := NewLLM(time.Second)
+	l.InstallCached(obj(1, 0), X)
+	l.SetFence(obj(1, 0), S) // downgrade pending: shared access survives
+	if res, err := l.AcquireLocal(t1, obj(1, 0), S); err != nil || res != Granted {
+		t.Fatalf("S under S-fence: res=%v err=%v", res, err)
+	}
+}
+
+func TestLLMWaitObjectFree(t *testing.T) {
+	l := NewLLM(2 * time.Second)
+	l.InstallCached(obj(1, 0), X)
+	if res, _ := l.AcquireLocal(t1, obj(1, 0), X); res != Granted {
+		t.Fatal("setup")
+	}
+	done := make(chan error, 1)
+	go func() { done <- l.WaitObjectFree(obj(1, 0), X) }()
+	select {
+	case <-done:
+		t.Fatal("object reported free while t1 uses it")
+	case <-time.After(30 * time.Millisecond):
+	}
+	l.ReleaseTxn(t1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLLMWaitObjectFreeSharedWanted(t *testing.T) {
+	l := NewLLM(time.Second)
+	l.InstallCached(obj(1, 0), S)
+	if res, _ := l.AcquireLocal(t1, obj(1, 0), S); res != Granted {
+		t.Fatal("setup")
+	}
+	// A downgrade callback (wanted S) is satisfiable while readers are
+	// active.
+	if err := l.WaitObjectFree(obj(1, 0), S); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLLMDeescalate(t *testing.T) {
+	l := NewLLM(time.Second)
+	l.InstallCached(PageName(1), X)
+	if res, _ := l.AcquireLocal(t1, obj(1, 2), X); res != Granted {
+		t.Fatal("setup")
+	}
+	l.ReleaseTxn(t1)
+	if err := l.WaitPageQuiesced(1); err != nil {
+		t.Fatal(err)
+	}
+	l.Deescalate(1, []ObjLock{{Slot: 2, Mode: X}})
+	if l.CachedMode(PageName(1)) != None {
+		t.Fatal("page lock survived de-escalation")
+	}
+	if l.CachedMode(obj(1, 2)) != X {
+		t.Fatal("object lock not installed by de-escalation")
+	}
+	if !l.HoldsAnyOnPage(1) {
+		t.Fatal("HoldsAnyOnPage")
+	}
+	l.DropCached(obj(1, 2))
+	if l.HoldsAnyOnPage(1) {
+		t.Fatal("HoldsAnyOnPage after drop")
+	}
+}
+
+func TestLLMStructuralPageUseBlocksObjects(t *testing.T) {
+	l := NewLLM(2 * time.Second)
+	l.InstallCached(PageName(1), X)
+	// t1 performs a structural operation: page-name use.
+	if res, _ := l.AcquireLocal(t1, PageName(1), X); res != Granted {
+		t.Fatal("setup")
+	}
+	done := make(chan error, 1)
+	go func() { _, err := l.AcquireLocal(t2, obj(1, 0), S); done <- err }()
+	select {
+	case <-done:
+		t.Fatal("object acquired during structural operation")
+	case <-time.After(30 * time.Millisecond):
+	}
+	l.ReleaseTxn(t1)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLLMClearAndCachedLocks(t *testing.T) {
+	l := NewLLM(time.Second)
+	l.InstallCached(obj(1, 0), X)
+	l.InstallCached(PageName(2), S)
+	if got := len(l.CachedLocks()); got != 2 {
+		t.Fatalf("CachedLocks = %d entries", got)
+	}
+	l.Clear()
+	if got := len(l.CachedLocks()); got != 0 {
+		t.Fatalf("after Clear: %d entries", got)
+	}
+}

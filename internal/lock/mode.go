@@ -1,0 +1,85 @@
+// Package lock implements the two-tier lock management of the paper:
+// a server-side Global Lock Manager (GLM) that grants page- and
+// object-level locks to clients, and a client-side Local Lock Manager
+// (LLM) that caches those locks across transaction boundaries and grants
+// them to local transactions under strict two-phase locking.
+//
+// Cache consistency follows the callback locking protocol: a conflicting
+// request at the GLM triggers callback messages to the holding clients,
+// which release or downgrade their cached locks as soon as no local
+// transaction uses them.  Page-level conflicts are resolved by
+// de-escalation (§3.2): the holder replaces its page lock with object
+// locks for the objects its transactions accessed.  Lock granularity is
+// adaptive per Carey-Franklin-Zaharioudakis: an object request is
+// answered with a page lock when nobody else is interested in the page.
+package lock
+
+import (
+	"fmt"
+
+	"clientlog/internal/page"
+)
+
+// Mode is a lock mode.
+type Mode uint8
+
+const (
+	// None is the absence of a lock.
+	None Mode = iota
+	// S is a shared (read) lock.
+	S
+	// X is an exclusive (write) lock.
+	X
+)
+
+func (m Mode) String() string {
+	switch m {
+	case None:
+		return "-"
+	case S:
+		return "S"
+	case X:
+		return "X"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Compatible reports whether two locks held by different owners may
+// coexist.
+func Compatible(a, b Mode) bool { return a == S && b == S }
+
+// Covers reports whether holding mode a satisfies a request for mode b.
+func Covers(a, b Mode) bool { return a >= b }
+
+// Max returns the stronger of two modes.
+func Max(a, b Mode) Mode {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Name identifies a lockable resource: either a whole page or one
+// object.  The page lock is the parent of all object locks on the page.
+type Name struct {
+	Page   page.ID
+	Slot   uint16
+	IsPage bool
+}
+
+// PageName returns the lock name of a whole page.
+func PageName(p page.ID) Name { return Name{Page: p, IsPage: true} }
+
+// ObjName returns the lock name of an object.
+func ObjName(o page.ObjectID) Name { return Name{Page: o.Page, Slot: o.Slot} }
+
+// Object returns the object a non-page name refers to.
+func (n Name) Object() page.ObjectID { return page.ObjectID{Page: n.Page, Slot: n.Slot} }
+
+func (n Name) String() string {
+	if n.IsPage {
+		return fmt.Sprintf("page(%d)", n.Page)
+	}
+	return fmt.Sprintf("obj(%d.%d)", n.Page, n.Slot)
+}

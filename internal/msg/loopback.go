@@ -1,0 +1,262 @@
+package msg
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clientlog/internal/ident"
+	"clientlog/internal/lock"
+	"clientlog/internal/page"
+)
+
+// Stats counts protocol traffic.  The loopback transport updates it; the
+// experiments in EXPERIMENTS.md report messages and bytes per commit for
+// the different schemes (the paper argues its protocol sends strictly
+// fewer synchronization messages than the update-token approach and no
+// commit-time shipments at all).
+type Stats struct {
+	msgs  atomic.Uint64
+	bytes atomic.Uint64
+
+	mu     sync.Mutex
+	byName map[string]uint64
+}
+
+// NewStats returns zeroed counters.
+func NewStats() *Stats { return &Stats{byName: make(map[string]uint64)} }
+
+func (s *Stats) add(name string, msgs int, bytes int) {
+	if s == nil {
+		return
+	}
+	s.msgs.Add(uint64(msgs))
+	s.bytes.Add(uint64(bytes))
+	s.mu.Lock()
+	s.byName[name] += uint64(msgs)
+	s.mu.Unlock()
+}
+
+// Messages returns the total message count (requests and replies).
+func (s *Stats) Messages() uint64 { return s.msgs.Load() }
+
+// Bytes returns the approximate total bytes on the wire.
+func (s *Stats) Bytes() uint64 { return s.bytes.Load() }
+
+// ByName returns a copy of the per-call-type message counts.
+func (s *Stats) ByName() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.byName))
+	for k, v := range s.byName {
+		out[k] = v
+	}
+	return out
+}
+
+// msgOverhead approximates the framing + fixed-field bytes of one
+// message.
+const msgOverhead = 64
+
+func imagesLen(images [][]byte) int {
+	n := 0
+	for _, im := range images {
+		n += len(im)
+	}
+	return n
+}
+
+// LoopbackServer wraps a Server, charging each call with transport
+// latency and recording traffic.  A zero Latency makes calls direct.
+type LoopbackServer struct {
+	Inner   Server
+	Latency time.Duration // one-way; an RPC costs twice this
+	Stats   *Stats
+}
+
+func (l *LoopbackServer) rpc(name string, payload int) {
+	if l.Latency > 0 {
+		time.Sleep(2 * l.Latency)
+	}
+	l.Stats.add(name, 2, 2*msgOverhead+payload)
+}
+
+// Register implements Server.
+func (l *LoopbackServer) Register(r RegisterReq) (RegisterReply, error) {
+	l.rpc("register", 0)
+	return l.Inner.Register(r)
+}
+
+// Lock implements Server.
+func (l *LoopbackServer) Lock(r LockReq) (LockReply, error) {
+	l.rpc("lock", 16)
+	return l.Inner.Lock(r)
+}
+
+// Unlock implements Server.
+func (l *LoopbackServer) Unlock(r UnlockReq) error {
+	l.rpc("unlock", 8*len(r.Objs))
+	return l.Inner.Unlock(r)
+}
+
+// Fetch implements Server.
+func (l *LoopbackServer) Fetch(r FetchReq) (FetchReply, error) {
+	reply, err := l.Inner.Fetch(r)
+	l.rpc("fetch", len(reply.Image))
+	return reply, err
+}
+
+// Ship implements Server.
+func (l *LoopbackServer) Ship(r ShipReq) error {
+	l.rpc("ship", len(r.Image))
+	return l.Inner.Ship(r)
+}
+
+// Force implements Server.
+func (l *LoopbackServer) Force(r ForceReq) (ForceReply, error) {
+	l.rpc("force", 0)
+	return l.Inner.Force(r)
+}
+
+// Alloc implements Server.
+func (l *LoopbackServer) Alloc(r AllocReq) (FetchReply, error) {
+	reply, err := l.Inner.Alloc(r)
+	l.rpc("alloc", len(reply.Image))
+	return reply, err
+}
+
+// Free implements Server.
+func (l *LoopbackServer) Free(r FreeReq) error {
+	l.rpc("free", 0)
+	return l.Inner.Free(r)
+}
+
+// CommitShip implements Server.
+func (l *LoopbackServer) CommitShip(r CommitShipReq) error {
+	l.rpc("commit-ship", imagesLen(r.Records)+imagesLen(r.Pages))
+	return l.Inner.CommitShip(r)
+}
+
+// Token implements Server.
+func (l *LoopbackServer) Token(r TokenReq) (TokenReply, error) {
+	reply, err := l.Inner.Token(r)
+	l.rpc("token", len(reply.Image))
+	return reply, err
+}
+
+// RecoveryFetch implements Server.
+func (l *LoopbackServer) RecoveryFetch(r RecoveryFetchReq) (FetchReply, error) {
+	reply, err := l.Inner.RecoveryFetch(r)
+	l.rpc("recovery-fetch", len(reply.Image))
+	return reply, err
+}
+
+// LogOp implements Server.
+func (l *LoopbackServer) LogOp(r LogReq) (LogReply, error) {
+	reply, err := l.Inner.LogOp(r)
+	l.rpc("log-op", len(r.Payload)+len(reply.Payload))
+	return reply, err
+}
+
+// Reinstall implements Server.
+func (l *LoopbackServer) Reinstall(c ident.ClientID, holds []lock.Holding) error {
+	l.rpc("reinstall", 16*len(holds))
+	return l.Inner.Reinstall(c, holds)
+}
+
+// RecoverQuery implements Server.
+func (l *LoopbackServer) RecoverQuery(c ident.ClientID, pages []page.ID) ([]DCTRow, error) {
+	rows, err := l.Inner.RecoverQuery(c, pages)
+	l.rpc("recover-query", 8*len(pages)+16*len(rows))
+	return rows, err
+}
+
+// RecoverEnd implements Server.
+func (l *LoopbackServer) RecoverEnd(c ident.ClientID) error {
+	l.rpc("recover-end", 0)
+	return l.Inner.RecoverEnd(c)
+}
+
+// Disconnect implements Server.
+func (l *LoopbackServer) Disconnect(c ident.ClientID) error {
+	l.rpc("disconnect", 0)
+	return l.Inner.Disconnect(c)
+}
+
+// LoopbackClient wraps a Client (the server's view of one client) with
+// the same latency/accounting treatment.
+type LoopbackClient struct {
+	Inner   Client
+	Latency time.Duration
+	Stats   *Stats
+}
+
+func (l *LoopbackClient) rpc(name string, payload int) {
+	if l.Latency > 0 {
+		time.Sleep(2 * l.Latency)
+	}
+	l.Stats.add(name, 2, 2*msgOverhead+payload)
+}
+
+// CallbackObject implements Client.
+func (l *LoopbackClient) CallbackObject(r CallbackReq) (CallbackReply, error) {
+	reply, err := l.Inner.CallbackObject(r)
+	l.rpc("cb-object", len(reply.Image))
+	return reply, err
+}
+
+// DeescalatePage implements Client.
+func (l *LoopbackClient) DeescalatePage(r DeescReq) (DeescReply, error) {
+	reply, err := l.Inner.DeescalatePage(r)
+	l.rpc("cb-deescalate", len(reply.Image)+8*len(reply.Objs))
+	return reply, err
+}
+
+// RecallToken implements Client.
+func (l *LoopbackClient) RecallToken(p page.ID) (TokenReply, error) {
+	reply, err := l.Inner.RecallToken(p)
+	l.rpc("recall-token", len(reply.Image))
+	return reply, err
+}
+
+// RecoveryShipUpTo implements Client.
+func (l *LoopbackClient) RecoveryShipUpTo(p page.ID, psn page.PSN) error {
+	l.rpc("recovery-ship-up-to", 0)
+	return l.Inner.RecoveryShipUpTo(p, psn)
+}
+
+// NotifyFlushed implements Client (one-way: one message).
+func (l *LoopbackClient) NotifyFlushed(p page.ID, psn page.PSN) {
+	if l.Latency > 0 {
+		time.Sleep(l.Latency)
+	}
+	l.Stats.add("notify-flushed", 1, msgOverhead)
+	l.Inner.NotifyFlushed(p, psn)
+}
+
+// RecoveryInfo implements Client.
+func (l *LoopbackClient) RecoveryInfo() (RecoveryInfoReply, error) {
+	reply, err := l.Inner.RecoveryInfo()
+	l.rpc("recovery-info", 16*(len(reply.DPT)+len(reply.Cached)+len(reply.Locks)))
+	return reply, err
+}
+
+// FetchCached implements Client.
+func (l *LoopbackClient) FetchCached(ids []page.ID) ([][]byte, error) {
+	images, err := l.Inner.FetchCached(ids)
+	l.rpc("fetch-cached", imagesLen(images))
+	return images, err
+}
+
+// CallbackList implements Client.
+func (l *LoopbackClient) CallbackList(r CallbackListReq) (CallbackListReply, error) {
+	reply, err := l.Inner.CallbackList(r)
+	l.rpc("callback-list", 24*len(reply.Entries))
+	return reply, err
+}
+
+// RecoverPage implements Client.
+func (l *LoopbackClient) RecoverPage(r RecoverPageReq) error {
+	l.rpc("recover-page", len(r.Image)+24*len(r.Callbacks))
+	return l.Inner.RecoverPage(r)
+}

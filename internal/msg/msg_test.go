@@ -1,0 +1,133 @@
+package msg
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"clientlog/internal/ident"
+	"clientlog/internal/lock"
+	"clientlog/internal/page"
+)
+
+// fakeServer counts calls and returns canned replies.
+type fakeServer struct {
+	mu    sync.Mutex
+	calls map[string]int
+}
+
+func newFakeServer() *fakeServer { return &fakeServer{calls: make(map[string]int)} }
+
+func (f *fakeServer) hit(name string) {
+	f.mu.Lock()
+	f.calls[name]++
+	f.mu.Unlock()
+}
+
+func (f *fakeServer) Register(RegisterReq) (RegisterReply, error) {
+	f.hit("register")
+	return RegisterReply{ID: 1}, nil
+}
+func (f *fakeServer) Lock(LockReq) (LockReply, error) { f.hit("lock"); return LockReply{}, nil }
+func (f *fakeServer) Unlock(UnlockReq) error          { f.hit("unlock"); return nil }
+func (f *fakeServer) Fetch(FetchReq) (FetchReply, error) {
+	f.hit("fetch")
+	return FetchReply{Image: make([]byte, 128)}, nil
+}
+func (f *fakeServer) Ship(ShipReq) error { f.hit("ship"); return nil }
+func (f *fakeServer) Force(ForceReq) (ForceReply, error) {
+	f.hit("force")
+	return ForceReply{}, nil
+}
+func (f *fakeServer) Alloc(AllocReq) (FetchReply, error) {
+	f.hit("alloc")
+	return FetchReply{}, nil
+}
+func (f *fakeServer) Free(FreeReq) error             { f.hit("free"); return nil }
+func (f *fakeServer) CommitShip(CommitShipReq) error { f.hit("commit-ship"); return nil }
+func (f *fakeServer) Token(TokenReq) (TokenReply, error) {
+	f.hit("token")
+	return TokenReply{}, nil
+}
+func (f *fakeServer) RecoveryFetch(RecoveryFetchReq) (FetchReply, error) {
+	f.hit("recovery-fetch")
+	return FetchReply{}, nil
+}
+func (f *fakeServer) Reinstall(ident.ClientID, []lock.Holding) error {
+	f.hit("reinstall")
+	return nil
+}
+func (f *fakeServer) RecoverQuery(ident.ClientID, []page.ID) ([]DCTRow, error) {
+	f.hit("recover-query")
+	return nil, nil
+}
+func (f *fakeServer) LogOp(LogReq) (LogReply, error) { f.hit("log-op"); return LogReply{}, nil }
+func (f *fakeServer) RecoverEnd(ident.ClientID) error {
+	f.hit("recover-end")
+	return nil
+}
+func (f *fakeServer) Disconnect(ident.ClientID) error { f.hit("disconnect"); return nil }
+
+func TestLoopbackServerCountsMessages(t *testing.T) {
+	stats := NewStats()
+	lb := &LoopbackServer{Inner: newFakeServer(), Stats: stats}
+	if _, err := lb.Register(RegisterReq{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lb.Fetch(FetchReq{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := lb.Ship(ShipReq{Image: make([]byte, 256)}); err != nil {
+		t.Fatal(err)
+	}
+	// 3 RPCs = 6 messages.
+	if got := stats.Messages(); got != 6 {
+		t.Fatalf("messages = %d, want 6", got)
+	}
+	// Bytes must account for the page images plus per-message overhead.
+	if got := stats.Bytes(); got < 128+256 {
+		t.Fatalf("bytes = %d, too low", got)
+	}
+	byName := stats.ByName()
+	if byName["fetch"] != 2 || byName["ship"] != 2 || byName["register"] != 2 {
+		t.Fatalf("per-call counts: %v", byName)
+	}
+}
+
+func TestLoopbackLatencyApplied(t *testing.T) {
+	stats := NewStats()
+	lb := &LoopbackServer{Inner: newFakeServer(), Latency: 5 * time.Millisecond, Stats: stats}
+	start := time.Now()
+	if _, err := lb.Lock(LockReq{}); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 10*time.Millisecond {
+		t.Fatalf("RPC took %v, want >= 2x one-way latency", elapsed)
+	}
+}
+
+func TestLoopbackErrorsPassThrough(t *testing.T) {
+	wantErr := errors.New("boom")
+	lb := &LoopbackServer{Inner: &failingServer{fakeServer: newFakeServer(), err: wantErr}, Stats: NewStats()}
+	if err := lb.Ship(ShipReq{}); !errors.Is(err, wantErr) {
+		t.Fatalf("got %v, want passthrough", err)
+	}
+}
+
+type failingServer struct {
+	*fakeServer
+	err error
+}
+
+func (f *failingServer) Ship(ShipReq) error { return f.err }
+
+func TestStatsNilSafe(t *testing.T) {
+	// A nil *Stats must be usable (tools that don't care about metrics).
+	var s *Stats
+	s.add("x", 1, 1) // must not panic
+	lb := &LoopbackServer{Inner: newFakeServer()}
+	if _, err := lb.Force(ForceReq{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,210 @@
+package netrpc
+
+import (
+	"fmt"
+	"net"
+
+	"clientlog/internal/ident"
+	"clientlog/internal/lock"
+	"clientlog/internal/msg"
+	"clientlog/internal/page"
+)
+
+// Transport is the client side of a TCP session: it implements
+// msg.Server (requests travel to the remote server) and serves the
+// server's callbacks against the local msg.Client handler installed
+// with SetLocal.
+type Transport struct {
+	conn *rpcConn
+}
+
+// Dial connects to a server started with Serve.
+func Dial(addr string) (*Transport, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	t := &Transport{conn: newRPCConn(c)}
+	go t.conn.serve()
+	return t, nil
+}
+
+// SetLocal installs the local client engine as the handler for
+// server-initiated callbacks.  It must be called right after the engine
+// is constructed; callbacks arriving earlier wait.
+func (t *Transport) SetLocal(local msg.Client) {
+	t.conn.setHandler(func(method string, body interface{}) (interface{}, error) {
+		switch method {
+		case "cb.object":
+			return local.CallbackObject(body.(msg.CallbackReq))
+		case "cb.deescalate":
+			return local.DeescalatePage(body.(msg.DeescReq))
+		case "cb.recall-token":
+			return local.RecallToken(body.(pageIDBody).P)
+		case "cb.ship-up-to":
+			b := body.(shipUpToBody)
+			return nil, local.RecoveryShipUpTo(b.P, b.PSN)
+		case "cb.flushed":
+			b := body.(shipUpToBody)
+			local.NotifyFlushed(b.P, b.PSN)
+			return nil, nil
+		case "cb.recovery-info":
+			return local.RecoveryInfo()
+		case "cb.fetch-cached":
+			images, err := local.FetchCached(body.(fetchCachedBody).IDs)
+			if err != nil {
+				return nil, err
+			}
+			return imagesBody{Images: images}, nil
+		case "cb.callback-list":
+			return local.CallbackList(body.(msg.CallbackListReq))
+		case "cb.recover-page":
+			return nil, local.RecoverPage(body.(msg.RecoverPageReq))
+		default:
+			return nil, fmt.Errorf("netrpc: unknown callback %q", method)
+		}
+	})
+}
+
+// Close drops the session.
+func (t *Transport) Close() error { return t.conn.Close() }
+
+// --- msg.Server implementation ---
+
+// Register implements msg.Server.
+func (t *Transport) Register(req msg.RegisterReq) (msg.RegisterReply, error) {
+	body, err := t.conn.call("register", req)
+	if err != nil {
+		return msg.RegisterReply{}, err
+	}
+	return body.(msg.RegisterReply), nil
+}
+
+// Lock implements msg.Server.
+func (t *Transport) Lock(req msg.LockReq) (msg.LockReply, error) {
+	body, err := t.conn.call("lock", req)
+	if err != nil {
+		return msg.LockReply{}, mapLockErr(err)
+	}
+	return body.(msg.LockReply), nil
+}
+
+// mapLockErr restores the typed lock errors that string-travelled over
+// the wire so errors.Is keeps working at the client.
+func mapLockErr(err error) error {
+	switch err.Error() {
+	case lock.ErrDeadlock.Error():
+		return lock.ErrDeadlock
+	case lock.ErrTimeout.Error():
+		return lock.ErrTimeout
+	case lock.ErrStopped.Error():
+		return lock.ErrStopped
+	default:
+		return err
+	}
+}
+
+// Unlock implements msg.Server.
+func (t *Transport) Unlock(req msg.UnlockReq) error {
+	_, err := t.conn.call("unlock", req)
+	return err
+}
+
+// Fetch implements msg.Server.
+func (t *Transport) Fetch(req msg.FetchReq) (msg.FetchReply, error) {
+	body, err := t.conn.call("fetch", req)
+	if err != nil {
+		return msg.FetchReply{}, err
+	}
+	return body.(msg.FetchReply), nil
+}
+
+// Ship implements msg.Server.
+func (t *Transport) Ship(req msg.ShipReq) error {
+	_, err := t.conn.call("ship", req)
+	return err
+}
+
+// Force implements msg.Server.
+func (t *Transport) Force(req msg.ForceReq) (msg.ForceReply, error) {
+	body, err := t.conn.call("force", req)
+	if err != nil {
+		return msg.ForceReply{}, err
+	}
+	return body.(msg.ForceReply), nil
+}
+
+// Alloc implements msg.Server.
+func (t *Transport) Alloc(req msg.AllocReq) (msg.FetchReply, error) {
+	body, err := t.conn.call("alloc", req)
+	if err != nil {
+		return msg.FetchReply{}, err
+	}
+	return body.(msg.FetchReply), nil
+}
+
+// Free implements msg.Server.
+func (t *Transport) Free(req msg.FreeReq) error {
+	_, err := t.conn.call("free", req)
+	return err
+}
+
+// CommitShip implements msg.Server.
+func (t *Transport) CommitShip(req msg.CommitShipReq) error {
+	_, err := t.conn.call("commit-ship", req)
+	return err
+}
+
+// Token implements msg.Server.
+func (t *Transport) Token(req msg.TokenReq) (msg.TokenReply, error) {
+	body, err := t.conn.call("token", req)
+	if err != nil {
+		return msg.TokenReply{}, err
+	}
+	return body.(msg.TokenReply), nil
+}
+
+// RecoveryFetch implements msg.Server.
+func (t *Transport) RecoveryFetch(req msg.RecoveryFetchReq) (msg.FetchReply, error) {
+	body, err := t.conn.call("recovery-fetch", req)
+	if err != nil {
+		return msg.FetchReply{}, err
+	}
+	return body.(msg.FetchReply), nil
+}
+
+// Reinstall implements msg.Server.
+func (t *Transport) Reinstall(c ident.ClientID, holds []lock.Holding) error {
+	_, err := t.conn.call("reinstall", reinstallBody{C: c, Holds: holds})
+	return err
+}
+
+// RecoverQuery implements msg.Server.
+func (t *Transport) RecoverQuery(c ident.ClientID, pages []page.ID) ([]msg.DCTRow, error) {
+	body, err := t.conn.call("recover-query", recoverQueryBody{C: c, Pages: pages})
+	if err != nil {
+		return nil, err
+	}
+	return body.(dctRowsBody).Rows, nil
+}
+
+// LogOp implements msg.Server.
+func (t *Transport) LogOp(req msg.LogReq) (msg.LogReply, error) {
+	body, err := t.conn.call("log-op", req)
+	if err != nil {
+		return msg.LogReply{}, err
+	}
+	return body.(msg.LogReply), nil
+}
+
+// RecoverEnd implements msg.Server.
+func (t *Transport) RecoverEnd(c ident.ClientID) error {
+	_, err := t.conn.call("recover-end", clientIDBody{C: c})
+	return err
+}
+
+// Disconnect implements msg.Server.
+func (t *Transport) Disconnect(c ident.ClientID) error {
+	_, err := t.conn.call("disconnect", clientIDBody{C: c})
+	return err
+}

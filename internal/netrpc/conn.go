@@ -1,0 +1,159 @@
+package netrpc
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// ErrClosed reports use of a closed RPC connection.
+var ErrClosed = errors.New("netrpc: connection closed")
+
+// handlerFunc serves one incoming request.
+type handlerFunc func(method string, body interface{}) (interface{}, error)
+
+// rpcConn is a duplex RPC endpoint over one TCP connection: both sides
+// issue requests and serve the peer's.
+type rpcConn struct {
+	c   net.Conn
+	enc *gob.Encoder
+	dec *gob.Decoder
+
+	wmu sync.Mutex // serializes writes
+
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan envelope
+	closed  bool
+	onClose func()
+
+	handler handlerFunc
+	hset    chan struct{} // closed once handler installed
+	honce   sync.Once
+}
+
+func newRPCConn(c net.Conn) *rpcConn {
+	return &rpcConn{
+		c:       c,
+		enc:     gob.NewEncoder(c),
+		dec:     gob.NewDecoder(c),
+		pending: make(map[uint64]chan envelope),
+		hset:    make(chan struct{}),
+	}
+}
+
+// setHandler installs the incoming-request handler; requests arriving
+// earlier wait for it.
+func (r *rpcConn) setHandler(h handlerFunc) {
+	r.handler = h
+	r.honce.Do(func() { close(r.hset) })
+}
+
+// serve runs the read loop until the connection dies.
+func (r *rpcConn) serve() {
+	for {
+		var env envelope
+		if err := r.dec.Decode(&env); err != nil {
+			r.shutdown()
+			return
+		}
+		if env.Reply {
+			r.mu.Lock()
+			ch := r.pending[env.ID]
+			delete(r.pending, env.ID)
+			r.mu.Unlock()
+			if ch != nil {
+				ch <- env
+			}
+			continue
+		}
+		go r.dispatch(env)
+	}
+}
+
+func (r *rpcConn) dispatch(env envelope) {
+	<-r.hset
+	body, err := r.handler(env.Method, env.Body)
+	if env.ID == 0 {
+		return // one-way
+	}
+	reply := envelope{ID: env.ID, Reply: true, Body: body}
+	if err != nil {
+		reply.Err = err.Error()
+	}
+	if reply.Body == nil {
+		reply.Body = emptyBody{}
+	}
+	r.send(reply)
+}
+
+func (r *rpcConn) send(env envelope) error {
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	if err := r.enc.Encode(&env); err != nil {
+		r.shutdown()
+		return fmt.Errorf("netrpc: send %s: %w", env.Method, err)
+	}
+	return nil
+}
+
+// call issues a request and blocks for the reply.
+func (r *rpcConn) call(method string, body interface{}) (interface{}, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil, ErrClosed
+	}
+	r.nextID++
+	id := r.nextID
+	ch := make(chan envelope, 1)
+	r.pending[id] = ch
+	r.mu.Unlock()
+
+	if err := r.send(envelope{ID: id, Method: method, Body: body}); err != nil {
+		r.mu.Lock()
+		delete(r.pending, id)
+		r.mu.Unlock()
+		return nil, err
+	}
+	env, ok := <-ch
+	if !ok {
+		return nil, ErrClosed
+	}
+	if env.Err != "" {
+		return nil, errors.New(env.Err)
+	}
+	return env.Body, nil
+}
+
+// notify issues a one-way message.
+func (r *rpcConn) notify(method string, body interface{}) {
+	r.send(envelope{Method: method, Body: body})
+}
+
+func (r *rpcConn) shutdown() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	for id, ch := range r.pending {
+		close(ch)
+		delete(r.pending, id)
+	}
+	onClose := r.onClose
+	r.mu.Unlock()
+	r.c.Close()
+	if onClose != nil {
+		onClose()
+	}
+}
+
+// Close tears the connection down.
+func (r *rpcConn) Close() error {
+	r.shutdown()
+	return nil
+}

@@ -1,0 +1,122 @@
+package netrpc
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"clientlog/internal/core"
+	"clientlog/internal/msg"
+	"clientlog/internal/page"
+	"clientlog/internal/wal"
+)
+
+// TestTCPClientCrashRecovery runs §3.3 end to end over real sockets:
+// the client process "dies" (connection drop), reconnects on a fresh
+// connection with its old id and private log, and recovers.
+func TestTCPClientCrashRecovery(t *testing.T) {
+	cfg := testCfg()
+	engine, srv, ids := startCluster(t, cfg, 2)
+	logStore := wal.NewMemStore(0)
+
+	tr, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.NewClient(cfg, tr, logStore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetLocal(c)
+	id := c.ID()
+	obj := page.ObjectID{Page: ids[0], Slot: 1}
+	txn, _ := c.Begin()
+	want := []byte("tcp-recoverable!")
+	if err := txn.Overwrite(obj, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill the connection; the server notices the crash.
+	tr.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for !engine.GLM().Crashed(id) {
+		if time.Now().After(deadline) {
+			t.Fatal("crash not detected")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	// The engine's volatile state is gone with the process; only the
+	// private log survives.  Reconnect and recover.
+	tr2, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr2.Close()
+	// RecoverClient registers with Recover=true; the session must attach
+	// under the OLD id for callbacks to find the new connection.
+	rec, err := core.RecoverClient(cfg, tr2, logStore, id)
+	if err != nil {
+		t.Fatalf("recovery over TCP: %v", err)
+	}
+	tr2.SetLocal(rec)
+	txn2, _ := rec.Begin()
+	got, err := txn2.Read(obj)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("after TCP recovery: %q err=%v", got, err)
+	}
+	txn2.Commit()
+
+	// Another client can now take the object over (queued callbacks
+	// drain after recovery).
+	b, _ := dialClient(t, cfg, srv.Addr().String())
+	tb, _ := b.Begin()
+	if err := tb.Overwrite(obj, []byte("taken over after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCPDisklessClient exercises the remote-log protocol over real
+// sockets.
+func TestTCPDisklessClient(t *testing.T) {
+	cfg := testCfg()
+	engine, srv, ids := startCluster(t, cfg, 1)
+	engine.HostRemoteLogs(core.NewRemoteLogHost(0))
+
+	tr, err := Dial(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	reply, err := tr.Register(msg.RegisterReq{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := core.NewRemoteLogStore(tr, reply.ID)
+	c, err := core.NewClientWithID(cfg, tr, remote, reply.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.SetLocal(c)
+
+	obj := page.ObjectID{Page: ids[0], Slot: 0}
+	txn, _ := c.Begin()
+	want := []byte("diskless-on-tcp!")
+	if err := txn.Overwrite(obj, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	txn2, _ := c.Begin()
+	got, err := txn2.Read(obj)
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("diskless read back: %q err=%v", got, err)
+	}
+	txn2.Commit()
+}

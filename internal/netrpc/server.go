@@ -1,0 +1,216 @@
+package netrpc
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"clientlog/internal/core"
+	"clientlog/internal/ident"
+	"clientlog/internal/msg"
+	"clientlog/internal/page"
+)
+
+// Server exposes a core.Server engine on a TCP listener.
+type Server struct {
+	engine *core.Server
+	ln     net.Listener
+
+	mu    sync.Mutex
+	conns map[*rpcConn]bool
+	done  chan struct{}
+}
+
+// Serve wraps the engine and accepts connections on ln until Close.
+func Serve(engine *core.Server, ln net.Listener) *Server {
+	s := &Server{engine: engine, ln: ln, conns: make(map[*rpcConn]bool), done: make(chan struct{})}
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting and tears down every session.
+func (s *Server) Close() error {
+	close(s.done)
+	err := s.ln.Close()
+	s.mu.Lock()
+	conns := make([]*rpcConn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.Close() // onClose re-locks s.mu; must not hold it here
+	}
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		rc := newRPCConn(c)
+		s.mu.Lock()
+		s.conns[rc] = true
+		s.mu.Unlock()
+		sess := &session{srv: s, conn: rc}
+		rc.setHandler(sess.handle)
+		rc.onClose = func() {
+			s.mu.Lock()
+			delete(s.conns, rc)
+			s.mu.Unlock()
+			sess.disconnected()
+		}
+		go rc.serve()
+	}
+}
+
+// session is the server side of one client connection.
+type session struct {
+	srv  *Server
+	conn *rpcConn
+
+	mu sync.Mutex
+	id ident.ClientID
+}
+
+// disconnected reacts to a dropped connection: an unregistered session
+// is ignored; a registered one is treated as a client crash (§3.3).
+func (s *session) disconnected() {
+	s.mu.Lock()
+	id := s.id
+	s.mu.Unlock()
+	if id != 0 {
+		s.srv.engine.ClientCrashed(id)
+	}
+}
+
+// remoteClient lets the engine talk back to this session's client.
+type remoteClient struct{ conn *rpcConn }
+
+func (r remoteClient) CallbackObject(req msg.CallbackReq) (msg.CallbackReply, error) {
+	body, err := r.conn.call("cb.object", req)
+	if err != nil {
+		return msg.CallbackReply{}, err
+	}
+	return body.(msg.CallbackReply), nil
+}
+
+func (r remoteClient) DeescalatePage(req msg.DeescReq) (msg.DeescReply, error) {
+	body, err := r.conn.call("cb.deescalate", req)
+	if err != nil {
+		return msg.DeescReply{}, err
+	}
+	return body.(msg.DeescReply), nil
+}
+
+func (r remoteClient) RecallToken(p page.ID) (msg.TokenReply, error) {
+	body, err := r.conn.call("cb.recall-token", pageIDBody{P: p})
+	if err != nil {
+		return msg.TokenReply{}, err
+	}
+	return body.(msg.TokenReply), nil
+}
+
+func (r remoteClient) RecoveryShipUpTo(p page.ID, psn page.PSN) error {
+	_, err := r.conn.call("cb.ship-up-to", shipUpToBody{P: p, PSN: psn})
+	return err
+}
+
+func (r remoteClient) NotifyFlushed(p page.ID, psn page.PSN) {
+	r.conn.notify("cb.flushed", shipUpToBody{P: p, PSN: psn})
+}
+
+func (r remoteClient) RecoveryInfo() (msg.RecoveryInfoReply, error) {
+	body, err := r.conn.call("cb.recovery-info", emptyBody{})
+	if err != nil {
+		return msg.RecoveryInfoReply{}, err
+	}
+	return body.(msg.RecoveryInfoReply), nil
+}
+
+func (r remoteClient) FetchCached(ids []page.ID) ([][]byte, error) {
+	body, err := r.conn.call("cb.fetch-cached", fetchCachedBody{IDs: ids})
+	if err != nil {
+		return nil, err
+	}
+	return body.(imagesBody).Images, nil
+}
+
+func (r remoteClient) CallbackList(req msg.CallbackListReq) (msg.CallbackListReply, error) {
+	body, err := r.conn.call("cb.callback-list", req)
+	if err != nil {
+		return msg.CallbackListReply{}, err
+	}
+	return body.(msg.CallbackListReply), nil
+}
+
+func (r remoteClient) RecoverPage(req msg.RecoverPageReq) error {
+	_, err := r.conn.call("cb.recover-page", req)
+	return err
+}
+
+// handle dispatches one client request to the engine.
+func (s *session) handle(method string, body interface{}) (interface{}, error) {
+	e := s.srv.engine
+	switch method {
+	case "register":
+		req := body.(msg.RegisterReq)
+		reply, err := e.Register(req)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.id = reply.ID
+		s.mu.Unlock()
+		e.Attach(reply.ID, remoteClient{conn: s.conn})
+		return reply, nil
+	case "lock":
+		return e.Lock(body.(msg.LockReq))
+	case "unlock":
+		return nil, e.Unlock(body.(msg.UnlockReq))
+	case "fetch":
+		return e.Fetch(body.(msg.FetchReq))
+	case "ship":
+		return nil, e.Ship(body.(msg.ShipReq))
+	case "force":
+		return e.Force(body.(msg.ForceReq))
+	case "alloc":
+		return e.Alloc(body.(msg.AllocReq))
+	case "free":
+		return nil, e.Free(body.(msg.FreeReq))
+	case "commit-ship":
+		return nil, e.CommitShip(body.(msg.CommitShipReq))
+	case "token":
+		return e.Token(body.(msg.TokenReq))
+	case "recovery-fetch":
+		return e.RecoveryFetch(body.(msg.RecoveryFetchReq))
+	case "reinstall":
+		b := body.(reinstallBody)
+		return nil, e.Reinstall(b.C, b.Holds)
+	case "recover-query":
+		b := body.(recoverQueryBody)
+		rows, err := e.RecoverQuery(b.C, b.Pages)
+		if err != nil {
+			return nil, err
+		}
+		return dctRowsBody{Rows: rows}, nil
+	case "log-op":
+		return e.LogOp(body.(msg.LogReq))
+	case "recover-end":
+		return nil, e.RecoverEnd(body.(clientIDBody).C)
+	case "disconnect":
+		return nil, e.Disconnect(body.(clientIDBody).C)
+	default:
+		return nil, fmt.Errorf("netrpc: unknown method %q", method)
+	}
+}

@@ -1,0 +1,67 @@
+package netrpc
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"clientlog/internal/core"
+	"clientlog/internal/page"
+)
+
+// TestTCPDuplexStress drives many clients doing conflicting work so
+// that requests and server-initiated callbacks interleave heavily on
+// every connection.
+func TestTCPDuplexStress(t *testing.T) {
+	cfg := testCfg()
+	_, srv, ids := startCluster(t, cfg, 2)
+	const n = 6
+	const txns = 15
+	var wg sync.WaitGroup
+	errCh := make(chan error, n)
+	for i := 0; i < n; i++ {
+		c, _ := dialClient(t, cfg, srv.Addr().String())
+		wg.Add(1)
+		go func(i int, c *core.Client) {
+			defer wg.Done()
+			for round := 0; round < txns; {
+				txn, err := c.Begin()
+				if err != nil {
+					errCh <- err
+					return
+				}
+				// Disjoint slots on shared pages: heavy callback traffic,
+				// no lock conflicts.
+				obj := page.ObjectID{Page: ids[round%2], Slot: uint16(i)}
+				if err := txn.Overwrite(obj, bytes.Repeat([]byte{byte(i)}, 16)); err != nil {
+					txn.Abort()
+					errCh <- fmt.Errorf("client %d: %w", i, err)
+					return
+				}
+				if err := txn.Commit(); err != nil {
+					errCh <- err
+					return
+				}
+				round++
+			}
+		}(i, c)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	// Verify through a fresh connection.
+	v, _ := dialClient(t, cfg, srv.Addr().String())
+	txn, _ := v.Begin()
+	for i := 0; i < n; i++ {
+		for p := 0; p < 2; p++ {
+			got, err := txn.Read(page.ObjectID{Page: ids[p], Slot: uint16(i)})
+			if err != nil || !bytes.Equal(got, bytes.Repeat([]byte{byte(i)}, 16)) {
+				t.Fatalf("slot %d page %d: %q err=%v", i, p, got, err)
+			}
+		}
+	}
+	txn.Commit()
+}

@@ -1,0 +1,93 @@
+// Package netrpc carries the client-server protocol of internal/msg
+// over real TCP connections, so the cmd tools can run the system as an
+// actual distributed deployment.
+//
+// One TCP connection per client carries traffic in both directions:
+// client requests (lock, fetch, ship, ...) and server-initiated
+// callbacks (callback locking, flush notifications, restart recovery).
+// Frames are gob-encoded envelopes correlated by request id; gob's
+// stream framing delimits messages.
+package netrpc
+
+import (
+	"encoding/gob"
+
+	"clientlog/internal/ident"
+	"clientlog/internal/lock"
+	"clientlog/internal/msg"
+	"clientlog/internal/page"
+	"clientlog/internal/wal"
+)
+
+// envelope is one wire message: a request (Method set), a reply
+// (Reply=true, Err optionally set), or a one-way notification
+// (Method set, ID zero).
+type envelope struct {
+	ID     uint64
+	Method string
+	Reply  bool
+	Err    string
+	Body   interface{}
+}
+
+// Wrapper bodies for methods whose arguments are not a single struct.
+type (
+	clientIDBody struct{ C ident.ClientID }
+	pageIDBody   struct{ P page.ID }
+	shipUpToBody struct {
+		P   page.ID
+		PSN page.PSN
+	}
+	fetchCachedBody struct{ IDs []page.ID }
+	imagesBody      struct{ Images [][]byte }
+	reinstallBody   struct {
+		C     ident.ClientID
+		Holds []lock.Holding
+	}
+	recoverQueryBody struct {
+		C     ident.ClientID
+		Pages []page.ID
+	}
+	dctRowsBody struct{ Rows []msg.DCTRow }
+	emptyBody   struct{}
+)
+
+func init() {
+	gob.Register(msg.RegisterReq{})
+	gob.Register(msg.RegisterReply{})
+	gob.Register(msg.LockReq{})
+	gob.Register(msg.LockReply{})
+	gob.Register(msg.UnlockReq{})
+	gob.Register(msg.FetchReq{})
+	gob.Register(msg.FetchReply{})
+	gob.Register(msg.ShipReq{})
+	gob.Register(msg.ForceReq{})
+	gob.Register(msg.ForceReply{})
+	gob.Register(msg.AllocReq{})
+	gob.Register(msg.FreeReq{})
+	gob.Register(msg.CommitShipReq{})
+	gob.Register(msg.TokenReq{})
+	gob.Register(msg.TokenReply{})
+	gob.Register(msg.RecoveryFetchReq{})
+	gob.Register(msg.CallbackReq{})
+	gob.Register(msg.CallbackReply{})
+	gob.Register(msg.DeescReq{})
+	gob.Register(msg.DeescReply{})
+	gob.Register(msg.RecoveryInfoReply{})
+	gob.Register(msg.CallbackListReq{})
+	gob.Register(msg.CallbackListReply{})
+	gob.Register(msg.RecoverPageReq{})
+	gob.Register(msg.LogReq{})
+	gob.Register(msg.LogReply{})
+	gob.Register(clientIDBody{})
+	gob.Register(pageIDBody{})
+	gob.Register(shipUpToBody{})
+	gob.Register(fetchCachedBody{})
+	gob.Register(imagesBody{})
+	gob.Register(reinstallBody{})
+	gob.Register(recoverQueryBody{})
+	gob.Register(dctRowsBody{})
+	gob.Register(emptyBody{})
+	gob.Register(wal.DPTEntry{})
+	gob.Register(lock.Holding{})
+}

@@ -1,0 +1,193 @@
+package page
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomPage builds a page with up to 16 objects and a few random
+// mergeable updates so slot PSNs are non-trivial.
+func randomPage(r *rand.Rand) *Page {
+	p := New(ID(1+r.Intn(8)), 4096)
+	n := 1 + r.Intn(16)
+	for i := 0; i < n; i++ {
+		data := make([]byte, 4+r.Intn(24))
+		r.Read(data)
+		if _, _, err := p.Insert(data); err != nil {
+			break
+		}
+	}
+	for i := 0; i < r.Intn(10); i++ {
+		s := uint16(r.Intn(p.NumSlots()))
+		if d, ok := p.Read(s); ok {
+			nd := make([]byte, len(d))
+			r.Read(nd)
+			p.Overwrite(s, nd)
+		}
+	}
+	return p
+}
+
+// divergedCopies returns two copies of a page that performed mergeable
+// updates on disjoint slot sets, mimicking two clients holding object
+// level X locks on different objects of the same page.
+func divergedCopies(r *rand.Rand) (a, b *Page, aSlots, bSlots []uint16) {
+	base := randomPage(r)
+	a, b = base.Clone(), base.Clone()
+	used := base.UsedSlotIDs()
+	for i, s := range used {
+		target, list := a, &aSlots
+		if i%2 == 1 {
+			target, list = b, &bSlots
+		}
+		if r.Intn(2) == 0 {
+			continue
+		}
+		d, _ := target.Read(s)
+		nd := make([]byte, len(d))
+		r.Read(nd)
+		if _, _, err := target.Overwrite(s, nd); err == nil {
+			*list = append(*list, s)
+		}
+	}
+	return a, b, aSlots, bSlots
+}
+
+func TestPropMergePreservesDisjointUpdates(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, aSlots, bSlots := divergedCopies(r)
+		m := Merge(a, b)
+		for _, s := range aSlots {
+			want, _ := a.Read(s)
+			got, _ := m.Read(s)
+			if !bytes.Equal(want, got) {
+				return false
+			}
+		}
+		for _, s := range bSlots {
+			want, _ := b.Read(s)
+			got, _ := m.Read(s)
+			if !bytes.Equal(want, got) {
+				return false
+			}
+		}
+		return m.PSN() == maxPSN(a.PSN(), b.PSN())+1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMergeCommutativeOnDisjointUpdates(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b, _, _ := divergedCopies(r)
+		m1 := Merge(a, b)
+		m2 := Merge(b, a)
+		if m1.PSN() != m2.PSN() || m1.NumSlots() != m2.NumSlots() {
+			return false
+		}
+		for i := 0; i < m1.NumSlots(); i++ {
+			s := uint16(i)
+			d1, ok1 := m1.Read(s)
+			d2, ok2 := m2.Read(s)
+			if ok1 != ok2 || !bytes.Equal(d1, d2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMergeWithSelfKeepsContent(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPage(r)
+		m := Merge(p, p.Clone())
+		for i := 0; i < p.NumSlots(); i++ {
+			s := uint16(i)
+			d1, ok1 := p.Read(s)
+			d2, ok2 := m.Read(s)
+			if ok1 != ok2 || !bytes.Equal(d1, d2) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropMarshalRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := randomPage(r)
+		// Random deletes make the slot directory non-contiguous.
+		for i := 0; i < r.Intn(4); i++ {
+			p.Delete(uint16(r.Intn(p.NumSlots())))
+		}
+		img, err := p.MarshalBinary()
+		if err != nil || len(img) != p.Size() {
+			return false
+		}
+		var q Page
+		if err := q.UnmarshalBinary(img); err != nil {
+			return false
+		}
+		if q.ID() != p.ID() || q.PSN() != p.PSN() || q.StructPSN() != p.StructPSN() || q.NumSlots() != p.NumSlots() {
+			return false
+		}
+		for i := 0; i < p.NumSlots(); i++ {
+			s := uint16(i)
+			d1, ok1 := p.Read(s)
+			d2, ok2 := q.Read(s)
+			if ok1 != ok2 || !bytes.Equal(d1, d2) || p.SlotPSN(s) != q.SlotPSN(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropPSNMonotoneUnderOps(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := New(1, 2048)
+		last := p.PSN()
+		for i := 0; i < 50; i++ {
+			switch r.Intn(3) {
+			case 0:
+				p.Insert(make([]byte, 1+r.Intn(16)))
+			case 1:
+				if p.NumSlots() > 0 {
+					s := uint16(r.Intn(p.NumSlots()))
+					if d, ok := p.Read(s); ok {
+						p.Overwrite(s, make([]byte, len(d)))
+					}
+				}
+			case 2:
+				if p.NumSlots() > 0 {
+					p.Delete(uint16(r.Intn(p.NumSlots())))
+				}
+			}
+			if p.PSN() < last {
+				return false
+			}
+			last = p.PSN()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,282 @@
+// Package repl implements the interactive command language of
+// cmd/clcli: a line-oriented front end over a client engine, usable
+// both interactively and from scripts.
+package repl
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"clientlog/internal/core"
+	"clientlog/internal/page"
+	"clientlog/internal/wal"
+)
+
+// ErrQuit signals an orderly exit request.
+var ErrQuit = fmt.Errorf("quit")
+
+// Session holds the REPL state: the client engine, the open
+// transaction, and the last savepoint.
+type Session struct {
+	Client *core.Client
+	// ObjSize pads `write` values to the fixed object size.
+	ObjSize int
+
+	txn       *core.Txn
+	savepoint wal.LSN
+}
+
+// NewSession wraps a client engine.
+func NewSession(c *core.Client, objSize int) *Session {
+	if objSize <= 0 {
+		objSize = 32
+	}
+	return &Session{Client: c, ObjSize: objSize}
+}
+
+// Close aborts any open transaction.
+func (s *Session) Close() {
+	if s.txn != nil {
+		s.txn.Abort()
+		s.txn = nil
+	}
+}
+
+// Run feeds lines from r through Eval, printing results to w, until EOF
+// or `quit`.
+func (s *Session) Run(r io.Reader, w io.Writer, prompt bool) error {
+	sc := bufio.NewScanner(r)
+	if prompt {
+		fmt.Fprint(w, "> ")
+	}
+	for sc.Scan() {
+		out, err := s.Eval(sc.Text())
+		if err == ErrQuit {
+			return nil
+		}
+		if err != nil {
+			fmt.Fprintf(w, "error: %v\n", err)
+		} else if out != "" {
+			fmt.Fprintln(w, out)
+		}
+		if prompt {
+			fmt.Fprint(w, "> ")
+		}
+	}
+	return sc.Err()
+}
+
+// Eval executes one command line and returns its output.
+func (s *Session) Eval(line string) (string, error) {
+	if i := strings.Index(line, "#"); i >= 0 {
+		line = line[:i]
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return "", nil
+	}
+	switch fields[0] {
+	case "quit", "exit":
+		return "", ErrQuit
+	case "help":
+		return helpText, nil
+	case "begin":
+		if s.txn != nil {
+			return "", fmt.Errorf("transaction already open")
+		}
+		t, err := s.Client.Begin()
+		if err != nil {
+			return "", err
+		}
+		s.txn = t
+		return fmt.Sprintf("begun %v", t.ID()), nil
+	case "read":
+		if err := s.needTxn(); err != nil {
+			return "", err
+		}
+		obj, err := parseObj(fields)
+		if err != nil {
+			return "", err
+		}
+		data, err := s.txn.Read(obj)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("%q", data), nil
+	case "write":
+		if err := s.needTxn(); err != nil {
+			return "", err
+		}
+		obj, err := parseObj(fields)
+		if err != nil {
+			return "", err
+		}
+		if len(fields) < 4 {
+			return "", fmt.Errorf("usage: write <page> <slot> <text>")
+		}
+		return "", s.txn.Overwrite(obj, pad([]byte(strings.Join(fields[3:], " ")), s.ObjSize))
+	case "writeat":
+		if err := s.needTxn(); err != nil {
+			return "", err
+		}
+		obj, err := parseObj(fields)
+		if err != nil {
+			return "", err
+		}
+		if len(fields) < 5 {
+			return "", fmt.Errorf("usage: writeat <page> <slot> <offset> <text>")
+		}
+		off, err := strconv.Atoi(fields[3])
+		if err != nil {
+			return "", err
+		}
+		return "", s.txn.OverwriteAt(obj, off, []byte(strings.Join(fields[4:], " ")))
+	case "insert":
+		if err := s.needTxn(); err != nil {
+			return "", err
+		}
+		if len(fields) < 3 {
+			return "", fmt.Errorf("usage: insert <page> <text>")
+		}
+		pid, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return "", err
+		}
+		obj, err := s.txn.Insert(page.ID(pid), []byte(strings.Join(fields[2:], " ")))
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("inserted at %v", obj), nil
+	case "delete":
+		if err := s.needTxn(); err != nil {
+			return "", err
+		}
+		obj, err := parseObj(fields)
+		if err != nil {
+			return "", err
+		}
+		return "", s.txn.Delete(obj)
+	case "add":
+		if err := s.needTxn(); err != nil {
+			return "", err
+		}
+		obj, err := parseObj(fields)
+		if err != nil {
+			return "", err
+		}
+		if len(fields) < 4 {
+			return "", fmt.Errorf("usage: add <page> <slot> <delta>")
+		}
+		delta, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil {
+			return "", err
+		}
+		return "", s.txn.Add(obj, delta)
+	case "counter":
+		if err := s.needTxn(); err != nil {
+			return "", err
+		}
+		obj, err := parseObj(fields)
+		if err != nil {
+			return "", err
+		}
+		v, err := s.txn.ReadCounter(obj)
+		if err != nil {
+			return "", err
+		}
+		return strconv.FormatInt(v, 10), nil
+	case "savepoint":
+		if err := s.needTxn(); err != nil {
+			return "", err
+		}
+		s.savepoint = s.txn.Savepoint()
+		return fmt.Sprintf("savepoint %v", s.savepoint), nil
+	case "rollback":
+		if err := s.needTxn(); err != nil {
+			return "", err
+		}
+		return "", s.txn.RollbackTo(s.savepoint)
+	case "commit":
+		if err := s.needTxn(); err != nil {
+			return "", err
+		}
+		err := s.txn.Commit()
+		s.txn = nil
+		if err != nil {
+			return "", err
+		}
+		return "committed (private log forced; nothing shipped)", nil
+	case "abort":
+		if err := s.needTxn(); err != nil {
+			return "", err
+		}
+		err := s.txn.Abort()
+		s.txn = nil
+		return "aborted", err
+	case "alloc":
+		if err := s.needTxn(); err != nil {
+			return "", err
+		}
+		pid, err := s.txn.AllocPage()
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("allocated page %d", pid), nil
+	case "checkpoint":
+		return "", s.Client.Checkpoint()
+	case "flush":
+		return "", s.Client.FlushCache()
+	default:
+		return "", fmt.Errorf("unknown command %q (try `help`)", fields[0])
+	}
+}
+
+func (s *Session) needTxn() error {
+	if s.txn == nil {
+		return fmt.Errorf("no transaction in progress; use `begin`")
+	}
+	return nil
+}
+
+func parseObj(fields []string) (page.ObjectID, error) {
+	if len(fields) < 3 {
+		return page.ObjectID{}, fmt.Errorf("usage: %s <page> <slot> ...", fields[0])
+	}
+	pid, err := strconv.ParseUint(fields[1], 10, 64)
+	if err != nil {
+		return page.ObjectID{}, fmt.Errorf("bad page id %q", fields[1])
+	}
+	slot, err := strconv.ParseUint(fields[2], 10, 16)
+	if err != nil {
+		return page.ObjectID{}, fmt.Errorf("bad slot %q", fields[2])
+	}
+	return page.ObjectID{Page: page.ID(pid), Slot: uint16(slot)}, nil
+}
+
+func pad(b []byte, n int) []byte {
+	if len(b) >= n {
+		return b[:n]
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+const helpText = `commands:
+  begin                        start a transaction
+  read <page> <slot>           read an object
+  write <page> <slot> <text>   same-size overwrite (padded to -objsize)
+  writeat <page> <slot> <off> <text>  partial overwrite
+  insert <page> <text>         create an object (structural)
+  delete <page> <slot>         remove an object (structural)
+  add <page> <slot> <n>        logical counter increment
+  counter <page> <slot>        read an 8-byte counter
+  savepoint | rollback         partial rollback support
+  commit | abort               end the transaction
+  alloc                        allocate a fresh page
+  checkpoint                   take a fuzzy checkpoint
+  flush                        ship all dirty pages to the server
+  quit`

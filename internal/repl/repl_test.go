@@ -1,0 +1,160 @@
+package repl
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"clientlog/internal/core"
+)
+
+func newSession(t *testing.T) (*Session, *core.Cluster) {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cl := core.NewCluster(cfg)
+	if _, err := cl.SeedPages(2, 8, 32); err != nil {
+		t.Fatal(err)
+	}
+	c, err := cl.AddClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewSession(c, 32), cl
+}
+
+// eval runs a command and fails the test on error.
+func eval(t *testing.T, s *Session, line string) string {
+	t.Helper()
+	out, err := s.Eval(line)
+	if err != nil {
+		t.Fatalf("%q: %v", line, err)
+	}
+	return out
+}
+
+func TestBasicFlow(t *testing.T) {
+	s, _ := newSession(t)
+	defer s.Close()
+	if out := eval(t, s, "begin"); !strings.Contains(out, "begun") {
+		t.Fatalf("begin: %q", out)
+	}
+	eval(t, s, "write 1 0 hello repl")
+	if out := eval(t, s, "read 1 0"); !strings.Contains(out, "hello repl") {
+		t.Fatalf("read: %q", out)
+	}
+	if out := eval(t, s, "commit"); !strings.Contains(out, "committed") {
+		t.Fatalf("commit: %q", out)
+	}
+}
+
+func TestCountersAndSavepoints(t *testing.T) {
+	s, _ := newSession(t)
+	defer s.Close()
+	eval(t, s, "begin")
+	eval(t, s, "insert 1 12345678") // 8-byte object on page 1
+	// The inserted object landed at slot 8 (first free after seeding).
+	eval(t, s, "add 1 8 42")
+	if out := eval(t, s, "counter 1 8"); out == "" {
+		t.Fatal("counter read empty")
+	}
+	eval(t, s, "savepoint")
+	eval(t, s, "add 1 8 100")
+	eval(t, s, "rollback")
+	eval(t, s, "commit")
+}
+
+func TestErrorsAreFriendly(t *testing.T) {
+	s, _ := newSession(t)
+	defer s.Close()
+	for _, line := range []string{
+		"read 1 0",    // no txn
+		"write 1 0",   // missing value
+		"frobnicate",  // unknown
+		"read x y",    // bad numbers
+		"commit",      // no txn
+		"add 1 0 zap", // bad delta
+	} {
+		if _, err := s.Eval(line); err == nil {
+			t.Fatalf("%q: expected error", line)
+		}
+	}
+	// Errors must not wedge the session.
+	eval(t, s, "begin")
+	eval(t, s, "commit")
+}
+
+func TestCommentsAndBlanks(t *testing.T) {
+	s, _ := newSession(t)
+	defer s.Close()
+	if out := eval(t, s, "   # just a comment"); out != "" {
+		t.Fatalf("comment produced output: %q", out)
+	}
+	if out := eval(t, s, ""); out != "" {
+		t.Fatalf("blank line produced output: %q", out)
+	}
+	eval(t, s, "begin # trailing comment")
+	eval(t, s, "abort")
+}
+
+func TestRunScript(t *testing.T) {
+	s, _ := newSession(t)
+	defer s.Close()
+	script := strings.Join([]string{
+		"begin",
+		"write 1 1 scripted value",
+		"commit",
+		"begin",
+		"read 1 1",
+		"commit",
+		"flush",
+		"quit",
+		"write 1 1 never reached",
+	}, "\n")
+	var out bytes.Buffer
+	if err := s.Run(strings.NewReader(script), &out, false); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "scripted value") {
+		t.Fatalf("script output: %q", out.String())
+	}
+	if strings.Contains(out.String(), "never reached") {
+		t.Fatal("quit did not stop the script")
+	}
+}
+
+func TestDoubleBeginRejected(t *testing.T) {
+	s, _ := newSession(t)
+	defer s.Close()
+	eval(t, s, "begin")
+	if _, err := s.Eval("begin"); err == nil {
+		t.Fatal("double begin accepted")
+	}
+	eval(t, s, "abort")
+}
+
+func TestHelp(t *testing.T) {
+	s, _ := newSession(t)
+	defer s.Close()
+	if out := eval(t, s, "help"); !strings.Contains(out, "begin") {
+		t.Fatalf("help output: %q", out)
+	}
+}
+
+func TestAllocAndStructural(t *testing.T) {
+	s, cl := newSession(t)
+	defer s.Close()
+	eval(t, s, "begin")
+	out := eval(t, s, "alloc")
+	if !strings.Contains(out, "allocated page") {
+		t.Fatalf("alloc: %q", out)
+	}
+	var pid int
+	if _, err := fmt.Sscanf(out, "allocated page %d", &pid); err != nil {
+		t.Fatalf("parsing %q: %v", out, err)
+	}
+	eval(t, s, fmt.Sprintf("insert %d fresh object", pid))
+	eval(t, s, fmt.Sprintf("delete %d 0", pid))
+	eval(t, s, "commit")
+	_ = cl
+}

@@ -1,0 +1,33 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"clientlog/internal/core"
+)
+
+func TestTortureBigSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("mixed-config seed sweep")
+	}
+	for seed := int64(1000); seed < 1100; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("s%d", seed), func(t *testing.T) {
+			t.Parallel()
+			opt := DefaultTortureOptions(seed)
+			opt.Rounds = 120
+			opt.Diskless = seed%3 == 0
+			cfg := core.DefaultConfig()
+			if seed%4 == 0 {
+				cfg.ClientLogCapacity = 24 * 1024
+			}
+			if seed%5 == 0 {
+				cfg.ServerDirtyLimit = 2
+			}
+			if _, err := Torture(cfg, opt); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

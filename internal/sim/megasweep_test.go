@@ -1,0 +1,40 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"clientlog/internal/core"
+)
+
+// TestTortureMegaSweep runs 1000 randomized crash schedules across the
+// configuration matrix (diskless clients, bounded logs, server dirty
+// limits, object-only locking); it found DESIGN.md notes 8-12 during development.
+func TestTortureMegaSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-seed sweep")
+	}
+	for seed := int64(5000); seed < 6000; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("s%d", seed), func(t *testing.T) {
+			t.Parallel()
+			opt := DefaultTortureOptions(seed)
+			opt.Rounds = 130
+			opt.Clients = 2 + int(seed%3)
+			opt.Diskless = seed%3 == 0
+			cfg := core.DefaultConfig()
+			if seed%4 == 0 {
+				cfg.ClientLogCapacity = 24 * 1024
+			}
+			if seed%5 == 0 {
+				cfg.ServerDirtyLimit = 2
+			}
+			if seed%7 == 0 {
+				cfg.Granularity = core.GranObject
+			}
+			if _, err := Torture(cfg, opt); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

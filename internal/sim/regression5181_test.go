@@ -1,0 +1,21 @@
+package sim
+
+import (
+	"testing"
+
+	"clientlog/internal/core"
+)
+
+// TestTortureRegressionSeed5181 pins the DESIGN.md note 12/13 schedule:
+// repeated complex crashes with a diskless client, where a page-lock
+// holder used to keep serving a RecoverPage-built copy that was stale
+// for the other client's parallel recovery.
+func TestTortureRegressionSeed5181(t *testing.T) {
+	opt := DefaultTortureOptions(5181)
+	opt.Rounds = 130
+	opt.Clients = 2
+	opt.Diskless = true
+	if _, err := Torture(core.DefaultConfig(), opt); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"clientlog/internal/core"
+	"clientlog/internal/ident"
+	"clientlog/internal/lock"
+	"clientlog/internal/page"
+	"clientlog/internal/trace"
+)
+
+// TortureOptions parameterizes a randomized crash-recovery torture run.
+type TortureOptions struct {
+	Seed          int64
+	Rounds        int
+	Clients       int
+	Pages         int
+	Slots         int
+	ServerCrashes bool
+	// Diskless makes the first client log to a server-hosted remote log
+	// (Section 2's diskless option), covering that path in the torture
+	// matrix too.
+	Diskless bool
+}
+
+// DefaultTortureOptions returns a moderate schedule.
+func DefaultTortureOptions(seed int64) TortureOptions {
+	return TortureOptions{Seed: seed, Rounds: 150, Clients: 3, Pages: 4, Slots: 8, ServerCrashes: true}
+}
+
+// TortureStats summarizes what a run exercised.
+type TortureStats struct {
+	Commits       uint64
+	Aborts        uint64
+	ClientCrashes int
+	ServerCrashes int
+	Complex       int
+	Verifications int
+}
+
+// VerifyEveryRound makes Torture check the reference state after every
+// round (debugging aid; quadratic cost).
+var VerifyEveryRound = false
+
+// Torture drives a deterministic random schedule of transactions,
+// cache replacements, checkpoints and crashes against a cluster while
+// maintaining a sequential reference state; it fails if the recovered
+// database ever diverges from a replay of exactly the committed
+// transactions.  This is the engine behind cmd/crashtest.
+func Torture(cfg core.Config, opt TortureOptions) (TortureStats, error) {
+	var stats TortureStats
+	r := rand.New(rand.NewSource(opt.Seed))
+	cl := core.NewCluster(cfg)
+	ring := trace.NewRing(8192)
+	cl.SetTracer(ring)
+	ids, err := cl.SeedPages(opt.Pages, opt.Slots, 16)
+	if err != nil {
+		return stats, err
+	}
+	clients := make([]*core.Client, opt.Clients)
+	for i := range clients {
+		if i == 0 && opt.Diskless {
+			clients[i], err = cl.AddDisklessClient()
+		} else {
+			clients[i], err = cl.AddClient()
+		}
+		if err != nil {
+			return stats, err
+		}
+	}
+	ref := make(map[page.ObjectID][]byte)
+	lastWriter := make(map[page.ObjectID]string)
+	for _, pid := range ids {
+		for s := 0; s < opt.Slots; s++ {
+			data := make([]byte, 16)
+			for b := range data {
+				data[b] = byte(uint64(pid)*31 + uint64(s)*7 + uint64(b))
+			}
+			ref[page.ObjectID{Page: pid, Slot: uint16(s)}] = data
+		}
+	}
+	verify := func(tag string) error {
+		stats.Verifications++
+		reader := cl.Client(clients[0].ID())
+		txn, err := reader.Begin()
+		if err != nil {
+			return fmt.Errorf("%s: begin: %w", tag, err)
+		}
+		defer txn.Commit()
+		for obj, want := range ref {
+			got, err := txn.Read(obj)
+			if err != nil {
+				return fmt.Errorf("%s: read %v: %w", tag, obj, err)
+			}
+			if !bytes.Equal(got, want) {
+				hist := ""
+				for _, e := range ring.Snapshot() {
+					if e.Page == obj.Page || e.Page == 0 {
+						hist += e.String() + "\n"
+					}
+				}
+				return fmt.Errorf("%s: object %v diverged (seed %d): got %x want %x writer=%s\n%s\nGLM:\n%s\nhistory:\n%s",
+					tag, obj, opt.Seed, got[:4], want[:4], lastWriter[obj],
+					cl.DebugPage(obj.Page), cl.Server().GLM().DumpState(), hist)
+			}
+		}
+		return nil
+	}
+	for round := 0; round < opt.Rounds; round++ {
+		ring.Record(trace.RecoveryStep, 0, 0, fmt.Sprintf("=== round %d", round))
+		switch action := r.Intn(100); {
+		case action < 70:
+			c := cl.Client(clients[r.Intn(opt.Clients)].ID())
+			txn, err := c.Begin()
+			if err != nil {
+				return stats, err
+			}
+			pending := make(map[page.ObjectID][]byte)
+			bad := false
+			for i := 0; i < 1+r.Intn(4); i++ {
+				obj := page.ObjectID{Page: ids[r.Intn(opt.Pages)], Slot: uint16(r.Intn(opt.Slots))}
+				v := make([]byte, 16)
+				r.Read(v)
+				if err := txn.Overwrite(obj, v); err != nil {
+					if !errors.Is(err, lock.ErrDeadlock) && !errors.Is(err, lock.ErrTimeout) {
+						return stats, err
+					}
+					txn.Abort()
+					stats.Aborts++
+					bad = true
+					break
+				}
+				pending[obj] = v
+			}
+			if bad {
+				continue
+			}
+			if r.Intn(4) == 0 {
+				if err := txn.Abort(); err != nil {
+					return stats, err
+				}
+				stats.Aborts++
+				continue
+			}
+			if err := txn.Commit(); err != nil {
+				return stats, err
+			}
+			stats.Commits++
+			for obj, v := range pending {
+				ref[obj] = v
+				lastWriter[obj] = fmt.Sprintf("%v@round%d", c.ID(), round)
+				ring.Record(trace.LockGrant, c.ID(), obj.Page,
+					fmt.Sprintf("committed obj=%v val=%x", obj, v[:4]))
+			}
+		case action < 78:
+			c := cl.Client(clients[r.Intn(opt.Clients)].ID())
+			if err := c.ReplacePage(ids[r.Intn(opt.Pages)]); err != nil {
+				return stats, err
+			}
+		case action < 83:
+			c := cl.Client(clients[r.Intn(opt.Clients)].ID())
+			if err := c.Checkpoint(); err != nil {
+				return stats, err
+			}
+		case action < 93:
+			id := clients[r.Intn(opt.Clients)].ID()
+			ring.Record(trace.RecoveryStep, id, 0, "CLIENT CRASH+RESTART")
+			cl.CrashClient(id)
+			if _, err := cl.RestartClient(id); err != nil {
+				return stats, fmt.Errorf("client restart (seed %d): %w", opt.Seed, err)
+			}
+			stats.ClientCrashes++
+		default:
+			if !opt.ServerCrashes {
+				continue
+			}
+			var down []ident.ClientID
+			if r.Intn(2) == 0 {
+				down = append(down, clients[r.Intn(opt.Clients)].ID())
+			}
+			ring.Record(trace.RecoveryStep, 0, 0, fmt.Sprintf("SERVER CRASH down=%v", down))
+			cl.CrashServer(down...)
+			if err := cl.RestartServer(); err != nil {
+				return stats, fmt.Errorf("server restart (seed %d): %w", opt.Seed, err)
+			}
+			for _, id := range down {
+				if _, err := cl.RestartClient(id); err != nil {
+					return stats, fmt.Errorf("complex restart (seed %d): %w", opt.Seed, err)
+				}
+			}
+			stats.ServerCrashes++
+			if len(down) > 0 {
+				stats.Complex++
+			}
+		}
+		if VerifyEveryRound || round%40 == 39 {
+			if err := verify(fmt.Sprintf("round %d", round)); err != nil {
+				return stats, err
+			}
+		}
+	}
+	return stats, verify("final")
+}

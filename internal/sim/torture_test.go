@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"clientlog/internal/core"
+)
+
+func TestTortureShort(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		opt := DefaultTortureOptions(seed)
+		opt.Rounds = 60
+		stats, err := Torture(core.DefaultConfig(), opt)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if stats.Commits == 0 || stats.Verifications == 0 {
+			t.Fatalf("seed %d: degenerate run %+v", seed, stats)
+		}
+	}
+}
+
+func TestTortureClientCrashesOnly(t *testing.T) {
+	opt := DefaultTortureOptions(7)
+	opt.Rounds = 80
+	opt.ServerCrashes = false
+	stats, err := Torture(core.DefaultConfig(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ServerCrashes != 0 {
+		t.Fatalf("server crashed despite ServerCrashes=false: %+v", stats)
+	}
+	if stats.ClientCrashes == 0 {
+		t.Fatalf("no client crashes exercised: %+v", stats)
+	}
+}
+
+func TestTortureWithDisklessClient(t *testing.T) {
+	for seed := int64(21); seed <= 24; seed++ {
+		opt := DefaultTortureOptions(seed)
+		opt.Rounds = 60
+		opt.Diskless = true
+		if _, err := Torture(core.DefaultConfig(), opt); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestTortureBoundedLogs(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.ClientLogCapacity = 16 * 1024
+	for seed := int64(31); seed <= 33; seed++ {
+		opt := DefaultTortureOptions(seed)
+		opt.Rounds = 60
+		if _, err := Torture(cfg, opt); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestTortureManySeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep")
+	}
+	for seed := int64(100); seed < 120; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("s%d", seed), func(t *testing.T) {
+			opt := DefaultTortureOptions(seed)
+			opt.Rounds = 100
+			opt.Diskless = seed%2 == 0
+			if _, err := Torture(core.DefaultConfig(), opt); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

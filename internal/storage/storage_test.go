@@ -1,0 +1,186 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"clientlog/internal/page"
+)
+
+// storeFactory builds a fresh store for the shared conformance tests.
+type storeFactory func(t *testing.T) Store
+
+func factories() map[string]storeFactory {
+	return map[string]storeFactory{
+		"mem": func(t *testing.T) Store { return NewMemStore(1024) },
+		"disk": func(t *testing.T) Store {
+			s, err := OpenDiskStore(t.TempDir(), 1024)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+	}
+}
+
+func TestStoreConformance(t *testing.T) {
+	for name, mk := range factories() {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			defer s.Close()
+
+			p1, err := s.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			p2, err := s.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p1.ID() == p2.ID() {
+				t.Fatalf("duplicate page id %d", p1.ID())
+			}
+			if _, _, err := p1.Insert([]byte("payload")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Write(p1); err != nil {
+				t.Fatal(err)
+			}
+			got, err := s.Read(p1.ID())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.PSN() != p1.PSN() || got.UsedSlots() != 1 {
+				t.Fatalf("read back psn=%d used=%d", got.PSN(), got.UsedSlots())
+			}
+			// In-place overwrite.
+			if _, _, err := got.Overwrite(0, []byte("PAYLOAD")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Write(got); err != nil {
+				t.Fatal(err)
+			}
+			again, err := s.Read(p1.ID())
+			if err != nil {
+				t.Fatal(err)
+			}
+			d, _ := again.Read(0)
+			if string(d) != "PAYLOAD" {
+				t.Fatalf("in-place write lost: %q", d)
+			}
+
+			ids := s.Allocated()
+			if len(ids) != 2 || ids[0] != p1.ID() || ids[1] != p2.ID() {
+				t.Fatalf("Allocated() = %v", ids)
+			}
+			if _, err := s.Read(999); !errors.Is(err, ErrNotAllocated) {
+				t.Fatalf("Read(999): %v", err)
+			}
+			if st := s.Stats(); st.Reads == 0 || st.Writes == 0 {
+				t.Fatalf("stats not counted: %+v", st)
+			}
+		})
+	}
+}
+
+func TestPSNSeedOnReallocation(t *testing.T) {
+	for name, mk := range factories() {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			defer s.Close()
+			p, err := s.Allocate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Advance the PSN well beyond zero and free the page.
+			for i := 0; i < 5; i++ {
+				if _, _, err := p.Insert([]byte("x")); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Write(p); err != nil {
+				t.Fatal(err)
+			}
+			finalPSN := p.PSN()
+			if err := s.Free(p.ID()); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Read(p.ID()); !errors.Is(err, ErrNotAllocated) {
+				t.Fatalf("read after free: %v", err)
+			}
+			// A reincarnation of the same id must continue the PSN
+			// sequence (Mohan-Narang seeding).
+			var reborn *page.Page
+			for i := 0; i < 64; i++ {
+				q, err := s.Allocate()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if q.ID() == p.ID() {
+					reborn = q
+					break
+				}
+			}
+			if reborn == nil {
+				t.Skip("allocator never reused the id (monotone ids)")
+			}
+			if reborn.PSN() <= finalPSN {
+				t.Fatalf("reincarnated PSN %d not above final %d", reborn.PSN(), finalPSN)
+			}
+		})
+	}
+}
+
+func TestDiskStoreReopenKeepsState(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenDiskStore(dir, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Insert([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(p); err != nil {
+		t.Fatal(err)
+	}
+	q, err := s.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Free(q.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := OpenDiskStore(dir, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	ids := s2.Allocated()
+	if len(ids) != 1 || ids[0] != p.ID() {
+		t.Fatalf("Allocated after reopen = %v", ids)
+	}
+	got, err := s2.Read(p.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, _ := got.Read(0)
+	if string(d) != "durable" {
+		t.Fatalf("content after reopen: %q", d)
+	}
+	// The freed page's PSN seed must survive the reopen.
+	reborn, err := s2.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reborn.ID() == q.ID() && reborn.PSN() == 0 {
+		t.Fatal("PSN seed lost across reopen")
+	}
+}

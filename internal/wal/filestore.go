@@ -1,0 +1,212 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// FileStore is a Store backed by a real append-only file.  Each record
+// is framed as
+//
+//	len(4) crc32(4) payload
+//
+// and the frame's byte offset is the record's LSN.  Opening an existing
+// file scans forward from the preamble and stops at the first frame with
+// a bad length or checksum, which recovers the end of log after a crash
+// that tore the final write.
+type FileStore struct {
+	mu       sync.Mutex
+	f        *os.File
+	end      LSN
+	durable  LSN
+	capacity uint64
+	reclaim  LSN
+}
+
+const fileMagic = "CLOGWAL1"
+
+// OpenFileStore opens (or creates) a log file.  capacity bounds the live
+// log span in bytes; zero means unbounded.  Reclaimed space is accounted
+// logically; the file itself is append-only (a production deployment
+// would segment and delete files, which does not change the protocol
+// behaviour this repository studies).
+func OpenFileStore(path string, capacity uint64) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s := &FileStore{f: f, capacity: capacity, reclaim: firstLSN}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		var pre [int(firstLSN)]byte
+		copy(pre[:], fileMagic)
+		if _, err := f.WriteAt(pre[:], 0); err != nil {
+			f.Close()
+			return nil, err
+		}
+		s.end = firstLSN
+	} else {
+		end, err := scanEnd(f, st.Size())
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		s.end = end
+		// Drop any torn tail so future appends start at a clean frame.
+		if err := f.Truncate(int64(end)); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	s.durable = s.end
+	return s, nil
+}
+
+// scanEnd walks frames from the preamble until the first invalid frame
+// and returns the LSN of the log end.
+func scanEnd(f *os.File, size int64) (LSN, error) {
+	var hdr [int(firstLSN)]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		return 0, fmt.Errorf("wal: reading preamble: %w", err)
+	}
+	if string(hdr[:len(fileMagic)]) != fileMagic {
+		return 0, fmt.Errorf("wal: %q is not a log file", f.Name())
+	}
+	off := int64(firstLSN)
+	var fh [8]byte
+	for off+8 <= size {
+		if _, err := f.ReadAt(fh[:], off); err != nil {
+			break
+		}
+		n := binary.LittleEndian.Uint32(fh[0:])
+		crc := binary.LittleEndian.Uint32(fh[4:])
+		if n == 0 || off+8+int64(n) > size {
+			break
+		}
+		buf := make([]byte, n)
+		if _, err := f.ReadAt(buf, off+8); err != nil {
+			break
+		}
+		if crc32.ChecksumIEEE(buf) != crc {
+			break
+		}
+		off += 8 + int64(n)
+	}
+	return LSN(off), nil
+}
+
+// Append implements Store.
+func (s *FileStore) Append(payload []byte) (LSN, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sz := uint64(len(payload)) + 8
+	if s.capacity != 0 && uint64(s.end)+sz-uint64(s.reclaim) > s.capacity {
+		return NilLSN, ErrLogFull
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+	if _, err := s.f.WriteAt(frame, int64(s.end)); err != nil {
+		return NilLSN, err
+	}
+	lsn := s.end
+	s.end += LSN(sz)
+	return lsn, nil
+}
+
+// Flush implements Store: it fsyncs the file.
+func (s *FileStore) Flush(upTo LSN) error {
+	s.mu.Lock()
+	if upTo <= s.durable {
+		s.mu.Unlock()
+		return nil
+	}
+	end := s.end
+	s.mu.Unlock()
+	if err := s.f.Sync(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if end > s.durable {
+		s.durable = end
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+// Durable implements Store.
+func (s *FileStore) Durable() LSN {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.durable
+}
+
+// End implements Store.
+func (s *FileStore) End() LSN {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.end
+}
+
+// ReadAt implements Store.
+func (s *FileStore) ReadAt(lsn LSN) ([]byte, LSN, error) {
+	s.mu.Lock()
+	end := s.end
+	rec := s.reclaim
+	s.mu.Unlock()
+	if lsn < rec {
+		return nil, NilLSN, ErrReclaimed
+	}
+	if lsn+8 > end {
+		return nil, NilLSN, ErrOutOfRange
+	}
+	var fh [8]byte
+	if _, err := s.f.ReadAt(fh[:], int64(lsn)); err != nil {
+		return nil, NilLSN, err
+	}
+	n := binary.LittleEndian.Uint32(fh[0:])
+	crc := binary.LittleEndian.Uint32(fh[4:])
+	if LSN(uint64(lsn)+8+uint64(n)) > end {
+		return nil, NilLSN, ErrOutOfRange
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(io.NewSectionReader(s.f, int64(lsn)+8, int64(n)), buf); err != nil {
+		return nil, NilLSN, err
+	}
+	if crc32.ChecksumIEEE(buf) != crc {
+		return nil, NilLSN, fmt.Errorf("wal: bad checksum at %s", lsn)
+	}
+	return buf, lsn + LSN(8+n), nil
+}
+
+// Reclaim implements Store (logical accounting only; see OpenFileStore).
+func (s *FileStore) Reclaim(upTo LSN) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if upTo > s.durable {
+		upTo = s.durable
+	}
+	if upTo > s.reclaim {
+		s.reclaim = upTo
+	}
+	return nil
+}
+
+// Horizon implements Store.
+func (s *FileStore) Horizon() LSN {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reclaim
+}
+
+// Close implements Store.
+func (s *FileStore) Close() error { return s.f.Close() }

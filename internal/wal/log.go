@@ -1,0 +1,168 @@
+package wal
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Log is a log manager: a record codec and WAL bookkeeping layered over
+// a Store.  One Log instance backs each client's private log and the
+// server's log.
+type Log struct {
+	mu    sync.Mutex
+	store Store
+
+	// Metrics, readable concurrently by the benchmark harness.
+	appendedBytes atomic.Uint64
+	appendedRecs  atomic.Uint64
+	forces        atomic.Uint64
+}
+
+// NewLog wraps a store in a log manager.
+func NewLog(store Store) *Log { return &Log{store: store} }
+
+// Store exposes the underlying store (the simulator uses it to crash
+// MemStores and to read live-byte accounting).
+func (l *Log) Store() Store { return l.store }
+
+// Append encodes and appends a record, returning its LSN.  The record is
+// not durable until Force.
+func (l *Log) Append(r Record) (LSN, error) {
+	payload := Encode(r)
+	l.mu.Lock()
+	lsn, err := l.store.Append(payload)
+	l.mu.Unlock()
+	if err != nil {
+		return NilLSN, err
+	}
+	l.appendedBytes.Add(uint64(len(payload)) + 8)
+	l.appendedRecs.Add(1)
+	return lsn, nil
+}
+
+// AppendEncoded appends an already-encoded record payload; the server
+// uses it to store log records shipped by clients at commit in the
+// LogShipCommit baseline without a decode/re-encode round trip.
+func (l *Log) AppendEncoded(payload []byte) (LSN, error) {
+	l.mu.Lock()
+	lsn, err := l.store.Append(payload)
+	l.mu.Unlock()
+	if err != nil {
+		return NilLSN, err
+	}
+	l.appendedBytes.Add(uint64(len(payload)) + 8)
+	l.appendedRecs.Add(1)
+	return lsn, nil
+}
+
+// AppendAndForce appends a record and forces the log through it; used
+// for commit records and the server's replacement records.
+func (l *Log) AppendAndForce(r Record) (LSN, error) {
+	lsn, err := l.Append(r)
+	if err != nil {
+		return NilLSN, err
+	}
+	if err := l.Force(lsn); err != nil {
+		return NilLSN, err
+	}
+	return lsn, nil
+}
+
+// Force makes all records up to and including upTo durable.
+func (l *Log) Force(upTo LSN) error {
+	if upTo < l.store.Durable() {
+		return nil
+	}
+	l.forces.Add(1)
+	return l.store.Flush(upTo)
+}
+
+// ForceAll forces everything appended so far.
+func (l *Log) ForceAll() error { return l.Force(l.store.End()) }
+
+// End returns the LSN the next record will receive; the paper's
+// "current end of the log" used when seeding DPT RedoLSNs.
+func (l *Log) End() LSN { return l.store.End() }
+
+// Durable returns the durability horizon.
+func (l *Log) Durable() LSN { return l.store.Durable() }
+
+// Read decodes the record at lsn, also returning the next record's LSN.
+func (l *Log) Read(lsn LSN) (Record, LSN, error) {
+	payload, next, err := l.store.ReadAt(lsn)
+	if err != nil {
+		return nil, NilLSN, err
+	}
+	rec, err := Decode(payload)
+	if err != nil {
+		return nil, NilLSN, err
+	}
+	return rec, next, nil
+}
+
+// Reclaim releases log space below upTo (the client's min RedoLSN; see
+// §3.6).
+func (l *Log) Reclaim(upTo LSN) error { return l.store.Reclaim(upTo) }
+
+// Horizon returns the LSN of the earliest record still readable (the
+// reclaim horizon); full-log scans start here.
+func (l *Log) Horizon() LSN { return l.store.Horizon() }
+
+// Close closes the underlying store.
+func (l *Log) Close() error { return l.store.Close() }
+
+// BytesAppended returns the cumulative payload+frame bytes appended.
+func (l *Log) BytesAppended() uint64 { return l.appendedBytes.Load() }
+
+// RecordsAppended returns the cumulative number of records appended.
+func (l *Log) RecordsAppended() uint64 { return l.appendedRecs.Load() }
+
+// Forces returns the number of Force calls that reached the store.
+func (l *Log) Forces() uint64 { return l.forces.Load() }
+
+// Scanner iterates over records in LSN order.
+type Scanner struct {
+	log  *Log
+	next LSN
+	end  LSN
+
+	lsn LSN
+	rec Record
+	err error
+}
+
+// Scan returns a scanner positioned at from (use firstLSN via
+// StartLSN() to scan the whole log) that stops at the current end.
+func (l *Log) Scan(from LSN) *Scanner {
+	if from == NilLSN {
+		from = firstLSN
+	}
+	return &Scanner{log: l, next: from, end: l.End()}
+}
+
+// StartLSN returns the LSN of the first record any log can contain.
+func StartLSN() LSN { return firstLSN }
+
+// Next advances to the next record; it returns false at the end of the
+// log or on error (check Err).
+func (s *Scanner) Next() bool {
+	if s.err != nil || s.next >= s.end {
+		return false
+	}
+	rec, next, err := s.log.Read(s.next)
+	if err != nil {
+		s.err = err
+		return false
+	}
+	s.lsn, s.rec, s.next = s.next, rec, next
+	return true
+}
+
+// LSN returns the LSN of the current record.
+func (s *Scanner) LSN() LSN { return s.lsn }
+
+// Record returns the current record.
+func (s *Scanner) Record() Record { return s.rec }
+
+// Err returns the error that stopped the scan, if any.
+func (s *Scanner) Err() error { return s.err }

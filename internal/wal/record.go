@@ -1,0 +1,312 @@
+// Package wal implements the write-ahead logs used by both tiers of the
+// architecture: the private client logs that hold all transactional log
+// records (Section 2 of the paper) and the server log that holds
+// replacement records and server checkpoints (Section 3.1).
+//
+// A log is an append-only sequence of records addressed by log sequence
+// numbers (LSNs).  As in the paper, the LSN of a record is its byte
+// address in the log, so LSNs are monotonically increasing and a record
+// can be fetched in O(1).  The WAL protocol rules — force before an
+// updated page leaves the cache, force at commit — are enforced by the
+// client and server engines in internal/core.
+package wal
+
+import (
+	"fmt"
+
+	"clientlog/internal/ident"
+	"clientlog/internal/page"
+)
+
+// LSN is a log sequence number: the byte address of a record in its log
+// file.  NilLSN (zero) means "no record"; real records never start at
+// offset zero because every log begins with a preamble frame.
+type LSN uint64
+
+// NilLSN is the absent LSN, spelled NULL in the paper's tables.
+const NilLSN LSN = 0
+
+func (l LSN) String() string {
+	if l == NilLSN {
+		return "nil"
+	}
+	return fmt.Sprintf("@%d", uint64(l))
+}
+
+// Kind discriminates log record types.
+type Kind uint8
+
+const (
+	// KindUpdate is a physical (before/after image) update record.
+	KindUpdate Kind = iota + 1
+	// KindLogical is a logical update record: the redo/undo actions are
+	// operations (add delta), not byte images.  The paper contrasts its
+	// support for logical logging with PCA's physical-only logging (§4.2).
+	KindLogical
+	// KindCLR is a compensation log record written during rollback; it is
+	// redo-only and carries the UndoNext pointer of ARIES.
+	KindCLR
+	// KindCommit terminates a committed transaction.
+	KindCommit
+	// KindAbort terminates a rolled-back transaction.
+	KindAbort
+	// KindCheckpoint is a client fuzzy checkpoint: active transaction
+	// table plus dirty page table (§3.2).
+	KindCheckpoint
+	// KindCallback is the callback log record of §3.1, written by the
+	// client that triggers a callback for an exclusive lock.
+	KindCallback
+	// KindReplacement is the server's replacement log record, forced
+	// before an updated page is written to disk (§3.1, Property 2).
+	KindReplacement
+	// KindServerCheckpoint is a server checkpoint carrying the DCT.
+	KindServerCheckpoint
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindUpdate:
+		return "update"
+	case KindLogical:
+		return "logical"
+	case KindCLR:
+		return "clr"
+	case KindCommit:
+		return "commit"
+	case KindAbort:
+		return "abort"
+	case KindCheckpoint:
+		return "checkpoint"
+	case KindCallback:
+		return "callback"
+	case KindReplacement:
+		return "replacement"
+	case KindServerCheckpoint:
+		return "server-checkpoint"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// OpKind identifies the page operation described by an update record.
+type OpKind uint8
+
+const (
+	// OpOverwrite is the mergeable same-size overwrite of §3.1.
+	OpOverwrite OpKind = iota + 1
+	// OpInsert creates an object (structural, page X lock required).
+	OpInsert
+	// OpDelete removes an object (structural).
+	OpDelete
+	// OpResize changes an object's size (structural, footnote 3).
+	OpResize
+	// OpLogicalAdd is the redo action of a logical record's CLR.
+	OpLogicalAdd
+	// OpOverwriteAt is the partial-object mergeable overwrite of §3.1
+	// ("updates that simply overwrite parts of objects"); Offset locates
+	// the fragment within the object.
+	OpOverwriteAt
+)
+
+func (o OpKind) String() string {
+	switch o {
+	case OpOverwrite:
+		return "overwrite"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpResize:
+		return "resize"
+	case OpLogicalAdd:
+		return "logical-add"
+	case OpOverwriteAt:
+		return "overwrite-at"
+	default:
+		return fmt.Sprintf("op(%d)", uint8(o))
+	}
+}
+
+// Structural reports whether the operation alters the page structure and
+// therefore required a page level exclusive lock.
+func (o OpKind) Structural() bool { return o == OpInsert || o == OpDelete || o == OpResize }
+
+// Record is a log record.  Every record reports its kind; transactional
+// records additionally expose their transaction id and the backward
+// chain pointer used for rollback.
+type Record interface {
+	Kind() Kind
+	// Txn returns the owning transaction, or ident.NilTxn for
+	// non-transactional records (checkpoints, callback and server
+	// records).
+	Txn() ident.TxnID
+	// Prev returns the LSN of the transaction's previous record, or
+	// NilLSN at the head of the chain or for non-transactional records.
+	Prev() LSN
+}
+
+// Update is a physical update record.  PSN is the page sequence number
+// the page had just before the update (Section 2), which is the value
+// the redo tests of §3.3/§3.4 compare against.
+type Update struct {
+	TxnID   ident.TxnID
+	PrevLSN LSN
+	Page    page.ID
+	Slot    uint16
+	PSN     page.PSN
+	Op      OpKind
+	Offset  uint32 // fragment offset within the object (OpOverwriteAt)
+	Before  []byte // undo image; nil for OpInsert
+	After   []byte // redo image; nil for OpDelete
+}
+
+func (r *Update) Kind() Kind       { return KindUpdate }
+func (r *Update) Txn() ident.TxnID { return r.TxnID }
+func (r *Update) Prev() LSN        { return r.PrevLSN }
+func (r *Update) Object() page.ObjectID {
+	return page.ObjectID{Page: r.Page, Slot: r.Slot}
+}
+
+// Logical is a logical update record: the object is interpreted as a
+// 64-bit counter and Delta is added to it.  Redo re-adds Delta, undo
+// subtracts it (via a CLR whose Op is OpLogicalAdd with -Delta).
+type Logical struct {
+	TxnID   ident.TxnID
+	PrevLSN LSN
+	Page    page.ID
+	Slot    uint16
+	PSN     page.PSN
+	Delta   int64
+}
+
+func (r *Logical) Kind() Kind       { return KindLogical }
+func (r *Logical) Txn() ident.TxnID { return r.TxnID }
+func (r *Logical) Prev() LSN        { return r.PrevLSN }
+func (r *Logical) Object() page.ObjectID {
+	return page.ObjectID{Page: r.Page, Slot: r.Slot}
+}
+
+// CLR is an ARIES compensation log record.  It describes the redo action
+// that reverses one update and points (UndoNext) at the next record of
+// the transaction still to be undone, making rollback restartable.
+type CLR struct {
+	TxnID    ident.TxnID
+	PrevLSN  LSN
+	Page     page.ID
+	Slot     uint16
+	PSN      page.PSN
+	Op       OpKind // the compensating action
+	Offset   uint32 // fragment offset (OpOverwriteAt)
+	After    []byte // image installed by the compensation (if physical)
+	Delta    int64  // compensating delta when Op == OpLogicalAdd
+	UndoNext LSN
+}
+
+func (r *CLR) Kind() Kind       { return KindCLR }
+func (r *CLR) Txn() ident.TxnID { return r.TxnID }
+func (r *CLR) Prev() LSN        { return r.PrevLSN }
+func (r *CLR) Object() page.ObjectID {
+	return page.ObjectID{Page: r.Page, Slot: r.Slot}
+}
+
+// Commit terminates a committed transaction.  The commit record is
+// forced to the private log; no pages or log records travel to the
+// server (the paper's key advantage (1)).
+type Commit struct {
+	TxnID   ident.TxnID
+	PrevLSN LSN
+}
+
+func (r *Commit) Kind() Kind       { return KindCommit }
+func (r *Commit) Txn() ident.TxnID { return r.TxnID }
+func (r *Commit) Prev() LSN        { return r.PrevLSN }
+
+// Abort terminates a rolled-back transaction.
+type Abort struct {
+	TxnID   ident.TxnID
+	PrevLSN LSN
+}
+
+func (r *Abort) Kind() Kind       { return KindAbort }
+func (r *Abort) Txn() ident.TxnID { return r.TxnID }
+func (r *Abort) Prev() LSN        { return r.PrevLSN }
+
+// TxnInfo is one active-transaction-table entry in a client checkpoint.
+type TxnInfo struct {
+	ID       ident.TxnID
+	FirstLSN LSN
+	LastLSN  LSN
+}
+
+// DPTEntry is one dirty page table entry: the page and the LSN of the
+// earliest log record that may need to be redone for it (§3.2).
+type DPTEntry struct {
+	Page    page.ID
+	RedoLSN LSN
+}
+
+// Checkpoint is a client fuzzy checkpoint record.
+type Checkpoint struct {
+	Active []TxnInfo
+	DPT    []DPTEntry
+}
+
+func (r *Checkpoint) Kind() Kind       { return KindCheckpoint }
+func (r *Checkpoint) Txn() ident.TxnID { return ident.NilTxn }
+func (r *Checkpoint) Prev() LSN        { return NilLSN }
+
+// Callback is the callback log record of §3.1: written by the client
+// that triggers a callback for an exclusive lock, it remembers which
+// client responded and the PSN the page had when the responder sent it
+// to the server.  Server restart recovery uses these records to
+// reconstruct the cross-client update order of an object (§3.4).
+type Callback struct {
+	Object    page.ObjectID
+	Responder ident.ClientID
+	PSN       page.PSN
+}
+
+func (r *Callback) Kind() Kind       { return KindCallback }
+func (r *Callback) Txn() ident.TxnID { return ident.NilTxn }
+func (r *Callback) Prev() LSN        { return NilLSN }
+
+// ReplEntry is one per-client entry of a replacement record: the PSN the
+// server remembers for that client and page (Property 1).
+type ReplEntry struct {
+	Client ident.ClientID
+	PSN    page.PSN
+}
+
+// Replacement is the server's replacement log record, forced to the
+// server log just before an updated page is written in place to disk.
+// Property 2 of §3.1: if the disk PSN of the page equals PagePSN, the
+// Entries determine exactly which client updates the disk copy holds.
+type Replacement struct {
+	Page    page.ID
+	PagePSN page.PSN
+	Entries []ReplEntry
+}
+
+func (r *Replacement) Kind() Kind       { return KindReplacement }
+func (r *Replacement) Txn() ident.TxnID { return ident.NilTxn }
+func (r *Replacement) Prev() LSN        { return NilLSN }
+
+// DCTEntry is one dirty-client-table entry in a server checkpoint
+// (§3.2): page, client, the PSN of the page the last time it was
+// received from that client, and the LSN of the first replacement
+// record written for the page.
+type DCTEntry struct {
+	Page    page.ID
+	Client  ident.ClientID
+	PSN     page.PSN
+	RedoLSN LSN
+}
+
+// ServerCheckpoint is a server checkpoint record carrying the DCT.
+type ServerCheckpoint struct {
+	DCT []DCTEntry
+}
+
+func (r *ServerCheckpoint) Kind() Kind       { return KindServerCheckpoint }
+func (r *ServerCheckpoint) Txn() ident.TxnID { return ident.NilTxn }
+func (r *ServerCheckpoint) Prev() LSN        { return NilLSN }

@@ -1,0 +1,213 @@
+package wal
+
+import (
+	"errors"
+	"sort"
+	"sync"
+)
+
+// Store is the byte-level log device under a Log.  Records are framed by
+// the Log; the store only sees opaque payloads addressed by the LSN of
+// their frame.
+//
+// Two implementations exist: MemStore, whose "disk" survives a simulated
+// crash while the unflushed tail is lost (used by tests, benchmarks and
+// the simulator), and FileStore, backed by a real file (used by the cmd/
+// tools and the examples).
+type Store interface {
+	// Append stores a payload and returns the LSN assigned to it.
+	Append(payload []byte) (LSN, error)
+	// Flush makes every record with LSN <= upTo durable.
+	Flush(upTo LSN) error
+	// Durable returns the LSN boundary below which records survive a
+	// crash (exclusive: every record starting before it is durable).
+	Durable() LSN
+	// End returns the LSN that the next appended record will receive.
+	End() LSN
+	// ReadAt returns the payload of the record at lsn and the LSN of the
+	// following record.
+	ReadAt(lsn LSN) (payload []byte, next LSN, err error)
+	// Reclaim tells the store that no record before upTo will ever be
+	// read again, allowing a bounded (circular) log to reuse the space.
+	Reclaim(upTo LSN) error
+	// Horizon returns the earliest LSN still readable.
+	Horizon() LSN
+	// Close releases resources.
+	Close() error
+}
+
+// Store errors.
+var (
+	ErrLogFull    = errors.New("wal: log capacity exhausted")
+	ErrOutOfRange = errors.New("wal: LSN out of range")
+	ErrReclaimed  = errors.New("wal: LSN already reclaimed")
+)
+
+// firstLSN is the LSN of the first real record.  Offset zero is reserved
+// so that NilLSN never collides with a record address.
+const firstLSN LSN = 16
+
+// MemStore is an in-memory Store with crash semantics: Crash discards
+// the records that were appended but never flushed, exactly what losing
+// the contents of an OS buffer cache would do.  A non-zero capacity
+// bounds the live log span (End - reclaim horizon) to model the bounded
+// client log disks of §3.6.
+type MemStore struct {
+	mu        sync.Mutex
+	recs      []memRec // ascending by lsn
+	end       LSN
+	durable   LSN
+	reclaimed LSN
+	capacity  uint64 // 0 = unbounded
+}
+
+type memRec struct {
+	lsn     LSN
+	payload []byte
+}
+
+// NewMemStore returns an empty in-memory store.  capacity bounds the
+// live log span in bytes; zero means unbounded.
+func NewMemStore(capacity uint64) *MemStore {
+	return &MemStore{end: firstLSN, durable: firstLSN, reclaimed: firstLSN, capacity: capacity}
+}
+
+// Append implements Store.
+func (m *MemStore) Append(payload []byte) (LSN, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sz := uint64(len(payload)) + 8 // frame accounting
+	if m.capacity != 0 && uint64(m.end)+sz-uint64(m.reclaimed) > m.capacity {
+		return NilLSN, ErrLogFull
+	}
+	lsn := m.end
+	p := make([]byte, len(payload))
+	copy(p, payload)
+	m.recs = append(m.recs, memRec{lsn: lsn, payload: p})
+	m.end += LSN(sz)
+	return lsn, nil
+}
+
+// Flush implements Store.
+func (m *MemStore) Flush(upTo LSN) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if upTo >= m.end {
+		m.durable = m.end
+		return nil
+	}
+	// Durability is frame-aligned: everything up to and including the
+	// record containing upTo becomes durable.
+	i := m.find(upTo)
+	var horizon LSN
+	if i < len(m.recs) {
+		horizon = m.recs[i].lsn + LSN(len(m.recs[i].payload)) + 8
+	} else {
+		horizon = m.end
+	}
+	if horizon > m.durable {
+		m.durable = horizon
+	}
+	return nil
+}
+
+// Durable implements Store.
+func (m *MemStore) Durable() LSN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.durable
+}
+
+// End implements Store.
+func (m *MemStore) End() LSN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.end
+}
+
+// find returns the index of the record whose frame contains lsn, or
+// len(recs) when lsn is at or beyond the end.
+func (m *MemStore) find(lsn LSN) int {
+	return sort.Search(len(m.recs), func(i int) bool {
+		return m.recs[i].lsn+LSN(len(m.recs[i].payload))+8 > lsn
+	})
+}
+
+// ReadAt implements Store.
+func (m *MemStore) ReadAt(lsn LSN) ([]byte, LSN, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if lsn < m.reclaimed {
+		return nil, NilLSN, ErrReclaimed
+	}
+	if lsn >= m.end {
+		return nil, NilLSN, ErrOutOfRange
+	}
+	i := m.find(lsn)
+	if i >= len(m.recs) || m.recs[i].lsn != lsn {
+		return nil, NilLSN, ErrOutOfRange
+	}
+	r := m.recs[i]
+	out := make([]byte, len(r.payload))
+	copy(out, r.payload)
+	return out, r.lsn + LSN(len(r.payload)) + 8, nil
+}
+
+// Reclaim implements Store.
+func (m *MemStore) Reclaim(upTo LSN) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if upTo <= m.reclaimed {
+		return nil
+	}
+	if upTo > m.durable {
+		upTo = m.durable
+	}
+	i := m.find(upTo)
+	// Only whole records strictly below upTo are dropped.
+	j := 0
+	for j < i && m.recs[j].lsn+LSN(len(m.recs[j].payload))+8 <= upTo {
+		j++
+	}
+	m.recs = append([]memRec(nil), m.recs[j:]...)
+	if j > 0 {
+		if len(m.recs) > 0 {
+			m.reclaimed = m.recs[0].lsn
+		} else {
+			m.reclaimed = m.end
+		}
+	}
+	return nil
+}
+
+// Horizon implements Store.
+func (m *MemStore) Horizon() LSN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reclaimed
+}
+
+// Crash simulates a machine crash: records beyond the durable horizon
+// are lost; everything else (the "disk") survives.
+func (m *MemStore) Crash() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	i := sort.Search(len(m.recs), func(i int) bool { return m.recs[i].lsn >= m.durable })
+	m.recs = m.recs[:i]
+	m.end = m.durable
+}
+
+// Close implements Store.
+func (m *MemStore) Close() error { return nil }
+
+// LiveBytes returns the bytes currently occupied between the reclaim
+// horizon and the end of the log; the §3.6 log-space manager watches
+// this against the capacity.
+func (m *MemStore) LiveBytes() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return uint64(m.end - m.reclaimed)
+}
+
+// Capacity returns the configured capacity (0 = unbounded).
+func (m *MemStore) Capacity() uint64 { return m.capacity }

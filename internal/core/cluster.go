@@ -89,6 +89,12 @@ type Cluster struct {
 	server  *Server
 	clients map[ident.ClientID]*clientSlot
 	tracer  trace.Recorder
+
+	// wrapServer/wrapClient intercept the loopback conns (fault
+	// injection); see WrapConns.
+	wrapServer func(n int, conn msg.Server) msg.Server
+	wrapClient func(id ident.ClientID, conn msg.Client) msg.Client
+	connSeq    int
 }
 
 // NewCluster builds a memory-backed cluster (the "disks" survive
@@ -135,9 +141,43 @@ func (cl *Cluster) Server() *Server {
 // Config returns the cluster configuration.
 func (cl *Cluster) Config() Config { return cl.cfg }
 
+// WrapConns installs interceptors around every loopback conn built
+// from now on: sw around each client's view of the server (one call per
+// client join/restart, n increasing), cw around the server's view of
+// each client.  The chaos harness uses them to splice the
+// fault-injection transports (msg.FaultyServer / msg.FaultyClient)
+// into a cluster.  Either may be nil.
+func (cl *Cluster) WrapConns(sw func(n int, conn msg.Server) msg.Server, cw func(id ident.ClientID, conn msg.Client) msg.Client) {
+	cl.mu.Lock()
+	cl.wrapServer = sw
+	cl.wrapClient = cw
+	cl.mu.Unlock()
+}
+
 // serverConn builds the client's view of the server.
 func (cl *Cluster) serverConn() msg.Server {
-	return &msg.LoopbackServer{Inner: cl.handle, Latency: cl.cfg.Latency, Stats: cl.Stats}
+	var conn msg.Server = &msg.LoopbackServer{Inner: cl.handle, Latency: cl.cfg.Latency, Stats: cl.Stats}
+	cl.mu.Lock()
+	wrap := cl.wrapServer
+	cl.connSeq++
+	n := cl.connSeq
+	cl.mu.Unlock()
+	if wrap != nil {
+		conn = wrap(n, conn)
+	}
+	return conn
+}
+
+// clientConn builds the server's view of a client.
+func (cl *Cluster) clientConn(id ident.ClientID, c *Client) msg.Client {
+	var conn msg.Client = &msg.LoopbackClient{Inner: c, Latency: cl.cfg.Latency, Stats: cl.Stats}
+	cl.mu.Lock()
+	wrap := cl.wrapClient
+	cl.mu.Unlock()
+	if wrap != nil {
+		conn = wrap(id, conn)
+	}
+	return conn
 }
 
 // AddClient joins a new client with a memory-backed private log.
@@ -159,7 +199,7 @@ func (cl *Cluster) AddDisklessClient() (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	conn := &msg.LoopbackClient{Inner: c, Latency: cl.cfg.Latency, Stats: cl.Stats}
+	conn := cl.clientConn(c.ID(), c)
 	cl.mu.Lock()
 	server := cl.server
 	cl.clients[c.ID()] = &clientSlot{engine: c, logStore: logStore}
@@ -174,7 +214,7 @@ func (cl *Cluster) AddClientWithLog(logStore wal.Store) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	conn := &msg.LoopbackClient{Inner: c, Latency: cl.cfg.Latency, Stats: cl.Stats}
+	conn := cl.clientConn(c.ID(), c)
 	cl.mu.Lock()
 	server := cl.server
 	cl.clients[c.ID()] = &clientSlot{engine: c, logStore: logStore}
@@ -222,7 +262,7 @@ func (cl *Cluster) RestartClient(id ident.ClientID) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	conn := &msg.LoopbackClient{Inner: c, Latency: cl.cfg.Latency, Stats: cl.Stats}
+	conn := cl.clientConn(id, c)
 	server.Attach(id, conn)
 	cl.mu.Lock()
 	slot.engine = c
@@ -283,16 +323,24 @@ func (cl *Cluster) RestartServer() error {
 		server.SetTracer(cl.tracer)
 	}
 	cl.server = server
-	operational := make(map[ident.ClientID]msg.Client)
+	type survivor struct {
+		id     ident.ClientID
+		engine *Client
+	}
+	var survivors []survivor
 	var crashed []ident.ClientID
 	for id, slot := range cl.clients {
 		if slot.crashed {
 			crashed = append(crashed, id)
 			continue
 		}
-		operational[id] = &msg.LoopbackClient{Inner: slot.engine, Latency: cl.cfg.Latency, Stats: cl.Stats}
+		survivors = append(survivors, survivor{id: id, engine: slot.engine})
 	}
 	cl.mu.Unlock()
+	operational := make(map[ident.ClientID]msg.Client)
+	for _, sv := range survivors {
+		operational[sv.id] = cl.clientConn(sv.id, sv.engine)
+	}
 	// Reconnect the transports first: the recovery protocol itself makes
 	// the clients ship pages back to the new engine.
 	cl.handle.set(server)
@@ -325,6 +373,19 @@ func (cl *Cluster) SeedPages(n, objsPerPage, objSize int) ([]page.ID, error) {
 		ids = append(ids, p.ID())
 	}
 	return ids, nil
+}
+
+// PagePSNs returns the page's PSN on disk and the server's current
+// (cached-or-disk) PSN.  Disk PSNs only ever advance (in-place writes
+// are guarded by replacement records); the chaos harness asserts that.
+func (cl *Cluster) PagePSNs(pid page.ID) (disk, current page.PSN) {
+	cl.mu.Lock()
+	server := cl.server
+	cl.mu.Unlock()
+	if p, err := cl.store.Read(pid); err == nil {
+		disk = p.PSN()
+	}
+	return disk, server.PagePSN(pid)
 }
 
 // DebugPage renders every tier's view of a page (debug tooling).

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ReplyCache gives a transport at-most-once execution of client
+// requests: the server side of a lossy connection executes each request
+// id exactly once and answers retransmissions (retries after a lost
+// reply, wire-level duplicates, stale replays) from the cached result.
+// Without it, a retried Ship would merge a page twice, a retried remote
+// LogAppend would write the record twice, and a retried Alloc would
+// leak a page — §3 of the paper assumes the network may lose or
+// duplicate messages, so suppression is the server's job.
+//
+// Both transports use it: the loopback fault wrapper (msg.FaultyServer)
+// and the TCP session layer in internal/netrpc.
+type ReplyCache struct {
+	// Suppressed counts duplicate requests answered from the cache.
+	Suppressed atomic.Uint64
+
+	mu      sync.Mutex
+	entries map[uint64]*replyEntry
+	order   []uint64 // insertion order, for bounded eviction
+	limit   int
+}
+
+// replyEntry is one request's (eventual) result; done closes when the
+// first execution finishes, so a duplicate that arrives while the
+// original is still executing waits instead of re-executing.
+type replyEntry struct {
+	done chan struct{}
+	body interface{}
+	err  error
+}
+
+// NewReplyCache returns a cache remembering about limit completed
+// requests (0 picks a default).  The window only needs to cover the
+// retry horizon of one connection, not the whole session.
+func NewReplyCache(limit int) *ReplyCache {
+	if limit <= 0 {
+		limit = 1024
+	}
+	return &ReplyCache{entries: make(map[uint64]*replyEntry), limit: limit}
+}
+
+// Do executes exec for the first request with this id and returns the
+// cached result (blocking on the in-flight execution if necessary) for
+// every later request with the same id.
+func (rc *ReplyCache) Do(seq uint64, exec func() (interface{}, error)) (interface{}, error) {
+	rc.mu.Lock()
+	if e, ok := rc.entries[seq]; ok {
+		rc.mu.Unlock()
+		<-e.done
+		rc.Suppressed.Add(1)
+		return e.body, e.err
+	}
+	e := &replyEntry{done: make(chan struct{})}
+	rc.entries[seq] = e
+	rc.order = append(rc.order, seq)
+	rc.evictLocked()
+	rc.mu.Unlock()
+
+	e.body, e.err = exec()
+	close(e.done)
+	return e.body, e.err
+}
+
+// evictLocked drops the oldest *completed* entries beyond the limit;
+// in-flight entries are never evicted (a duplicate must find them).
+func (rc *ReplyCache) evictLocked() {
+	for len(rc.entries) > rc.limit && len(rc.order) > 0 {
+		seq := rc.order[0]
+		e := rc.entries[seq]
+		if e != nil {
+			select {
+			case <-e.done:
+			default:
+				return // oldest still executing; stop evicting
+			}
+			delete(rc.entries, seq)
+		}
+		rc.order = rc.order[1:]
+	}
+}

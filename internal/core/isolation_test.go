@@ -32,16 +32,29 @@ func TestUncommittedDataNeverVisible(t *testing.T) {
 		t.Fatalf("unexpected error kind: %v", err)
 	}
 	tb.Abort()
-	// A aborts; B now sees the original value.
+	// A aborts; B now sees the original value.  The release can race
+	// B's re-request under a heavily loaded scheduler (the 300ms lock
+	// timeout above is deliberately tight), so time out and retry
+	// instead of failing on the first ErrTimeout.
 	if err := ta.Abort(); err != nil {
 		t.Fatal(err)
 	}
-	tb2, _ := b.Begin()
-	got, err := tb2.Read(obj)
-	if err != nil || !bytes.Equal(got, orig) {
-		t.Fatalf("after abort: %q want %q err=%v", got, orig, err)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		tb2, _ := b.Begin()
+		got, err := tb2.Read(obj)
+		if err == nil {
+			if !bytes.Equal(got, orig) {
+				t.Fatalf("after abort: %q want %q", got, orig)
+			}
+			tb2.Commit()
+			break
+		}
+		tb2.Abort()
+		if !errors.Is(err, lock.ErrTimeout) || time.Now().After(deadline) {
+			t.Fatalf("after abort: err=%v", err)
+		}
 	}
-	tb2.Commit()
 }
 
 func TestReadersBlockWriter(t *testing.T) {

@@ -746,6 +746,52 @@ func (s *Server) DCTSnapshot() map[dctKey]dctEntry {
 	return out
 }
 
+// PagePSN returns the server's current PSN for the page: the pooled
+// copy's when cached, else the disk copy's (0 when the page does not
+// exist).  The chaos harness samples it to assert PSN monotonicity.
+func (s *Server) PagePSN(pid page.ID) page.PSN {
+	s.mu.Lock()
+	if p, ok := s.pool.Get(pid); ok {
+		psn := p.PSN()
+		s.mu.Unlock()
+		return psn
+	}
+	s.mu.Unlock()
+	disk, err := s.store.Read(pid)
+	if err != nil {
+		return 0
+	}
+	return disk.PSN()
+}
+
+// CheckInvariants verifies the cross-table consistency the recovery
+// protocol depends on: every exclusive lock (page- or object-level) a
+// client holds on a live page has a matching DCT entry — Property 1
+// (§3.1/§3.2) is vacuous without it, because the server could not name
+// the clients whose updates a page copy might miss.  It returns the
+// first violation found.
+func (s *Server) CheckInvariants() error {
+	holdings := s.glm.AllHoldings()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for c, holds := range holdings {
+		for _, h := range holds {
+			if h.Mode != lock.X {
+				continue
+			}
+			if _, ok := s.dct[dctKey{pg: h.Name.Page, c: c}]; ok {
+				continue
+			}
+			if _, err := s.store.Read(h.Name.Page); err != nil {
+				continue // freed page; locks may outlive it briefly
+			}
+			return fmt.Errorf("core: invariant violation: client %v holds %v in X but DCT has no (%d,%v) entry",
+				c, h.Name, h.Name.Page, c)
+		}
+	}
+	return nil
+}
+
 // DCTPSN returns the DCT PSN for (page, client) and whether the entry
 // exists.
 func (s *Server) DCTPSN(pid page.ID, c ident.ClientID) (page.PSN, bool) {

@@ -1,0 +1,99 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+func busyPlan() Plan {
+	return Plan{
+		DropProb:       0.2,
+		DupProb:        0.2,
+		ReplayProb:     0.1,
+		DelayProb:      0.2,
+		MaxDelay:       time.Millisecond,
+		DisconnectProb: 0.1,
+		PartitionProb:  0.05,
+		PartitionLen:   3,
+	}
+}
+
+func TestInjectorDeterministicPerSeed(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		a := New(seed, busyPlan())
+		b := New(seed, busyPlan())
+		for i := 0; i < 500; i++ {
+			stream := "c1"
+			if i%3 == 0 {
+				stream = "c2"
+			}
+			da, db := a.Next(stream), b.Next(stream)
+			if da != db {
+				t.Fatalf("seed %d step %d: %+v != %+v", seed, i, da, db)
+			}
+		}
+		sa, sb := a.Schedule(), b.Schedule()
+		if len(sa) != len(sb) {
+			t.Fatalf("seed %d: schedule lengths differ: %d vs %d", seed, len(sa), len(sb))
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("seed %d: schedule diverges at %d: %q vs %q", seed, i, sa[i], sb[i])
+			}
+		}
+		if a.Faults() == 0 {
+			t.Fatalf("seed %d: no faults injected by a busy plan", seed)
+		}
+	}
+}
+
+func TestInjectorSeedsDiffer(t *testing.T) {
+	a, b := New(1, busyPlan()), New(2, busyPlan())
+	same := 0
+	for i := 0; i < 200; i++ {
+		if a.Next("c") == b.Next("c") {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Fatal("seeds 1 and 2 produced identical decision streams")
+	}
+}
+
+func TestInjectorPartitionWindow(t *testing.T) {
+	in := New(7, Plan{PartitionProb: 1, PartitionLen: 4})
+	for i := 0; i < 10; i++ {
+		if d := in.Next("c"); !d.DropRequest {
+			t.Fatalf("call %d not dropped inside a forced partition", i)
+		}
+	}
+	if in.Faults() != 10 {
+		t.Fatalf("faults=%d want 10", in.Faults())
+	}
+}
+
+func TestInjectorDisabled(t *testing.T) {
+	in := New(7, busyPlan())
+	in.SetEnabled(false)
+	for i := 0; i < 100; i++ {
+		if d := in.Next("c"); d.Faulty() {
+			t.Fatal("disabled injector injected a fault")
+		}
+	}
+	if in.Faults() != 0 {
+		t.Fatalf("faults=%d want 0", in.Faults())
+	}
+	var nilInj *Injector
+	if d := nilInj.Next("c"); d.Faulty() {
+		t.Fatal("nil injector injected a fault")
+	}
+}
+
+func TestZeroPlanInjectsNothing(t *testing.T) {
+	in := New(3, Plan{})
+	for i := 0; i < 100; i++ {
+		if d := in.Next("c"); d.Faulty() {
+			t.Fatal("zero plan injected a fault")
+		}
+	}
+}

@@ -580,6 +580,26 @@ func (g *GLM) HeldBy(c ident.ClientID) []Holding {
 	return out
 }
 
+// AllHoldings returns every client's holdings (crashed clients'
+// retained locks included); the chaos harness uses it to check the
+// lock-table/DCT consistency invariant after recovery.
+func (g *GLM) AllHoldings() map[ident.ClientID][]Holding {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make(map[ident.ClientID][]Holding)
+	for p, pl := range g.pages {
+		for c, m := range pl.page {
+			out[c] = append(out[c], Holding{Name: PageName(p), Mode: m})
+		}
+		for slot, owners := range pl.objs {
+			for c, m := range owners {
+				out[c] = append(out[c], Holding{Name: Name{Page: p, Slot: slot}, Mode: m})
+			}
+		}
+	}
+	return out
+}
+
 // Install records a holding without conflict checking; server restart
 // recovery rebuilds the GLM from the LLM tables the clients report
 // (§3.4) and crashed-client recovery re-installs retained X locks.

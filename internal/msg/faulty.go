@@ -1,0 +1,368 @@
+package msg
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clientlog/internal/fault"
+	"clientlog/internal/ident"
+	"clientlog/internal/lock"
+	"clientlog/internal/page"
+)
+
+// ErrUnavailable reports that an RPC exhausted its retry budget against
+// the simulated network; with a sane plan/retry pairing this only
+// happens when the plan is deliberately hostile.
+var ErrUnavailable = errors.New("msg: network unavailable (retries exhausted)")
+
+// Deduper executes a request id at most once and replays the cached
+// result for retransmissions.  It represents the receiving side of a
+// lossy connection; core.ReplyCache implements it.
+type Deduper interface {
+	Do(seq uint64, exec func() (interface{}, error)) (interface{}, error)
+}
+
+// RetryPolicy bounds the transparent retransmission a faulty conn
+// performs.  The total attempt budget must outlast the fault plan's
+// partition windows (each attempt consumes one window slot).
+type RetryPolicy struct {
+	MaxAttempts int
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+// DefaultRetry pairs with fault.DefaultPlan: 16 attempts ride out a
+// 5-message partition with room to spare, and the backoff stays small
+// enough for tests.
+func DefaultRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 16, BaseBackoff: 50 * time.Microsecond, MaxBackoff: 2 * time.Millisecond}
+}
+
+func (r RetryPolicy) norm() RetryPolicy {
+	if r.MaxAttempts <= 0 {
+		r.MaxAttempts = 16
+	}
+	if r.BaseBackoff <= 0 {
+		r.BaseBackoff = 50 * time.Microsecond
+	}
+	if r.MaxBackoff < r.BaseBackoff {
+		r.MaxBackoff = 100 * r.BaseBackoff
+	}
+	return r
+}
+
+// faultyConn is the shared machinery of FaultyServer and FaultyClient:
+// one simulated lossy connection with per-request ids, bounded
+// exponential-backoff retransmission, and receiver-side duplicate
+// suppression.  Each logical request is executed through the Deduper,
+// so drops, duplicates and stale replays never execute twice.
+type faultyConn struct {
+	inj    *fault.Injector
+	dedup  Deduper
+	stream string
+	retry  RetryPolicy
+
+	seq atomic.Uint64
+
+	mu       sync.Mutex
+	lastExec func() (interface{}, error) // previous request, for Replay
+}
+
+func (f *faultyConn) call(name string, exec func() (interface{}, error)) (interface{}, error) {
+	seq := f.seq.Add(1)
+	deduped := func() (interface{}, error) { return f.dedup.Do(seq, exec) }
+	f.mu.Lock()
+	prev := f.lastExec
+	f.lastExec = deduped
+	f.mu.Unlock()
+
+	backoff := f.retry.BaseBackoff
+	for attempt := 0; attempt < f.retry.MaxAttempts; attempt++ {
+		d := f.inj.Next(f.stream)
+		if d.Delay > 0 {
+			time.Sleep(d.Delay)
+		}
+		if d.Replay && prev != nil {
+			// A stale retransmission of the previous request overtakes
+			// this one; the receiver must recognize and suppress it.
+			prev() //nolint:errcheck // the original call already consumed the result
+		}
+		if d.DropRequest {
+			time.Sleep(backoff)
+			backoff = minDur(2*backoff, f.retry.MaxBackoff)
+			continue
+		}
+		body, err := deduped()
+		if d.Duplicate {
+			// The wire delivered the request twice; the second execution
+			// must come from the receiver's reply cache.
+			deduped() //nolint:errcheck
+		}
+		if d.DropReply || d.Disconnect {
+			// The receiver executed but the reply is lost (or the
+			// connection died under it); retransmit.
+			time.Sleep(backoff)
+			backoff = minDur(2*backoff, f.retry.MaxBackoff)
+			continue
+		}
+		return body, err
+	}
+	return nil, fmt.Errorf("%w: %s (stream %s, %d attempts)", ErrUnavailable, name, f.stream, f.retry.MaxAttempts)
+}
+
+// oneway delivers a notification with fault treatment but no retry:
+// one-way messages may simply be lost, and the protocol must tolerate
+// that (flush notifications are advisory).
+func (f *faultyConn) oneway(deliver func()) {
+	d := f.inj.Next(f.stream)
+	if d.Delay > 0 {
+		time.Sleep(d.Delay)
+	}
+	if d.DropRequest || d.Disconnect {
+		return
+	}
+	deliver()
+	if d.Duplicate {
+		deliver()
+	}
+}
+
+func minDur(a, b time.Duration) time.Duration {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// FaultyServer wraps a client's conn to the server with the simulated
+// lossy network: every RPC runs under the injector's decisions for the
+// stream, lost messages are retransmitted with bounded exponential
+// backoff, and the server side (dedup) suppresses re-executions.
+type FaultyServer struct {
+	Inner Server
+	conn  faultyConn
+}
+
+// NewFaultyServer wraps inner.  dedup is the server-side reply cache
+// for this connection (one per client conn; see core.NewReplyCache).
+func NewFaultyServer(inner Server, inj *fault.Injector, dedup Deduper, stream string, retry RetryPolicy) *FaultyServer {
+	return &FaultyServer{
+		Inner: inner,
+		conn:  faultyConn{inj: inj, dedup: dedup, stream: stream, retry: retry.norm()},
+	}
+}
+
+// Register implements Server.
+func (f *FaultyServer) Register(r RegisterReq) (RegisterReply, error) {
+	body, err := f.conn.call("register", func() (interface{}, error) { return f.Inner.Register(r) })
+	if err != nil {
+		return RegisterReply{}, err
+	}
+	return body.(RegisterReply), nil
+}
+
+// Lock implements Server.
+func (f *FaultyServer) Lock(r LockReq) (LockReply, error) {
+	body, err := f.conn.call("lock", func() (interface{}, error) { return f.Inner.Lock(r) })
+	if err != nil {
+		return LockReply{}, err
+	}
+	return body.(LockReply), nil
+}
+
+// Unlock implements Server.
+func (f *FaultyServer) Unlock(r UnlockReq) error {
+	_, err := f.conn.call("unlock", func() (interface{}, error) { return nil, f.Inner.Unlock(r) })
+	return err
+}
+
+// Fetch implements Server.
+func (f *FaultyServer) Fetch(r FetchReq) (FetchReply, error) {
+	body, err := f.conn.call("fetch", func() (interface{}, error) { return f.Inner.Fetch(r) })
+	if err != nil {
+		return FetchReply{}, err
+	}
+	return body.(FetchReply), nil
+}
+
+// Ship implements Server.
+func (f *FaultyServer) Ship(r ShipReq) error {
+	_, err := f.conn.call("ship", func() (interface{}, error) { return nil, f.Inner.Ship(r) })
+	return err
+}
+
+// Force implements Server.
+func (f *FaultyServer) Force(r ForceReq) (ForceReply, error) {
+	body, err := f.conn.call("force", func() (interface{}, error) { return f.Inner.Force(r) })
+	if err != nil {
+		return ForceReply{}, err
+	}
+	return body.(ForceReply), nil
+}
+
+// Alloc implements Server.
+func (f *FaultyServer) Alloc(r AllocReq) (FetchReply, error) {
+	body, err := f.conn.call("alloc", func() (interface{}, error) { return f.Inner.Alloc(r) })
+	if err != nil {
+		return FetchReply{}, err
+	}
+	return body.(FetchReply), nil
+}
+
+// Free implements Server.
+func (f *FaultyServer) Free(r FreeReq) error {
+	_, err := f.conn.call("free", func() (interface{}, error) { return nil, f.Inner.Free(r) })
+	return err
+}
+
+// CommitShip implements Server.
+func (f *FaultyServer) CommitShip(r CommitShipReq) error {
+	_, err := f.conn.call("commit-ship", func() (interface{}, error) { return nil, f.Inner.CommitShip(r) })
+	return err
+}
+
+// Token implements Server.
+func (f *FaultyServer) Token(r TokenReq) (TokenReply, error) {
+	body, err := f.conn.call("token", func() (interface{}, error) { return f.Inner.Token(r) })
+	if err != nil {
+		return TokenReply{}, err
+	}
+	return body.(TokenReply), nil
+}
+
+// RecoveryFetch implements Server.
+func (f *FaultyServer) RecoveryFetch(r RecoveryFetchReq) (FetchReply, error) {
+	body, err := f.conn.call("recovery-fetch", func() (interface{}, error) { return f.Inner.RecoveryFetch(r) })
+	if err != nil {
+		return FetchReply{}, err
+	}
+	return body.(FetchReply), nil
+}
+
+// Reinstall implements Server.
+func (f *FaultyServer) Reinstall(c ident.ClientID, holds []lock.Holding) error {
+	_, err := f.conn.call("reinstall", func() (interface{}, error) { return nil, f.Inner.Reinstall(c, holds) })
+	return err
+}
+
+// RecoverQuery implements Server.
+func (f *FaultyServer) RecoverQuery(c ident.ClientID, pages []page.ID) ([]DCTRow, error) {
+	body, err := f.conn.call("recover-query", func() (interface{}, error) { return f.Inner.RecoverQuery(c, pages) })
+	if err != nil {
+		return nil, err
+	}
+	rows, _ := body.([]DCTRow)
+	return rows, nil
+}
+
+// LogOp implements Server.
+func (f *FaultyServer) LogOp(r LogReq) (LogReply, error) {
+	body, err := f.conn.call("log-op", func() (interface{}, error) { return f.Inner.LogOp(r) })
+	if err != nil {
+		return LogReply{}, err
+	}
+	return body.(LogReply), nil
+}
+
+// RecoverEnd implements Server.
+func (f *FaultyServer) RecoverEnd(c ident.ClientID) error {
+	_, err := f.conn.call("recover-end", func() (interface{}, error) { return nil, f.Inner.RecoverEnd(c) })
+	return err
+}
+
+// Disconnect implements Server.
+func (f *FaultyServer) Disconnect(c ident.ClientID) error {
+	_, err := f.conn.call("disconnect", func() (interface{}, error) { return nil, f.Inner.Disconnect(c) })
+	return err
+}
+
+// FaultyClient wraps the server's conn to one client with the same
+// lossy-network treatment; the dedup cache sits at the client end.
+type FaultyClient struct {
+	Inner Client
+	conn  faultyConn
+}
+
+// NewFaultyClient wraps inner (see NewFaultyServer).
+func NewFaultyClient(inner Client, inj *fault.Injector, dedup Deduper, stream string, retry RetryPolicy) *FaultyClient {
+	return &FaultyClient{
+		Inner: inner,
+		conn:  faultyConn{inj: inj, dedup: dedup, stream: stream, retry: retry.norm()},
+	}
+}
+
+// CallbackObject implements Client.
+func (f *FaultyClient) CallbackObject(r CallbackReq) (CallbackReply, error) {
+	body, err := f.conn.call("cb-object", func() (interface{}, error) { return f.Inner.CallbackObject(r) })
+	if err != nil {
+		return CallbackReply{}, err
+	}
+	return body.(CallbackReply), nil
+}
+
+// DeescalatePage implements Client.
+func (f *FaultyClient) DeescalatePage(r DeescReq) (DeescReply, error) {
+	body, err := f.conn.call("cb-deescalate", func() (interface{}, error) { return f.Inner.DeescalatePage(r) })
+	if err != nil {
+		return DeescReply{}, err
+	}
+	return body.(DeescReply), nil
+}
+
+// RecallToken implements Client.
+func (f *FaultyClient) RecallToken(p page.ID) (TokenReply, error) {
+	body, err := f.conn.call("recall-token", func() (interface{}, error) { return f.Inner.RecallToken(p) })
+	if err != nil {
+		return TokenReply{}, err
+	}
+	return body.(TokenReply), nil
+}
+
+// RecoveryShipUpTo implements Client.
+func (f *FaultyClient) RecoveryShipUpTo(p page.ID, psn page.PSN) error {
+	_, err := f.conn.call("recovery-ship-up-to", func() (interface{}, error) { return nil, f.Inner.RecoveryShipUpTo(p, psn) })
+	return err
+}
+
+// NotifyFlushed implements Client.  One-way: it may be lost or
+// duplicated outright; §3.2's DPT maintenance tolerates both.
+func (f *FaultyClient) NotifyFlushed(p page.ID, psn page.PSN) {
+	f.conn.oneway(func() { f.Inner.NotifyFlushed(p, psn) })
+}
+
+// RecoveryInfo implements Client.
+func (f *FaultyClient) RecoveryInfo() (RecoveryInfoReply, error) {
+	body, err := f.conn.call("recovery-info", func() (interface{}, error) { return f.Inner.RecoveryInfo() })
+	if err != nil {
+		return RecoveryInfoReply{}, err
+	}
+	return body.(RecoveryInfoReply), nil
+}
+
+// FetchCached implements Client.
+func (f *FaultyClient) FetchCached(ids []page.ID) ([][]byte, error) {
+	body, err := f.conn.call("fetch-cached", func() (interface{}, error) { return f.Inner.FetchCached(ids) })
+	if err != nil {
+		return nil, err
+	}
+	images, _ := body.([][]byte)
+	return images, nil
+}
+
+// CallbackList implements Client.
+func (f *FaultyClient) CallbackList(r CallbackListReq) (CallbackListReply, error) {
+	body, err := f.conn.call("callback-list", func() (interface{}, error) { return f.Inner.CallbackList(r) })
+	if err != nil {
+		return CallbackListReply{}, err
+	}
+	return body.(CallbackListReply), nil
+}
+
+// RecoverPage implements Client.
+func (f *FaultyClient) RecoverPage(r RecoverPageReq) error {
+	_, err := f.conn.call("recover-page", func() (interface{}, error) { return nil, f.Inner.RecoverPage(r) })
+	return err
+}

@@ -1,79 +1,277 @@
 package netrpc
 
 import (
+	"errors"
 	"fmt"
 	"net"
+	"sync"
+	"sync/atomic"
+	"time"
 
+	"clientlog/internal/core"
+	"clientlog/internal/fault"
 	"clientlog/internal/ident"
 	"clientlog/internal/lock"
 	"clientlog/internal/msg"
 	"clientlog/internal/page"
 )
 
+// DefaultCallTimeout bounds one request-reply round trip.  It sits
+// well above the engine's lock timeout so that a slow-but-answered
+// lock wait is never misread as a dead connection.
+const DefaultCallTimeout = 30 * time.Second
+
+// DefaultTCPRetry is the reconnect-and-retry budget for calls over
+// TCP: a handful of attempts with millisecond backoff, enough to ride
+// out a connection swap without stretching a real outage.
+func DefaultTCPRetry() msg.RetryPolicy {
+	return msg.RetryPolicy{MaxAttempts: 8, BaseBackoff: time.Millisecond, MaxBackoff: 20 * time.Millisecond}
+}
+
 // Transport is the client side of a TCP session: it implements
 // msg.Server (requests travel to the remote server) and serves the
 // server's callbacks against the local msg.Client handler installed
 // with SetLocal.
+//
+// A Transport survives its connection: if the conn dies (or a fault
+// plan kills it), the next call redials, resumes the session with its
+// token, and retransmits under the original sequence number — the
+// server's reply cache makes the retry idempotent.  Only when the
+// server has already declared the session crashed does the Transport
+// fail permanently with ErrSessionExpired.
 type Transport struct {
-	conn *rpcConn
+	addr        string
+	retry       msg.RetryPolicy
+	callTimeout time.Duration
+
+	seq       atomic.Uint64    // session-scoped request numbers
+	cbReplies *core.ReplyCache // server->client duplicate suppression
+
+	inj    *fault.Injector
+	stream string
+
+	local      msg.Client
+	localReady chan struct{}
+	localOnce  sync.Once
+
+	mu     sync.Mutex
+	conn   *rpcConn
+	token  uint64
+	closed bool
 }
 
-// Dial connects to a server started with Serve.
+// Dial connects to a server started with Serve and opens a session.
 func Dial(addr string) (*Transport, error) {
-	c, err := net.Dial("tcp", addr)
-	if err != nil {
+	t := &Transport{
+		addr:        addr,
+		retry:       DefaultTCPRetry(),
+		callTimeout: DefaultCallTimeout,
+		cbReplies:   core.NewReplyCache(0),
+		localReady:  make(chan struct{}),
+	}
+	if _, err := t.getConn(); err != nil {
 		return nil, err
 	}
-	t := &Transport{conn: newRPCConn(c)}
-	go t.conn.serve()
 	return t, nil
+}
+
+// SetRetry replaces the retry budget (before issuing calls).
+func (t *Transport) SetRetry(p msg.RetryPolicy) { t.retry = p }
+
+// SetCallTimeout replaces the per-request deadline (before issuing
+// calls).  Zero disables deadlines; a dead connection still fails
+// pending calls fast.
+func (t *Transport) SetCallTimeout(d time.Duration) { t.callTimeout = d }
+
+// InjectFaults wires a deterministic fault injector into this
+// transport: each attempt draws a decision from the named stream, and
+// disconnect decisions kill the real TCP connection so retries
+// exercise the actual resume path.
+func (t *Transport) InjectFaults(inj *fault.Injector, stream string) {
+	t.inj = inj
+	t.stream = stream
 }
 
 // SetLocal installs the local client engine as the handler for
 // server-initiated callbacks.  It must be called right after the engine
 // is constructed; callbacks arriving earlier wait.
 func (t *Transport) SetLocal(local msg.Client) {
-	t.conn.setHandler(func(method string, body interface{}) (interface{}, error) {
-		switch method {
-		case "cb.object":
-			return local.CallbackObject(body.(msg.CallbackReq))
-		case "cb.deescalate":
-			return local.DeescalatePage(body.(msg.DeescReq))
-		case "cb.recall-token":
-			return local.RecallToken(body.(pageIDBody).P)
-		case "cb.ship-up-to":
-			b := body.(shipUpToBody)
-			return nil, local.RecoveryShipUpTo(b.P, b.PSN)
-		case "cb.flushed":
-			b := body.(shipUpToBody)
-			local.NotifyFlushed(b.P, b.PSN)
-			return nil, nil
-		case "cb.recovery-info":
-			return local.RecoveryInfo()
-		case "cb.fetch-cached":
-			images, err := local.FetchCached(body.(fetchCachedBody).IDs)
-			if err != nil {
-				return nil, err
-			}
-			return imagesBody{Images: images}, nil
-		case "cb.callback-list":
-			return local.CallbackList(body.(msg.CallbackListReq))
-		case "cb.recover-page":
-			return nil, local.RecoverPage(body.(msg.RecoverPageReq))
-		default:
-			return nil, fmt.Errorf("netrpc: unknown callback %q", method)
-		}
-	})
+	t.local = local
+	t.localOnce.Do(func() { close(t.localReady) })
 }
 
-// Close drops the session.
-func (t *Transport) Close() error { return t.conn.Close() }
+// Close drops the session permanently (no reconnect); the server will
+// declare the client crashed once the grace window passes.
+func (t *Transport) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	conn := t.conn
+	t.conn = nil
+	t.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+	return nil
+}
+
+// getConn returns the live connection, redialing and resuming the
+// session if the previous one died.
+func (t *Transport) getConn() (*rpcConn, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, ErrClosed
+	}
+	if t.conn != nil && !t.conn.isClosed() {
+		return t.conn, nil
+	}
+	c, err := net.Dial("tcp", t.addr)
+	if err != nil {
+		return nil, err
+	}
+	rc := newRPCConn(c)
+	rc.setHandler(t.dispatch)
+	go rc.serve()
+	body, err := rc.call("hello", 0, helloBody{Token: t.token}, t.callTimeout)
+	if err != nil {
+		rc.Close()
+		if isRemote(err) {
+			if err.Error() == sessionExpiredMsg {
+				return nil, ErrSessionExpired
+			}
+			return nil, err
+		}
+		return nil, err
+	}
+	t.token = body.(helloReply).Token
+	t.conn = rc
+	return rc, nil
+}
+
+// killConn force-closes the current connection (fault injection's
+// disconnect-mid-RPC) without marking the transport closed.
+func (t *Transport) killConn() {
+	t.mu.Lock()
+	conn := t.conn
+	t.mu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
+}
+
+// errInjectedDrop stands in for a request or reply the fault plan ate.
+var errInjectedDrop = errors.New("netrpc: injected message drop")
+
+// call runs one logical request with retry: transport failures
+// (connection death, deadline, injected faults) redial and retransmit
+// under the same sequence number; the peer's reply cache guarantees
+// at-most-once execution, so a retried request that did execute gets
+// its original answer.  Remote application errors return immediately.
+func (t *Transport) call(method string, body interface{}) (interface{}, error) {
+	seq := t.seq.Add(1)
+	pol := t.retry
+	if pol.MaxAttempts <= 0 {
+		pol = DefaultTCPRetry()
+	}
+	var last error
+	backoff := pol.BaseBackoff
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > pol.MaxBackoff {
+				backoff = pol.MaxBackoff
+			}
+		}
+		d := t.inj.Next(t.stream)
+		if d.Delay > 0 {
+			time.Sleep(d.Delay)
+		}
+		if d.Disconnect {
+			t.killConn()
+		}
+		if d.DropRequest {
+			last = errInjectedDrop
+			continue
+		}
+		rc, err := t.getConn()
+		if err != nil {
+			if errors.Is(err, ErrClosed) || errors.Is(err, ErrSessionExpired) {
+				return nil, err
+			}
+			last = err
+			continue
+		}
+		if d.Duplicate || d.Replay {
+			// Retransmit the same seq out of band; the server's reply
+			// cache absorbs it.
+			go rc.call(method, seq, body, t.callTimeout)
+		}
+		reply, err := rc.call(method, seq, body, t.callTimeout)
+		if err == nil {
+			if d.DropReply {
+				last = errInjectedDrop
+				continue
+			}
+			return reply, nil
+		}
+		if isRemote(err) {
+			return nil, err
+		}
+		last = err
+	}
+	return nil, fmt.Errorf("netrpc: %s after %d attempts: %w (last: %v)",
+		method, pol.MaxAttempts, msg.ErrUnavailable, last)
+}
+
+// dispatch serves one server-initiated callback, suppressing
+// retransmitted duplicates by sequence number.
+func (t *Transport) dispatch(method string, seq uint64, body interface{}) (interface{}, error) {
+	<-t.localReady
+	if seq != 0 {
+		return t.cbReplies.Do(seq, func() (interface{}, error) { return t.serveCallback(method, body) })
+	}
+	return t.serveCallback(method, body)
+}
+
+func (t *Transport) serveCallback(method string, body interface{}) (interface{}, error) {
+	local := t.local
+	switch method {
+	case "cb.object":
+		return local.CallbackObject(body.(msg.CallbackReq))
+	case "cb.deescalate":
+		return local.DeescalatePage(body.(msg.DeescReq))
+	case "cb.recall-token":
+		return local.RecallToken(body.(pageIDBody).P)
+	case "cb.ship-up-to":
+		b := body.(shipUpToBody)
+		return nil, local.RecoveryShipUpTo(b.P, b.PSN)
+	case "cb.flushed":
+		b := body.(shipUpToBody)
+		local.NotifyFlushed(b.P, b.PSN)
+		return nil, nil
+	case "cb.recovery-info":
+		return local.RecoveryInfo()
+	case "cb.fetch-cached":
+		images, err := local.FetchCached(body.(fetchCachedBody).IDs)
+		if err != nil {
+			return nil, err
+		}
+		return imagesBody{Images: images}, nil
+	case "cb.callback-list":
+		return local.CallbackList(body.(msg.CallbackListReq))
+	case "cb.recover-page":
+		return nil, local.RecoverPage(body.(msg.RecoverPageReq))
+	default:
+		return nil, fmt.Errorf("netrpc: unknown callback %q", method)
+	}
+}
 
 // --- msg.Server implementation ---
 
 // Register implements msg.Server.
 func (t *Transport) Register(req msg.RegisterReq) (msg.RegisterReply, error) {
-	body, err := t.conn.call("register", req)
+	body, err := t.call("register", req)
 	if err != nil {
 		return msg.RegisterReply{}, err
 	}
@@ -82,7 +280,7 @@ func (t *Transport) Register(req msg.RegisterReq) (msg.RegisterReply, error) {
 
 // Lock implements msg.Server.
 func (t *Transport) Lock(req msg.LockReq) (msg.LockReply, error) {
-	body, err := t.conn.call("lock", req)
+	body, err := t.call("lock", req)
 	if err != nil {
 		return msg.LockReply{}, mapLockErr(err)
 	}
@@ -106,13 +304,13 @@ func mapLockErr(err error) error {
 
 // Unlock implements msg.Server.
 func (t *Transport) Unlock(req msg.UnlockReq) error {
-	_, err := t.conn.call("unlock", req)
+	_, err := t.call("unlock", req)
 	return err
 }
 
 // Fetch implements msg.Server.
 func (t *Transport) Fetch(req msg.FetchReq) (msg.FetchReply, error) {
-	body, err := t.conn.call("fetch", req)
+	body, err := t.call("fetch", req)
 	if err != nil {
 		return msg.FetchReply{}, err
 	}
@@ -121,13 +319,13 @@ func (t *Transport) Fetch(req msg.FetchReq) (msg.FetchReply, error) {
 
 // Ship implements msg.Server.
 func (t *Transport) Ship(req msg.ShipReq) error {
-	_, err := t.conn.call("ship", req)
+	_, err := t.call("ship", req)
 	return err
 }
 
 // Force implements msg.Server.
 func (t *Transport) Force(req msg.ForceReq) (msg.ForceReply, error) {
-	body, err := t.conn.call("force", req)
+	body, err := t.call("force", req)
 	if err != nil {
 		return msg.ForceReply{}, err
 	}
@@ -136,7 +334,7 @@ func (t *Transport) Force(req msg.ForceReq) (msg.ForceReply, error) {
 
 // Alloc implements msg.Server.
 func (t *Transport) Alloc(req msg.AllocReq) (msg.FetchReply, error) {
-	body, err := t.conn.call("alloc", req)
+	body, err := t.call("alloc", req)
 	if err != nil {
 		return msg.FetchReply{}, err
 	}
@@ -145,19 +343,19 @@ func (t *Transport) Alloc(req msg.AllocReq) (msg.FetchReply, error) {
 
 // Free implements msg.Server.
 func (t *Transport) Free(req msg.FreeReq) error {
-	_, err := t.conn.call("free", req)
+	_, err := t.call("free", req)
 	return err
 }
 
 // CommitShip implements msg.Server.
 func (t *Transport) CommitShip(req msg.CommitShipReq) error {
-	_, err := t.conn.call("commit-ship", req)
+	_, err := t.call("commit-ship", req)
 	return err
 }
 
 // Token implements msg.Server.
 func (t *Transport) Token(req msg.TokenReq) (msg.TokenReply, error) {
-	body, err := t.conn.call("token", req)
+	body, err := t.call("token", req)
 	if err != nil {
 		return msg.TokenReply{}, err
 	}
@@ -166,7 +364,7 @@ func (t *Transport) Token(req msg.TokenReq) (msg.TokenReply, error) {
 
 // RecoveryFetch implements msg.Server.
 func (t *Transport) RecoveryFetch(req msg.RecoveryFetchReq) (msg.FetchReply, error) {
-	body, err := t.conn.call("recovery-fetch", req)
+	body, err := t.call("recovery-fetch", req)
 	if err != nil {
 		return msg.FetchReply{}, err
 	}
@@ -175,13 +373,13 @@ func (t *Transport) RecoveryFetch(req msg.RecoveryFetchReq) (msg.FetchReply, err
 
 // Reinstall implements msg.Server.
 func (t *Transport) Reinstall(c ident.ClientID, holds []lock.Holding) error {
-	_, err := t.conn.call("reinstall", reinstallBody{C: c, Holds: holds})
+	_, err := t.call("reinstall", reinstallBody{C: c, Holds: holds})
 	return err
 }
 
 // RecoverQuery implements msg.Server.
 func (t *Transport) RecoverQuery(c ident.ClientID, pages []page.ID) ([]msg.DCTRow, error) {
-	body, err := t.conn.call("recover-query", recoverQueryBody{C: c, Pages: pages})
+	body, err := t.call("recover-query", recoverQueryBody{C: c, Pages: pages})
 	if err != nil {
 		return nil, err
 	}
@@ -190,7 +388,7 @@ func (t *Transport) RecoverQuery(c ident.ClientID, pages []page.ID) ([]msg.DCTRo
 
 // LogOp implements msg.Server.
 func (t *Transport) LogOp(req msg.LogReq) (msg.LogReply, error) {
-	body, err := t.conn.call("log-op", req)
+	body, err := t.call("log-op", req)
 	if err != nil {
 		return msg.LogReply{}, err
 	}
@@ -199,12 +397,12 @@ func (t *Transport) LogOp(req msg.LogReq) (msg.LogReply, error) {
 
 // RecoverEnd implements msg.Server.
 func (t *Transport) RecoverEnd(c ident.ClientID) error {
-	_, err := t.conn.call("recover-end", clientIDBody{C: c})
+	_, err := t.call("recover-end", clientIDBody{C: c})
 	return err
 }
 
 // Disconnect implements msg.Server.
 func (t *Transport) Disconnect(c ident.ClientID) error {
-	_, err := t.conn.call("disconnect", clientIDBody{C: c})
+	_, err := t.call("disconnect", clientIDBody{C: c})
 	return err
 }

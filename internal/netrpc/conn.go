@@ -1,25 +1,47 @@
 package netrpc
 
 import (
-	"encoding/gob"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // ErrClosed reports use of a closed RPC connection.
 var ErrClosed = errors.New("netrpc: connection closed")
 
+// ErrDeadline reports a request that did not receive its reply within
+// the per-request deadline.  It is a transport-level error: the request
+// may or may not have executed, so callers retry it under the same
+// sequence number and let the peer's reply cache disambiguate.
+var ErrDeadline = errors.New("netrpc: request deadline exceeded")
+
+// remoteError carries an application-level error string returned by the
+// peer.  It is the only error kind a call returns that must NOT be
+// retried: the request executed and this is its answer.
+type remoteError struct{ s string }
+
+func (e remoteError) Error() string { return e.s }
+
+// isRemote reports whether err is the peer's answer rather than a
+// transport failure.
+func isRemote(err error) bool {
+	var re remoteError
+	return errors.As(err, &re)
+}
+
+// writeTimeout bounds a single frame write; a peer that stops draining
+// its socket for this long is dead.
+const writeTimeout = 30 * time.Second
+
 // handlerFunc serves one incoming request.
-type handlerFunc func(method string, body interface{}) (interface{}, error)
+type handlerFunc func(method string, seq uint64, body interface{}) (interface{}, error)
 
 // rpcConn is a duplex RPC endpoint over one TCP connection: both sides
 // issue requests and serve the peer's.
 type rpcConn struct {
-	c   net.Conn
-	enc *gob.Encoder
-	dec *gob.Decoder
+	c net.Conn
 
 	wmu sync.Mutex // serializes writes
 
@@ -28,34 +50,53 @@ type rpcConn struct {
 	pending map[uint64]chan envelope
 	closed  bool
 	onClose func()
-
 	handler handlerFunc
-	hset    chan struct{} // closed once handler installed
-	honce   sync.Once
+
+	hset   chan struct{} // closed once a handler is installed
+	hsetMu sync.Mutex
+	hdone  bool
 }
 
 func newRPCConn(c net.Conn) *rpcConn {
 	return &rpcConn{
 		c:       c,
-		enc:     gob.NewEncoder(c),
-		dec:     gob.NewDecoder(c),
 		pending: make(map[uint64]chan envelope),
 		hset:    make(chan struct{}),
 	}
 }
 
-// setHandler installs the incoming-request handler; requests arriving
-// earlier wait for it.
+// setHandler installs (or replaces) the incoming-request handler;
+// requests arriving before the first installation wait.  Replacement
+// is what rebinds a resumed session's handler onto a fresh connection.
 func (r *rpcConn) setHandler(h handlerFunc) {
+	r.mu.Lock()
 	r.handler = h
-	r.honce.Do(func() { close(r.hset) })
+	r.mu.Unlock()
+	r.hsetMu.Lock()
+	if !r.hdone {
+		r.hdone = true
+		close(r.hset)
+	}
+	r.hsetMu.Unlock()
 }
 
-// serve runs the read loop until the connection dies.
+func (r *rpcConn) isClosed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+// serve runs the read loop until the connection dies.  A corrupt frame
+// is skipped (framing is length-delimited, so the stream stays in
+// sync); an oversized or short frame tears the connection down.
 func (r *rpcConn) serve() {
 	for {
-		var env envelope
-		if err := r.dec.Decode(&env); err != nil {
+		env, err := readFrame(r.c)
+		if err != nil {
+			var corrupt corruptFrameError
+			if errors.As(err, &corrupt) {
+				continue
+			}
 			r.shutdown()
 			return
 		}
@@ -75,7 +116,10 @@ func (r *rpcConn) serve() {
 
 func (r *rpcConn) dispatch(env envelope) {
 	<-r.hset
-	body, err := r.handler(env.Method, env.Body)
+	r.mu.Lock()
+	h := r.handler
+	r.mu.Unlock()
+	body, err := h(env.Method, env.Seq, env.Body)
 	if env.ID == 0 {
 		return // one-way
 	}
@@ -92,15 +136,19 @@ func (r *rpcConn) dispatch(env envelope) {
 func (r *rpcConn) send(env envelope) error {
 	r.wmu.Lock()
 	defer r.wmu.Unlock()
-	if err := r.enc.Encode(&env); err != nil {
+	r.c.SetWriteDeadline(time.Now().Add(writeTimeout))
+	if err := writeFrame(r.c, &env); err != nil {
 		r.shutdown()
 		return fmt.Errorf("netrpc: send %s: %w", env.Method, err)
 	}
 	return nil
 }
 
-// call issues a request and blocks for the reply.
-func (r *rpcConn) call(method string, body interface{}) (interface{}, error) {
+// call issues a request and blocks for the reply, at most timeout
+// (zero means no deadline; the connection dying still fails the call
+// fast).  seq is the caller's session-scoped request number, zero for
+// calls outside duplicate tracking.
+func (r *rpcConn) call(method string, seq uint64, body interface{}, timeout time.Duration) (interface{}, error) {
 	r.mu.Lock()
 	if r.closed {
 		r.mu.Unlock()
@@ -112,20 +160,33 @@ func (r *rpcConn) call(method string, body interface{}) (interface{}, error) {
 	r.pending[id] = ch
 	r.mu.Unlock()
 
-	if err := r.send(envelope{ID: id, Method: method, Body: body}); err != nil {
+	if err := r.send(envelope{ID: id, Seq: seq, Method: method, Body: body}); err != nil {
 		r.mu.Lock()
 		delete(r.pending, id)
 		r.mu.Unlock()
 		return nil, err
 	}
-	env, ok := <-ch
-	if !ok {
-		return nil, ErrClosed
+	var timeC <-chan time.Time
+	if timeout > 0 {
+		timer := time.NewTimer(timeout)
+		defer timer.Stop()
+		timeC = timer.C
 	}
-	if env.Err != "" {
-		return nil, errors.New(env.Err)
+	select {
+	case env, ok := <-ch:
+		if !ok {
+			return nil, ErrClosed
+		}
+		if env.Err != "" {
+			return nil, remoteError{s: env.Err}
+		}
+		return env.Body, nil
+	case <-timeC:
+		r.mu.Lock()
+		delete(r.pending, id)
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %s after %v", ErrDeadline, method, timeout)
 	}
-	return env.Body, nil
 }
 
 // notify issues a one-way message.
@@ -133,6 +194,9 @@ func (r *rpcConn) notify(method string, body interface{}) {
 	r.send(envelope{Method: method, Body: body})
 }
 
+// shutdown fails every pending call fast (callers see ErrClosed, they
+// do not hang waiting for replies that will never arrive) and runs the
+// close hook once.
 func (r *rpcConn) shutdown() {
 	r.mu.Lock()
 	if r.closed {

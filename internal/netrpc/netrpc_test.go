@@ -13,9 +13,9 @@ import (
 	"clientlog/internal/wal"
 )
 
-// startCluster spins a TCP server over a memory-backed engine and
-// returns the engine plus its address.
-func startCluster(t *testing.T, cfg core.Config, pages int) (*core.Server, *Server, []page.ID) {
+// startEngine builds a memory-backed engine with seeded pages and a
+// listener, without serving yet.
+func startEngine(t *testing.T, cfg core.Config, pages int) (*core.Server, net.Listener, []page.ID) {
 	t.Helper()
 	store := storage.NewMemStore(cfg.PageSize)
 	var ids []page.ID
@@ -39,6 +39,14 @@ func startCluster(t *testing.T, cfg core.Config, pages int) (*core.Server, *Serv
 	if err != nil {
 		t.Fatal(err)
 	}
+	return engine, ln, ids
+}
+
+// startCluster spins a TCP server over a memory-backed engine and
+// returns the engine plus its address.
+func startCluster(t *testing.T, cfg core.Config, pages int) (*core.Server, *Server, []page.ID) {
+	t.Helper()
+	engine, ln, ids := startEngine(t, cfg, pages)
 	srv := Serve(engine, ln)
 	t.Cleanup(func() { srv.Close() })
 	return engine, srv, ids

@@ -1,9 +1,12 @@
 package netrpc
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"clientlog/internal/core"
 	"clientlog/internal/ident"
@@ -11,19 +14,56 @@ import (
 	"clientlog/internal/page"
 )
 
+// DefaultGrace is how long a session outlives its connection.  A client
+// that reconnects with its token inside the window resumes — same
+// identity, same reply cache, no crash declared.  Past it the server
+// declares the client crashed (Section 3.3) and the token dies.
+const DefaultGrace = 250 * time.Millisecond
+
+// sessionExpiredMsg travels the wire when a resume token is unknown or
+// already expired; the client maps it back to ErrSessionExpired.
+const sessionExpiredMsg = "netrpc: session expired"
+
+// ErrSessionExpired reports a reconnect whose session the server has
+// already declared crashed.  The transport is permanently dead: the
+// application must run client crash recovery under a fresh connection.
+var ErrSessionExpired = errors.New(sessionExpiredMsg)
+
 // Server exposes a core.Server engine on a TCP listener.
 type Server struct {
 	engine *core.Server
 	ln     net.Listener
+	grace  time.Duration
 
-	mu    sync.Mutex
-	conns map[*rpcConn]bool
-	done  chan struct{}
+	mu        sync.Mutex
+	conns     map[*rpcConn]bool
+	owners    map[*rpcConn]*session
+	sessions  map[uint64]*session
+	nextToken uint64
+	done      chan struct{}
 }
 
-// Serve wraps the engine and accepts connections on ln until Close.
+// Serve wraps the engine and accepts connections on ln until Close,
+// with the default reconnect grace window.
 func Serve(engine *core.Server, ln net.Listener) *Server {
-	s := &Server{engine: engine, ln: ln, conns: make(map[*rpcConn]bool), done: make(chan struct{})}
+	return ServeGrace(engine, ln, DefaultGrace)
+}
+
+// ServeGrace is Serve with an explicit reconnect grace window (chaos
+// tests stretch it so injected disconnects stay transparent).
+func ServeGrace(engine *core.Server, ln net.Listener, grace time.Duration) *Server {
+	if grace <= 0 {
+		grace = DefaultGrace
+	}
+	s := &Server{
+		engine:   engine,
+		ln:       ln,
+		grace:    grace,
+		conns:    make(map[*rpcConn]bool),
+		owners:   make(map[*rpcConn]*session),
+		sessions: make(map[uint64]*session),
+		done:     make(chan struct{}),
+	}
 	go s.acceptLoop()
 	return s
 }
@@ -40,7 +80,16 @@ func (s *Server) Close() error {
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
 	s.mu.Unlock()
+	// Kill sessions first so their grace timers don't fire
+	// ClientCrashed into an engine that is being shut down too.
+	for _, sess := range sessions {
+		sess.kill()
+	}
 	for _, c := range conns {
 		c.Close() // onClose re-locks s.mu; must not hold it here
 	}
@@ -62,43 +111,193 @@ func (s *Server) acceptLoop() {
 		s.mu.Lock()
 		s.conns[rc] = true
 		s.mu.Unlock()
-		sess := &session{srv: s, conn: rc}
-		rc.setHandler(sess.handle)
-		rc.onClose = func() {
-			s.mu.Lock()
-			delete(s.conns, rc)
-			s.mu.Unlock()
-			sess.disconnected()
-		}
+		// Until the hello arrives this connection has no session; the
+		// pre-session handler accepts nothing else.
+		rc.setHandler(func(method string, seq uint64, body interface{}) (interface{}, error) {
+			if method != "hello" {
+				return nil, fmt.Errorf("netrpc: %s before hello", method)
+			}
+			return s.handleHello(rc, body)
+		})
+		rc.onClose = func() { s.connClosed(rc) }
 		go rc.serve()
 	}
 }
 
-// session is the server side of one client connection.
-type session struct {
-	srv  *Server
-	conn *rpcConn
-
-	mu sync.Mutex
-	id ident.ClientID
+// connClosed removes the conn and notifies its owning session, if the
+// hello ever completed.
+func (s *Server) connClosed(rc *rpcConn) {
+	s.mu.Lock()
+	delete(s.conns, rc)
+	sess := s.owners[rc]
+	delete(s.owners, rc)
+	s.mu.Unlock()
+	if sess != nil {
+		sess.disconnected(rc)
+	}
 }
 
-// disconnected reacts to a dropped connection: an unregistered session
-// is ignored; a registered one is treated as a client crash (§3.3).
-func (s *session) disconnected() {
+// handleHello opens a new session (token zero) or resumes one inside
+// its grace window.
+func (s *Server) handleHello(rc *rpcConn, body interface{}) (interface{}, error) {
+	hb, ok := body.(helloBody)
+	if !ok {
+		return nil, errors.New("netrpc: malformed hello")
+	}
+	var sess *session
+	if hb.Token == 0 {
+		sess = &session{srv: s, replies: core.NewReplyCache(0)}
+		s.mu.Lock()
+		s.nextToken++
+		sess.token = s.nextToken
+		s.sessions[sess.token] = sess
+		s.mu.Unlock()
+	} else {
+		s.mu.Lock()
+		sess = s.sessions[hb.Token]
+		s.mu.Unlock()
+		if sess == nil {
+			return nil, errors.New(sessionExpiredMsg)
+		}
+	}
+	if !sess.bind(rc) {
+		return nil, errors.New(sessionExpiredMsg)
+	}
 	s.mu.Lock()
+	s.owners[rc] = sess
+	s.mu.Unlock()
+	rc.setHandler(sess.handle)
+	return helloReply{Token: sess.token}, nil
+}
+
+// session is the server side of one logical client, across however
+// many TCP connections it takes.
+type session struct {
+	srv     *Server
+	token   uint64
+	replies *core.ReplyCache // client->server duplicate suppression
+	cbSeq   atomic.Uint64    // server->client request numbers
+
+	mu    sync.Mutex
+	conn  *rpcConn // nil while disconnected
+	id    ident.ClientID
+	grace *time.Timer
+	dead  bool
+}
+
+// bind attaches a fresh connection, cancelling any running grace
+// timer.  It fails if the session already expired.
+func (s *session) bind(rc *rpcConn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.dead {
+		return false
+	}
+	if s.grace != nil {
+		s.grace.Stop()
+		s.grace = nil
+	}
+	if s.conn != nil && s.conn != rc {
+		// A resume raced the old conn's death: the new conn wins.
+		go s.conn.Close()
+	}
+	s.conn = rc
+	return true
+}
+
+// disconnected reacts to a dropped connection by arming the grace
+// timer; only if no resume lands before it fires is the client
+// declared crashed.
+func (s *session) disconnected(rc *rpcConn) {
+	s.mu.Lock()
+	if s.dead || s.conn != rc {
+		s.mu.Unlock()
+		return
+	}
+	s.conn = nil
+	s.grace = time.AfterFunc(s.srv.grace, s.expire)
+	s.mu.Unlock()
+}
+
+// expire fires when the grace window closes without a resume: the
+// session dies and the engine runs client-crash handling (§3.3).
+func (s *session) expire() {
+	s.mu.Lock()
+	if s.dead || s.conn != nil {
+		s.mu.Unlock()
+		return
+	}
+	s.dead = true
 	id := s.id
 	s.mu.Unlock()
+	s.srv.mu.Lock()
+	delete(s.srv.sessions, s.token)
+	s.srv.mu.Unlock()
 	if id != 0 {
 		s.srv.engine.ClientCrashed(id)
 	}
 }
 
+// kill marks the session dead without declaring a client crash; used on
+// server shutdown.
+func (s *session) kill() {
+	s.mu.Lock()
+	s.dead = true
+	if s.grace != nil {
+		s.grace.Stop()
+		s.grace = nil
+	}
+	s.mu.Unlock()
+}
+
+// currentConn returns the live conn (nil while disconnected) and
+// whether the session is dead.
+func (s *session) currentConn() (*rpcConn, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.conn, s.dead
+}
+
+// call issues a server->client callback, riding out connection swaps:
+// while the session is inside its grace window the call waits for the
+// resumed connection and retransmits under the same sequence number
+// (the client's reply cache absorbs duplicates).  It fails once the
+// session dies.
+func (s *session) call(method string, body interface{}) (interface{}, error) {
+	seq := s.cbSeq.Add(1)
+	for {
+		rc, dead := s.currentConn()
+		if dead {
+			return nil, ErrClosed
+		}
+		if rc == nil {
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		body2, err := rc.call(method, seq, body, 0)
+		if err == nil || isRemote(err) {
+			return body2, err
+		}
+		// Transport failure: the conn died mid-call.  Loop; either a
+		// resume rebinds or the grace timer kills the session.
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// notify sends a one-way message if a connection is live; notifications
+// are advisory and may be lost across reconnects.
+func (s *session) notify(method string, body interface{}) {
+	rc, _ := s.currentConn()
+	if rc != nil {
+		rc.notify(method, body)
+	}
+}
+
 // remoteClient lets the engine talk back to this session's client.
-type remoteClient struct{ conn *rpcConn }
+type remoteClient struct{ sess *session }
 
 func (r remoteClient) CallbackObject(req msg.CallbackReq) (msg.CallbackReply, error) {
-	body, err := r.conn.call("cb.object", req)
+	body, err := r.sess.call("cb.object", req)
 	if err != nil {
 		return msg.CallbackReply{}, err
 	}
@@ -106,7 +305,7 @@ func (r remoteClient) CallbackObject(req msg.CallbackReq) (msg.CallbackReply, er
 }
 
 func (r remoteClient) DeescalatePage(req msg.DeescReq) (msg.DeescReply, error) {
-	body, err := r.conn.call("cb.deescalate", req)
+	body, err := r.sess.call("cb.deescalate", req)
 	if err != nil {
 		return msg.DeescReply{}, err
 	}
@@ -114,7 +313,7 @@ func (r remoteClient) DeescalatePage(req msg.DeescReq) (msg.DeescReply, error) {
 }
 
 func (r remoteClient) RecallToken(p page.ID) (msg.TokenReply, error) {
-	body, err := r.conn.call("cb.recall-token", pageIDBody{P: p})
+	body, err := r.sess.call("cb.recall-token", pageIDBody{P: p})
 	if err != nil {
 		return msg.TokenReply{}, err
 	}
@@ -122,16 +321,16 @@ func (r remoteClient) RecallToken(p page.ID) (msg.TokenReply, error) {
 }
 
 func (r remoteClient) RecoveryShipUpTo(p page.ID, psn page.PSN) error {
-	_, err := r.conn.call("cb.ship-up-to", shipUpToBody{P: p, PSN: psn})
+	_, err := r.sess.call("cb.ship-up-to", shipUpToBody{P: p, PSN: psn})
 	return err
 }
 
 func (r remoteClient) NotifyFlushed(p page.ID, psn page.PSN) {
-	r.conn.notify("cb.flushed", shipUpToBody{P: p, PSN: psn})
+	r.sess.notify("cb.flushed", shipUpToBody{P: p, PSN: psn})
 }
 
 func (r remoteClient) RecoveryInfo() (msg.RecoveryInfoReply, error) {
-	body, err := r.conn.call("cb.recovery-info", emptyBody{})
+	body, err := r.sess.call("cb.recovery-info", emptyBody{})
 	if err != nil {
 		return msg.RecoveryInfoReply{}, err
 	}
@@ -139,7 +338,7 @@ func (r remoteClient) RecoveryInfo() (msg.RecoveryInfoReply, error) {
 }
 
 func (r remoteClient) FetchCached(ids []page.ID) ([][]byte, error) {
-	body, err := r.conn.call("cb.fetch-cached", fetchCachedBody{IDs: ids})
+	body, err := r.sess.call("cb.fetch-cached", fetchCachedBody{IDs: ids})
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +346,7 @@ func (r remoteClient) FetchCached(ids []page.ID) ([][]byte, error) {
 }
 
 func (r remoteClient) CallbackList(req msg.CallbackListReq) (msg.CallbackListReply, error) {
-	body, err := r.conn.call("cb.callback-list", req)
+	body, err := r.sess.call("cb.callback-list", req)
 	if err != nil {
 		return msg.CallbackListReply{}, err
 	}
@@ -155,12 +354,23 @@ func (r remoteClient) CallbackList(req msg.CallbackListReq) (msg.CallbackListRep
 }
 
 func (r remoteClient) RecoverPage(req msg.RecoverPageReq) error {
-	_, err := r.conn.call("cb.recover-page", req)
+	_, err := r.sess.call("cb.recover-page", req)
 	return err
 }
 
-// handle dispatches one client request to the engine.
-func (s *session) handle(method string, body interface{}) (interface{}, error) {
+// handle dispatches one client request.  Requests carrying a sequence
+// number go through the session's reply cache, so a retransmission of
+// an already-executed request returns the cached reply instead of
+// executing twice.
+func (s *session) handle(method string, seq uint64, body interface{}) (interface{}, error) {
+	if seq != 0 {
+		return s.replies.Do(seq, func() (interface{}, error) { return s.exec(method, body) })
+	}
+	return s.exec(method, body)
+}
+
+// exec runs one request against the engine.
+func (s *session) exec(method string, body interface{}) (interface{}, error) {
 	e := s.srv.engine
 	switch method {
 	case "register":
@@ -172,7 +382,7 @@ func (s *session) handle(method string, body interface{}) (interface{}, error) {
 		s.mu.Lock()
 		s.id = reply.ID
 		s.mu.Unlock()
-		e.Attach(reply.ID, remoteClient{conn: s.conn})
+		e.Attach(reply.ID, remoteClient{sess: s})
 		return reply, nil
 	case "lock":
 		return e.Lock(body.(msg.LockReq))

@@ -5,12 +5,31 @@
 // One TCP connection per client carries traffic in both directions:
 // client requests (lock, fetch, ship, ...) and server-initiated
 // callbacks (callback locking, flush notifications, restart recovery).
-// Frames are gob-encoded envelopes correlated by request id; gob's
-// stream framing delimits messages.
+//
+// Each frame on the wire is a 4-byte big-endian length followed by a
+// gob-encoded envelope, encoded with a fresh codec per frame so that a
+// corrupt payload poisons only its own frame: the length prefix still
+// delimits the next one and the connection keeps working.  Oversized
+// lengths are rejected before any allocation and tear the connection
+// down (the prefix itself cannot be trusted), failing pending calls
+// fast instead of wedging them.
+//
+// Sessions survive connection loss: the first exchange on every
+// connection is a hello carrying a session token (zero for a new
+// session), and a client that reconnects within the server's grace
+// window resumes its session — same identity, same reply cache — so
+// retried requests are never re-executed.  Request sequence numbers
+// (envelope.Seq) are session-scoped and assigned by the caller, which
+// is what makes retransmissions idempotent.
 package netrpc
 
 import (
+	"bytes"
+	"encoding/binary"
 	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
 
 	"clientlog/internal/ident"
 	"clientlog/internal/lock"
@@ -19,15 +38,79 @@ import (
 	"clientlog/internal/wal"
 )
 
+// MaxFrame bounds a single message on the wire.  A frame length above
+// the bound means the stream is garbage (or hostile); the connection is
+// torn down rather than resynchronized, because the prefix itself is
+// the only framing information.
+const MaxFrame = 16 << 20
+
+// ErrFrameTooLarge reports a frame that exceeds MaxFrame, in either
+// direction.
+var ErrFrameTooLarge = errors.New("netrpc: frame exceeds size limit")
+
+// corruptFrameError marks a frame whose payload failed to gob-decode.
+// Framing is intact (the length prefix was honored), so the reader may
+// skip the frame and continue.
+type corruptFrameError struct{ err error }
+
+func (e corruptFrameError) Error() string { return fmt.Sprintf("netrpc: corrupt frame: %v", e.err) }
+func (e corruptFrameError) Unwrap() error { return e.err }
+
 // envelope is one wire message: a request (Method set), a reply
 // (Reply=true, Err optionally set), or a one-way notification
-// (Method set, ID zero).
+// (Method set, ID zero).  ID correlates request and reply within one
+// connection; Seq is the session-scoped request number used for
+// duplicate suppression and survives reconnects (zero = not
+// idempotent-tracked).
 type envelope struct {
 	ID     uint64
+	Seq    uint64
 	Method string
 	Reply  bool
 	Err    string
 	Body   interface{}
+}
+
+// writeFrame encodes env with a fresh codec and writes one
+// length-prefixed frame as a single Write.
+func writeFrame(w io.Writer, env *envelope) error {
+	var buf bytes.Buffer
+	buf.Write([]byte{0, 0, 0, 0})
+	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
+		return fmt.Errorf("netrpc: encode %s: %w", env.Method, err)
+	}
+	n := buf.Len() - 4
+	if n > MaxFrame {
+		return ErrFrameTooLarge
+	}
+	b := buf.Bytes()
+	binary.BigEndian.PutUint32(b[:4], uint32(n))
+	_, err := w.Write(b)
+	return err
+}
+
+// readFrame reads one length-prefixed frame.  It returns
+// ErrFrameTooLarge for an implausible length (caller must drop the
+// connection) and a corruptFrameError for an undecodable payload
+// (caller may skip the frame).
+func readFrame(r io.Reader) (envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return envelope{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return envelope{}, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return envelope{}, err
+	}
+	var env envelope
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
+		return envelope{}, corruptFrameError{err}
+	}
+	return env, nil
 }
 
 // Wrapper bodies for methods whose arguments are not a single struct.
@@ -50,6 +133,11 @@ type (
 	}
 	dctRowsBody struct{ Rows []msg.DCTRow }
 	emptyBody   struct{}
+
+	// helloBody opens every connection: Token zero asks for a new
+	// session, nonzero resumes one within the grace window.
+	helloBody  struct{ Token uint64 }
+	helloReply struct{ Token uint64 }
 )
 
 func init() {
@@ -88,6 +176,8 @@ func init() {
 	gob.Register(recoverQueryBody{})
 	gob.Register(dctRowsBody{})
 	gob.Register(emptyBody{})
+	gob.Register(helloBody{})
+	gob.Register(helloReply{})
 	gob.Register(wal.DPTEntry{})
 	gob.Register(lock.Holding{})
 }

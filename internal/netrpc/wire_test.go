@@ -1,0 +1,165 @@
+package netrpc
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+
+	"clientlog/internal/msg"
+)
+
+func TestWireFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := envelope{ID: 7, Seq: 42, Method: "lock", Body: msg.LockReq{}}
+	if err := writeFrame(&buf, &in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != 7 || out.Seq != 42 || out.Method != "lock" {
+		t.Fatalf("round trip mangled envelope: %+v", out)
+	}
+	if _, ok := out.Body.(msg.LockReq); !ok {
+		t.Fatalf("body type lost: %T", out.Body)
+	}
+}
+
+func TestWireOversizedFrameRejected(t *testing.T) {
+	// Reading: a header claiming more than MaxFrame must be rejected
+	// before any payload allocation.
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	buf.Write(hdr[:])
+	if _, err := readFrame(&buf); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("read err=%v want ErrFrameTooLarge", err)
+	}
+	// Writing: an envelope that encodes past the bound must be refused,
+	// leaving nothing harmful on the wire beyond the aborted frame.
+	big := envelope{Method: "ship", Body: imagesBody{Images: [][]byte{make([]byte, MaxFrame+1)}}}
+	var sink bytes.Buffer
+	if err := writeFrame(&sink, &big); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("write err=%v want ErrFrameTooLarge", err)
+	}
+}
+
+func TestWireTruncatedFrame(t *testing.T) {
+	// Header promises 100 bytes, stream delivers 10 and ends: the reader
+	// must report a hard error (connection teardown), not block or
+	// fabricate a frame.
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	buf.Write(hdr[:])
+	buf.Write(make([]byte, 10))
+	_, err := readFrame(&buf)
+	if err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+	var corrupt corruptFrameError
+	if errors.As(err, &corrupt) {
+		t.Fatalf("truncation misreported as skippable corruption: %v", err)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("err=%v want unexpected EOF", err)
+	}
+	// A truncated header (conn died between frames) is a clean EOF.
+	short := bytes.NewBuffer([]byte{0, 0})
+	if _, err := readFrame(short); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestWireCorruptPayloadSkipped(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 16)
+	buf.Write(hdr[:])
+	buf.Write(bytes.Repeat([]byte{0xFF}, 16)) // not a gob stream
+	_, err := readFrame(&buf)
+	var corrupt corruptFrameError
+	if !errors.As(err, &corrupt) {
+		t.Fatalf("err=%v want corruptFrameError", err)
+	}
+	// The framing survived: a valid frame behind the corrupt one still
+	// decodes.
+	good := envelope{ID: 1, Method: "unlock", Body: msg.UnlockReq{}}
+	if err := writeFrame(&buf, &good); err != nil {
+		t.Fatal(err)
+	}
+	out, err := readFrame(&buf)
+	if err != nil || out.Method != "unlock" {
+		t.Fatalf("frame after corruption: %+v err=%v", out, err)
+	}
+}
+
+// TestWireCorruptFrameDoesNotWedgeServer pushes a corrupt frame at a
+// live server connection and then completes a normal hello on the same
+// connection: the server must skip the garbage, not desync or drop the
+// session.
+func TestWireCorruptFrameDoesNotWedgeServer(t *testing.T) {
+	cfg := testCfg()
+	_, srv, _ := startCluster(t, cfg, 1)
+	c, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 32)
+	c.Write(hdr[:])
+	c.Write(bytes.Repeat([]byte{0xAB}, 32))
+	// Same connection, now a well-formed hello.
+	if err := writeFrame(c, &envelope{ID: 1, Method: "hello", Body: helloBody{}}); err != nil {
+		t.Fatal(err)
+	}
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	reply, err := readFrame(c)
+	if err != nil {
+		t.Fatalf("no reply after corrupt frame: %v", err)
+	}
+	if reply.Err != "" {
+		t.Fatalf("hello rejected: %s", reply.Err)
+	}
+	if hr, ok := reply.Body.(helloReply); !ok || hr.Token == 0 {
+		t.Fatalf("bad hello reply: %+v", reply.Body)
+	}
+}
+
+// TestWireOversizedFrameFailsConnFast sends an oversized length prefix:
+// the server must drop the connection (the prefix cannot be trusted)
+// rather than stall, and other connections keep working.
+func TestWireOversizedFrameFailsConnFast(t *testing.T) {
+	cfg := testCfg()
+	_, srv, ids := startCluster(t, cfg, 1)
+	c, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	c.Write(hdr[:])
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := readFrame(c); err == nil {
+		t.Fatal("server kept the connection after an oversized frame")
+	}
+	// The listener is unharmed: a fresh, healthy client still works.
+	cl, _ := dialClient(t, cfg, srv.Addr().String())
+	txn, err := cl.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Overwrite(pageObj(ids[0], 0), []byte("still healthy!!!")); err != nil {
+		t.Fatal(err)
+	}
+	if err := txn.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}

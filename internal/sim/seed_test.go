@@ -1,0 +1,27 @@
+package sim
+
+import (
+	"flag"
+	"testing"
+)
+
+// seedFlag shifts every seed used by the torture/chaos/property tests,
+// so a failure seen in CI ("seed 107") reproduces locally with
+//
+//	go test ./internal/sim -run TestName -seed 107
+//
+// and new schedules can be explored without editing the tests.  The
+// base seeds are fixed (not time-derived): the suite is deterministic
+// by default and every failure message prints the seed that produced
+// it.
+var seedFlag = flag.Int64("seed", 0, "offset added to every test seed; failures print the effective seed")
+
+// seed applies the -seed offset to a test's base seed.
+func seed(base int64) int64 { return base + *seedFlag }
+
+// logSeed records the effective seed so that even passing -v runs show
+// which schedule ran.
+func logSeed(t *testing.T, s int64) {
+	t.Helper()
+	t.Logf("effective seed %d", s)
+}

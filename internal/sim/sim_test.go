@@ -9,7 +9,7 @@ import (
 	"clientlog/internal/page"
 )
 
-func testParams() Params { return Params{Txns: 15, MaxClients: 4, Seed: 7} }
+func testParams() Params { return Params{Txns: 15, MaxClients: 4, Seed: seed(7)} }
 
 func TestGenDeterministic(t *testing.T) {
 	ids := []page.ID{1, 2, 3, 4}

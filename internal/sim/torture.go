@@ -46,91 +46,145 @@ type TortureStats struct {
 // round (debugging aid; quadratic cost).
 var VerifyEveryRound = false
 
-// Torture drives a deterministic random schedule of transactions,
-// cache replacements, checkpoints and crashes against a cluster while
-// maintaining a sequential reference state; it fails if the recovered
-// database ever diverges from a replay of exactly the committed
-// transactions.  This is the engine behind cmd/crashtest.
-func Torture(cfg core.Config, opt TortureOptions) (TortureStats, error) {
-	var stats TortureStats
-	r := rand.New(rand.NewSource(opt.Seed))
-	cl := core.NewCluster(cfg)
-	ring := trace.NewRing(8192)
+// harness drives the randomized crash-recovery schedule against a
+// cluster while maintaining a sequential reference state.  Torture owns
+// a plain cluster; Chaos reuses the same schedule over fault-injected
+// transports.
+type harness struct {
+	cl      *core.Cluster
+	ring    *trace.Ring
+	opt     TortureOptions
+	r       *rand.Rand
+	ids     []page.ID
+	clients []ident.ClientID
+	ref     map[page.ObjectID][]byte
+	writer  map[page.ObjectID]string
+	stats   TortureStats
+
+	// PSN watermarks for the monotonicity invariant: disk PSNs never
+	// regress; the server's current PSN never regresses between server
+	// crashes (a crash may lose unforced pool copies).
+	maxDiskPSN map[page.ID]page.PSN
+	maxCurPSN  map[page.ID]page.PSN
+}
+
+// newHarness seeds the database, joins the clients and builds the
+// reference state.  The cluster must be freshly constructed (its conn
+// wrappers, if any, installed).
+func newHarness(cl *core.Cluster, ring *trace.Ring, opt TortureOptions) (*harness, error) {
+	h := &harness{
+		cl:         cl,
+		ring:       ring,
+		opt:        opt,
+		r:          rand.New(rand.NewSource(opt.Seed)),
+		ref:        make(map[page.ObjectID][]byte),
+		writer:     make(map[page.ObjectID]string),
+		maxDiskPSN: make(map[page.ID]page.PSN),
+		maxCurPSN:  make(map[page.ID]page.PSN),
+	}
 	cl.SetTracer(ring)
 	ids, err := cl.SeedPages(opt.Pages, opt.Slots, 16)
 	if err != nil {
-		return stats, err
+		return nil, err
 	}
-	clients := make([]*core.Client, opt.Clients)
-	for i := range clients {
+	h.ids = ids
+	for i := 0; i < opt.Clients; i++ {
+		var c *core.Client
 		if i == 0 && opt.Diskless {
-			clients[i], err = cl.AddDisklessClient()
+			c, err = cl.AddDisklessClient()
 		} else {
-			clients[i], err = cl.AddClient()
+			c, err = cl.AddClient()
 		}
 		if err != nil {
-			return stats, err
+			return nil, err
 		}
+		h.clients = append(h.clients, c.ID())
 	}
-	ref := make(map[page.ObjectID][]byte)
-	lastWriter := make(map[page.ObjectID]string)
 	for _, pid := range ids {
 		for s := 0; s < opt.Slots; s++ {
 			data := make([]byte, 16)
 			for b := range data {
 				data[b] = byte(uint64(pid)*31 + uint64(s)*7 + uint64(b))
 			}
-			ref[page.ObjectID{Page: pid, Slot: uint16(s)}] = data
+			h.ref[page.ObjectID{Page: pid, Slot: uint16(s)}] = data
 		}
 	}
-	verify := func(tag string) error {
-		stats.Verifications++
-		reader := cl.Client(clients[0].ID())
-		txn, err := reader.Begin()
+	return h, nil
+}
+
+// checkPSNs asserts the PSN monotonicity invariant and advances the
+// watermarks.
+func (h *harness) checkPSNs(tag string) error {
+	for _, pid := range h.ids {
+		disk, cur := h.cl.PagePSNs(pid)
+		if disk < h.maxDiskPSN[pid] {
+			return fmt.Errorf("%s: page %d disk PSN regressed %d -> %d (seed %d)",
+				tag, pid, h.maxDiskPSN[pid], disk, h.opt.Seed)
+		}
+		if cur < h.maxCurPSN[pid] {
+			return fmt.Errorf("%s: page %d server PSN regressed %d -> %d without a server crash (seed %d)",
+				tag, pid, h.maxCurPSN[pid], cur, h.opt.Seed)
+		}
+		h.maxDiskPSN[pid] = disk
+		h.maxCurPSN[pid] = cur
+	}
+	return nil
+}
+
+// verify checks every object against the reference state through a real
+// reader transaction, then checks the PSN invariant.
+func (h *harness) verify(tag string) error {
+	h.stats.Verifications++
+	reader := h.cl.Client(h.clients[0])
+	txn, err := reader.Begin()
+	if err != nil {
+		return fmt.Errorf("%s: begin: %w", tag, err)
+	}
+	defer txn.Commit()
+	for obj, want := range h.ref {
+		got, err := txn.Read(obj)
 		if err != nil {
-			return fmt.Errorf("%s: begin: %w", tag, err)
+			return fmt.Errorf("%s: read %v: %w", tag, obj, err)
 		}
-		defer txn.Commit()
-		for obj, want := range ref {
-			got, err := txn.Read(obj)
-			if err != nil {
-				return fmt.Errorf("%s: read %v: %w", tag, obj, err)
-			}
-			if !bytes.Equal(got, want) {
-				hist := ""
-				for _, e := range ring.Snapshot() {
-					if e.Page == obj.Page || e.Page == 0 {
-						hist += e.String() + "\n"
-					}
+		if !bytes.Equal(got, want) {
+			hist := ""
+			for _, e := range h.ring.Snapshot() {
+				if e.Page == obj.Page || e.Page == 0 {
+					hist += e.String() + "\n"
 				}
-				return fmt.Errorf("%s: object %v diverged (seed %d): got %x want %x writer=%s\n%s\nGLM:\n%s\nhistory:\n%s",
-					tag, obj, opt.Seed, got[:4], want[:4], lastWriter[obj],
-					cl.DebugPage(obj.Page), cl.Server().GLM().DumpState(), hist)
 			}
+			return fmt.Errorf("%s: object %v diverged (seed %d): got %x want %x writer=%s\n%s\nGLM:\n%s\nhistory:\n%s",
+				tag, obj, h.opt.Seed, got[:4], want[:4], h.writer[obj],
+				h.cl.DebugPage(obj.Page), h.cl.Server().GLM().DumpState(), hist)
 		}
-		return nil
 	}
+	return h.checkPSNs(tag)
+}
+
+// run executes the round schedule.
+func (h *harness) run() error {
+	opt, r := h.opt, h.r
 	for round := 0; round < opt.Rounds; round++ {
-		ring.Record(trace.RecoveryStep, 0, 0, fmt.Sprintf("=== round %d", round))
+		h.ring.Record(trace.RecoveryStep, 0, 0, fmt.Sprintf("=== round %d", round))
 		switch action := r.Intn(100); {
 		case action < 70:
-			c := cl.Client(clients[r.Intn(opt.Clients)].ID())
+			c := h.cl.Client(h.clients[r.Intn(opt.Clients)])
 			txn, err := c.Begin()
 			if err != nil {
-				return stats, err
+				return err
 			}
 			pending := make(map[page.ObjectID][]byte)
 			bad := false
 			for i := 0; i < 1+r.Intn(4); i++ {
-				obj := page.ObjectID{Page: ids[r.Intn(opt.Pages)], Slot: uint16(r.Intn(opt.Slots))}
+				obj := page.ObjectID{Page: h.ids[r.Intn(opt.Pages)], Slot: uint16(r.Intn(opt.Slots))}
 				v := make([]byte, 16)
 				r.Read(v)
 				if err := txn.Overwrite(obj, v); err != nil {
 					if !errors.Is(err, lock.ErrDeadlock) && !errors.Is(err, lock.ErrTimeout) {
-						return stats, err
+						return err
 					}
 					txn.Abort()
-					stats.Aborts++
+					h.stats.Aborts++
 					bad = true
 					break
 				}
@@ -141,67 +195,89 @@ func Torture(cfg core.Config, opt TortureOptions) (TortureStats, error) {
 			}
 			if r.Intn(4) == 0 {
 				if err := txn.Abort(); err != nil {
-					return stats, err
+					return err
 				}
-				stats.Aborts++
+				h.stats.Aborts++
 				continue
 			}
 			if err := txn.Commit(); err != nil {
-				return stats, err
+				return err
 			}
-			stats.Commits++
+			h.stats.Commits++
 			for obj, v := range pending {
-				ref[obj] = v
-				lastWriter[obj] = fmt.Sprintf("%v@round%d", c.ID(), round)
-				ring.Record(trace.LockGrant, c.ID(), obj.Page,
+				h.ref[obj] = v
+				h.writer[obj] = fmt.Sprintf("%v@round%d", c.ID(), round)
+				h.ring.Record(trace.LockGrant, c.ID(), obj.Page,
 					fmt.Sprintf("committed obj=%v val=%x", obj, v[:4]))
 			}
 		case action < 78:
-			c := cl.Client(clients[r.Intn(opt.Clients)].ID())
-			if err := c.ReplacePage(ids[r.Intn(opt.Pages)]); err != nil {
-				return stats, err
+			c := h.cl.Client(h.clients[r.Intn(opt.Clients)])
+			if err := c.ReplacePage(h.ids[r.Intn(opt.Pages)]); err != nil {
+				return err
 			}
 		case action < 83:
-			c := cl.Client(clients[r.Intn(opt.Clients)].ID())
+			c := h.cl.Client(h.clients[r.Intn(opt.Clients)])
 			if err := c.Checkpoint(); err != nil {
-				return stats, err
+				return err
 			}
 		case action < 93:
-			id := clients[r.Intn(opt.Clients)].ID()
-			ring.Record(trace.RecoveryStep, id, 0, "CLIENT CRASH+RESTART")
-			cl.CrashClient(id)
-			if _, err := cl.RestartClient(id); err != nil {
-				return stats, fmt.Errorf("client restart (seed %d): %w", opt.Seed, err)
+			id := h.clients[r.Intn(opt.Clients)]
+			h.ring.Record(trace.RecoveryStep, id, 0, "CLIENT CRASH+RESTART")
+			h.cl.CrashClient(id)
+			if _, err := h.cl.RestartClient(id); err != nil {
+				return fmt.Errorf("client restart (seed %d): %w", opt.Seed, err)
 			}
-			stats.ClientCrashes++
+			h.stats.ClientCrashes++
 		default:
 			if !opt.ServerCrashes {
 				continue
 			}
 			var down []ident.ClientID
 			if r.Intn(2) == 0 {
-				down = append(down, clients[r.Intn(opt.Clients)].ID())
+				down = append(down, h.clients[r.Intn(opt.Clients)])
 			}
-			ring.Record(trace.RecoveryStep, 0, 0, fmt.Sprintf("SERVER CRASH down=%v", down))
-			cl.CrashServer(down...)
-			if err := cl.RestartServer(); err != nil {
-				return stats, fmt.Errorf("server restart (seed %d): %w", opt.Seed, err)
+			h.ring.Record(trace.RecoveryStep, 0, 0, fmt.Sprintf("SERVER CRASH down=%v", down))
+			h.cl.CrashServer(down...)
+			// Unforced pool copies died with the server; the current-PSN
+			// watermark restarts from the surviving disk state.
+			for pid := range h.maxCurPSN {
+				delete(h.maxCurPSN, pid)
+			}
+			if err := h.cl.RestartServer(); err != nil {
+				return fmt.Errorf("server restart (seed %d): %w", opt.Seed, err)
 			}
 			for _, id := range down {
-				if _, err := cl.RestartClient(id); err != nil {
-					return stats, fmt.Errorf("complex restart (seed %d): %w", opt.Seed, err)
+				if _, err := h.cl.RestartClient(id); err != nil {
+					return fmt.Errorf("complex restart (seed %d): %w", opt.Seed, err)
 				}
 			}
-			stats.ServerCrashes++
+			h.stats.ServerCrashes++
 			if len(down) > 0 {
-				stats.Complex++
+				h.stats.Complex++
 			}
 		}
 		if VerifyEveryRound || round%40 == 39 {
-			if err := verify(fmt.Sprintf("round %d", round)); err != nil {
-				return stats, err
+			if err := h.verify(fmt.Sprintf("round %d", round)); err != nil {
+				return err
 			}
 		}
 	}
-	return stats, verify("final")
+	return nil
+}
+
+// Torture drives a deterministic random schedule of transactions,
+// cache replacements, checkpoints and crashes against a cluster while
+// maintaining a sequential reference state; it fails if the recovered
+// database ever diverges from a replay of exactly the committed
+// transactions.  This is the engine behind cmd/crashtest.
+func Torture(cfg core.Config, opt TortureOptions) (TortureStats, error) {
+	cl := core.NewCluster(cfg)
+	h, err := newHarness(cl, trace.NewRing(8192), opt)
+	if err != nil {
+		return TortureStats{}, err
+	}
+	if err := h.run(); err != nil {
+		return h.stats, err
+	}
+	return h.stats, h.verify("final")
 }

@@ -8,21 +8,21 @@ import (
 )
 
 func TestTortureShort(t *testing.T) {
-	for seed := int64(1); seed <= 3; seed++ {
-		opt := DefaultTortureOptions(seed)
+	for base := int64(1); base <= 3; base++ {
+		opt := DefaultTortureOptions(seed(base))
 		opt.Rounds = 60
 		stats, err := Torture(core.DefaultConfig(), opt)
 		if err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
+			t.Fatalf("seed %d: %v", opt.Seed, err)
 		}
 		if stats.Commits == 0 || stats.Verifications == 0 {
-			t.Fatalf("seed %d: degenerate run %+v", seed, stats)
+			t.Fatalf("seed %d: degenerate run %+v", opt.Seed, stats)
 		}
 	}
 }
 
 func TestTortureClientCrashesOnly(t *testing.T) {
-	opt := DefaultTortureOptions(7)
+	opt := DefaultTortureOptions(seed(7))
 	opt.Rounds = 80
 	opt.ServerCrashes = false
 	stats, err := Torture(core.DefaultConfig(), opt)
@@ -38,12 +38,12 @@ func TestTortureClientCrashesOnly(t *testing.T) {
 }
 
 func TestTortureWithDisklessClient(t *testing.T) {
-	for seed := int64(21); seed <= 24; seed++ {
-		opt := DefaultTortureOptions(seed)
+	for base := int64(21); base <= 24; base++ {
+		opt := DefaultTortureOptions(seed(base))
 		opt.Rounds = 60
 		opt.Diskless = true
 		if _, err := Torture(core.DefaultConfig(), opt); err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
+			t.Fatalf("seed %d: %v", opt.Seed, err)
 		}
 	}
 }
@@ -51,11 +51,11 @@ func TestTortureWithDisklessClient(t *testing.T) {
 func TestTortureBoundedLogs(t *testing.T) {
 	cfg := core.DefaultConfig()
 	cfg.ClientLogCapacity = 16 * 1024
-	for seed := int64(31); seed <= 33; seed++ {
-		opt := DefaultTortureOptions(seed)
+	for base := int64(31); base <= 33; base++ {
+		opt := DefaultTortureOptions(seed(base))
 		opt.Rounds = 60
 		if _, err := Torture(cfg, opt); err != nil {
-			t.Fatalf("seed %d: %v", seed, err)
+			t.Fatalf("seed %d: %v", opt.Seed, err)
 		}
 	}
 }
@@ -64,12 +64,12 @@ func TestTortureManySeeds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("seed sweep")
 	}
-	for seed := int64(100); seed < 120; seed++ {
-		seed := seed
-		t.Run(fmt.Sprintf("s%d", seed), func(t *testing.T) {
-			opt := DefaultTortureOptions(seed)
+	for base := int64(100); base < 120; base++ {
+		s := seed(base)
+		t.Run(fmt.Sprintf("s%d", s), func(t *testing.T) {
+			opt := DefaultTortureOptions(s)
 			opt.Rounds = 100
-			opt.Diskless = seed%2 == 0
+			opt.Diskless = s%2 == 0
 			if _, err := Torture(core.DefaultConfig(), opt); err != nil {
 				t.Fatal(err)
 			}

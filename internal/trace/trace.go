@@ -40,6 +40,9 @@ const (
 	RecoveryStep
 	// LogSpace: a §3.6 log-space action (log full, force request).
 	LogSpace
+	// FaultInject: the fault-injection layer dropped, delayed,
+	// duplicated or replayed a message (see internal/fault).
+	FaultInject
 )
 
 func (k Kind) String() string {
@@ -64,6 +67,8 @@ func (k Kind) String() string {
 		return "recovery"
 	case LogSpace:
 		return "log-space"
+	case FaultInject:
+		return "fault"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}

@@ -15,12 +15,43 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"time"
 
 	"clientlog/internal/core"
 	"clientlog/internal/fault"
+	"clientlog/internal/obs"
 	"clientlog/internal/sim"
+	"clientlog/internal/trace"
 )
+
+// printSnapshot renders the run's final metrics: what the fault layer
+// injected, what the retry layer absorbed, and what the engines did in
+// response, summed across all seeds.
+func printSnapshot(snap obs.Snapshot, faultsByKind map[string]uint64, retries uint64) {
+	fmt.Println("final metrics snapshot:")
+	kinds := make([]string, 0, len(faultsByKind))
+	for k := range faultsByKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Printf("  faults_total{kind=%s} %d\n", k, faultsByKind[k])
+	}
+	fmt.Printf("  rpc retries           %d\n", retries)
+	for _, fam := range []struct{ label, family string }{
+		{"messages", "msg_messages_total"},
+		{"server merges", "server_merges_total"},
+		{"client merges", "client_merges_total"},
+		{"recovery steps", "server_recovery_steps_total"},
+		{"callbacks sent", "server_callbacks_sent_total"},
+		{"de-escalations", "server_deescalations_total"},
+		{"lock deadlock aborts", "lock_deadlocks_total"},
+		{"wal forces", "wal_forces_total"},
+	} {
+		fmt.Printf("  %-21s %d\n", fam.label, snap.Total(fam.family))
+	}
+}
 
 func main() {
 	seeds := flag.Int("seeds", 20, "number of random schedules to run")
@@ -41,6 +72,7 @@ func main() {
 
 	schedule := flag.Bool("schedule", false, "print every injected fault")
 	verbose := flag.Bool("verbose", false, "per-seed statistics")
+	admin := flag.String("admin", "", "serve /metrics, /events, /healthz and pprof on this address (e.g. :7071)")
 	flag.Parse()
 
 	plan := fault.DefaultPlan()
@@ -58,7 +90,22 @@ func main() {
 	plan.MaxDelay = *maxDelay
 	plan.PartitionLen = *partitionLen
 
-	var totFaults, totSuppressed, totCommits, totAborts uint64
+	// All seeds share one registry and trace ring so the admin endpoint
+	// (and the final snapshot) cover the whole run.
+	reg := obs.NewRegistry()
+	ring := trace.NewRing(8192)
+	if *admin != "" {
+		srv, err := obs.StartAdmin(*admin, obs.AdminOptions{Registry: reg, Events: ring})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "admin endpoint on http://%s\n", srv.Addr())
+	}
+
+	faultsByKind := make(map[string]uint64)
+	var totFaults, totSuppressed, totCommits, totAborts, totRetries uint64
 	for i := 0; i < *seeds; i++ {
 		seed := *first + int64(i)
 		opt := sim.DefaultChaosOptions(seed)
@@ -67,15 +114,22 @@ func main() {
 		opt.ServerCrashes = !*noServer
 		opt.Diskless = *diskless
 		opt.Plan = plan
+		opt.Registry = reg
+		opt.Ring = ring
 		stats, err := sim.Chaos(core.DefaultConfig(), opt)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "FAIL seed %d (%d faults injected): %v\n", seed, stats.Faults, err)
-			os.Exit(1)
-		}
 		totFaults += stats.Faults
 		totSuppressed += stats.Suppressed
 		totCommits += stats.Commits
 		totAborts += stats.Aborts
+		totRetries += stats.Retries
+		for k, n := range stats.FaultsByKind {
+			faultsByKind[k] += n
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL seed %d (%d faults injected): %v\n", seed, stats.Faults, err)
+			printSnapshot(reg.Snapshot(), faultsByKind, totRetries)
+			os.Exit(1)
+		}
 		if *verbose {
 			fmt.Printf("seed %-5d ok: %4d commits %3d aborts %4d faults %3d dup-suppressed %2d client-crashes %2d server-crashes\n",
 				seed, stats.Commits, stats.Aborts, stats.Faults, stats.Suppressed,
@@ -89,4 +143,5 @@ func main() {
 	}
 	fmt.Printf("ALL PASS: %d seeds, %d commits, %d aborts, %d faults injected, %d duplicates suppressed\n",
 		*seeds, totCommits, totAborts, totFaults, totSuppressed)
+	printSnapshot(reg.Snapshot(), faultsByKind, totRetries)
 }

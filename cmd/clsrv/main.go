@@ -3,6 +3,10 @@
 //
 //	clsrv -addr :7070 -dir ./data -seed-pages 16
 //
+// With -admin the server also exposes a live observability endpoint:
+// /metrics (Prometheus text), /events (protocol trace tail as JSON
+// lines), /healthz and /debug/pprof.
+//
 // Clients connect with cmd/clcli.
 package main
 
@@ -18,12 +22,15 @@ import (
 
 	"clientlog/internal/core"
 	"clientlog/internal/netrpc"
+	"clientlog/internal/obs"
 	"clientlog/internal/storage"
+	"clientlog/internal/trace"
 	"clientlog/internal/wal"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7070", "listen address")
+	admin := flag.String("admin", "", "serve /metrics, /events, /healthz and pprof on this address (e.g. :7071)")
 	dir := flag.String("dir", "./clsrv-data", "data directory (page store + server log)")
 	pageSize := flag.Int("pagesize", 4096, "page size in bytes")
 	seedPages := flag.Int("seed-pages", 0, "allocate this many empty pages if the store is fresh")
@@ -61,6 +68,24 @@ func main() {
 	cfg.PageSize = *pageSize
 	engine := core.NewServer(cfg, store, slog)
 	engine.HostRemoteLogs(core.NewRemoteLogHost(0))
+
+	if *admin != "" {
+		reg := obs.NewRegistry()
+		ring := trace.NewRing(8192)
+		engine.SetTracer(ring)
+		engine.RegisterObs(reg)
+		netrpc.RegisterObs(reg)
+		adm, err := obs.StartAdmin(*admin, obs.AdminOptions{
+			Registry: reg,
+			Events:   ring,
+			Health:   engine.CheckInvariants,
+		})
+		if err != nil {
+			log.Fatalf("admin: %v", err)
+		}
+		defer adm.Close()
+		log.Printf("admin endpoint on http://%s", adm.Addr())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

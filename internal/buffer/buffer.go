@@ -15,6 +15,7 @@ import (
 
 	"sync"
 
+	"clientlog/internal/obs"
 	"clientlog/internal/page"
 )
 
@@ -29,6 +30,14 @@ type frame struct {
 	elem  *list.Element // position in the LRU list (front = most recent)
 }
 
+// PoolMetrics counts cache traffic: Get hits and misses, and evictions
+// performed via EvictVictim.
+type PoolMetrics struct {
+	Hits      obs.Counter
+	Misses    obs.Counter
+	Evictions obs.Counter
+}
+
 // Pool is a fixed-capacity page cache with LRU replacement.  It is safe
 // for concurrent use.
 type Pool struct {
@@ -36,6 +45,19 @@ type Pool struct {
 	capacity int
 	frames   map[page.ID]*frame
 	lru      *list.List // of page.ID
+
+	Metrics PoolMetrics
+}
+
+// RegisterObs binds the pool's counters into reg as the buffer_*
+// families under the caller's tags.
+func (b *Pool) RegisterObs(reg *obs.Registry, tags ...obs.Tag) {
+	if reg == nil {
+		return
+	}
+	reg.BindCounter(&b.Metrics.Hits, "buffer_hits_total", tags...)
+	reg.BindCounter(&b.Metrics.Misses, "buffer_misses_total", tags...)
+	reg.BindCounter(&b.Metrics.Evictions, "buffer_evictions_total", tags...)
 }
 
 // New returns a pool that holds at most capacity pages (capacity <= 0
@@ -65,8 +87,10 @@ func (b *Pool) Get(id page.ID) (*page.Page, bool) {
 	defer b.mu.Unlock()
 	f, ok := b.frames[id]
 	if !ok {
+		b.Metrics.Misses.Inc()
 		return nil, false
 	}
+	b.Metrics.Hits.Inc()
 	b.lru.MoveToFront(f.elem)
 	return f.pg, true
 }
@@ -174,6 +198,7 @@ func (b *Pool) EvictVictim() (p *page.Page, dirty bool, err error) {
 		}
 		b.lru.Remove(e)
 		delete(b.frames, id)
+		b.Metrics.Evictions.Inc()
 		return f.pg, f.dirty, nil
 	}
 	return nil, false, ErrAllPinned

@@ -4,12 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"clientlog/internal/buffer"
 	"clientlog/internal/ident"
 	"clientlog/internal/lock"
 	"clientlog/internal/msg"
+	"clientlog/internal/obs"
 	"clientlog/internal/page"
 	"clientlog/internal/wal"
 )
@@ -23,15 +23,18 @@ var ErrNoLogSpace = errors.New("core: private log full and nothing reclaimable")
 
 // ClientMetrics counts client-side events for the experiments.
 type ClientMetrics struct {
-	Commits         atomic.Uint64
-	Aborts          atomic.Uint64
-	PagesFetched    atomic.Uint64
-	PagesShipped    atomic.Uint64
-	CallbackRecords atomic.Uint64 // callback log records written (§3.1)
-	ForceRequests   atomic.Uint64 // §3.6 force-page requests sent
-	LogFullEvents   atomic.Uint64 // times the private log filled
-	Checkpoints     atomic.Uint64
-	ClientMerges    atomic.Uint64 // client-side page merges (§2)
+	Commits         obs.Counter
+	Aborts          obs.Counter
+	PagesFetched    obs.Counter
+	PagesShipped    obs.Counter
+	CallbackRecords obs.Counter // callback log records written (§3.1)
+	ForceRequests   obs.Counter // §3.6 force-page requests sent
+	LogFullEvents   obs.Counter // times the private log filled
+	Checkpoints     obs.Counter
+	ClientMerges    obs.Counter // client-side page merges (§2)
+
+	// CommitNanos is the end-to-end Commit latency distribution.
+	CommitNanos obs.Histogram
 }
 
 // dptEntry is one dirty page table row (§3.2) plus the §3.6 log-space
@@ -109,6 +112,29 @@ func NewClientWithID(cfg Config, srv msg.Server, logStore wal.Store, id ident.Cl
 		tokens: make(map[page.ID]bool),
 	}
 	return c, nil
+}
+
+// RegisterObs binds the client's metrics — its protocol counters, the
+// commit-latency histogram, its private log and its cache — into reg
+// under scope=client:<id>.  Like Server.RegisterObs, rebinding after a
+// restart keeps the registry series monotone.
+func (c *Client) RegisterObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	sc := obs.T("scope", "client:"+c.id.String())
+	reg.BindCounter(&c.Metrics.Commits, "client_commits_total", sc)
+	reg.BindCounter(&c.Metrics.Aborts, "client_aborts_total", sc)
+	reg.BindCounter(&c.Metrics.PagesFetched, "client_pages_fetched_total", sc)
+	reg.BindCounter(&c.Metrics.PagesShipped, "client_pages_shipped_total", sc)
+	reg.BindCounter(&c.Metrics.CallbackRecords, "client_callback_records_total", sc)
+	reg.BindCounter(&c.Metrics.ForceRequests, "client_force_requests_total", sc)
+	reg.BindCounter(&c.Metrics.LogFullEvents, "client_log_full_total", sc)
+	reg.BindCounter(&c.Metrics.Checkpoints, "client_checkpoints_total", sc)
+	reg.BindCounter(&c.Metrics.ClientMerges, "client_merges_total", sc)
+	reg.BindHistogram(&c.Metrics.CommitNanos, "client_commit_nanos", sc)
+	c.log.RegisterObs(reg, sc)
+	c.pool.RegisterObs(reg, sc)
 }
 
 // ID returns the server-assigned client id.

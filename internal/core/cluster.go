@@ -7,6 +7,7 @@ import (
 	"clientlog/internal/ident"
 	"clientlog/internal/lock"
 	"clientlog/internal/msg"
+	"clientlog/internal/obs"
 	"clientlog/internal/page"
 	"clientlog/internal/storage"
 	"clientlog/internal/trace"
@@ -78,8 +79,12 @@ type clientSlot struct {
 // substrate of the integration tests, the simulator, the benchmarks and
 // the public API.
 type Cluster struct {
-	cfg        Config
-	Stats      *msg.Stats
+	cfg   Config
+	Stats *msg.Stats
+	// Reg is the cluster-wide metrics registry: every engine (including
+	// post-restart incarnations) binds its counters here, and Stats is a
+	// façade over the msg_* families in it.
+	Reg        *obs.Registry
 	store      storage.Store
 	slog       wal.Store
 	remoteLogs *RemoteLogHost
@@ -103,12 +108,29 @@ func NewCluster(cfg Config) *Cluster {
 	return NewClusterWithStores(cfg, storage.NewMemStore(cfg.PageSize), wal.NewMemStore(0))
 }
 
+// NewClusterIn is NewCluster with the engines bound into an existing
+// metrics registry (nil means a private one), so a caller that serves
+// /metrics can watch the cluster it is about to run.
+func NewClusterIn(cfg Config, reg *obs.Registry) *Cluster {
+	return NewClusterWithStoresIn(cfg, storage.NewMemStore(cfg.PageSize), wal.NewMemStore(0), reg)
+}
+
 // NewClusterWithStores builds a cluster over explicit stable storage
 // and a server log device (e.g. file-backed, for the cmd tools).
 func NewClusterWithStores(cfg Config, store storage.Store, slog wal.Store) *Cluster {
+	return NewClusterWithStoresIn(cfg, store, slog, nil)
+}
+
+// NewClusterWithStoresIn is NewClusterWithStores with an explicit
+// registry (nil means a private one).
+func NewClusterWithStoresIn(cfg Config, store storage.Store, slog wal.Store, reg *obs.Registry) *Cluster {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	cl := &Cluster{
 		cfg:     cfg,
-		Stats:   msg.NewStats(),
+		Reg:     reg,
+		Stats:   msg.NewStatsIn(reg),
 		store:   store,
 		slog:    slog,
 		handle:  &serverHandle{},
@@ -117,9 +139,14 @@ func NewClusterWithStores(cfg Config, store storage.Store, slog wal.Store) *Clus
 	cl.remoteLogs = NewRemoteLogHost(cfg.ClientLogCapacity)
 	cl.server = NewServer(cfg, store, slog)
 	cl.server.HostRemoteLogs(cl.remoteLogs)
+	srv := cl.server
+	reg.Lazy(func() { srv.RegisterObs(reg) })
 	cl.handle.set(cl.server)
 	return cl
 }
+
+// Registry returns the cluster-wide metrics registry.
+func (cl *Cluster) Registry() *obs.Registry { return cl.Reg }
 
 // SetTracer installs a protocol-event recorder on the current server
 // engine (and future incarnations after RestartServer).
@@ -199,6 +226,7 @@ func (cl *Cluster) AddDisklessClient() (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	cl.Reg.Lazy(func() { c.RegisterObs(cl.Reg) })
 	conn := cl.clientConn(c.ID(), c)
 	cl.mu.Lock()
 	server := cl.server
@@ -214,6 +242,7 @@ func (cl *Cluster) AddClientWithLog(logStore wal.Store) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	cl.Reg.Lazy(func() { c.RegisterObs(cl.Reg) })
 	conn := cl.clientConn(c.ID(), c)
 	cl.mu.Lock()
 	server := cl.server
@@ -262,6 +291,7 @@ func (cl *Cluster) RestartClient(id ident.ClientID) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
+	cl.Reg.Lazy(func() { c.RegisterObs(cl.Reg) })
 	conn := cl.clientConn(id, c)
 	server.Attach(id, conn)
 	cl.mu.Lock()
@@ -319,6 +349,7 @@ func (cl *Cluster) RestartServer() error {
 	cl.mu.Lock()
 	server := NewServer(cl.cfg, cl.store, cl.slog)
 	server.HostRemoteLogs(cl.remoteLogs)
+	cl.Reg.Lazy(func() { server.RegisterObs(cl.Reg) })
 	if cl.tracer != nil {
 		server.SetTracer(cl.tracer)
 	}

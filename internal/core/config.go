@@ -130,6 +130,23 @@ type Config struct {
 	ServerDirtyLimit int
 }
 
+// SchemeName labels the configuration's locking/logging/update scheme
+// for tables and metric tags.
+func (c Config) SchemeName() string {
+	switch {
+	case c.Update == UpdateToken:
+		return "token"
+	case c.Granularity == GranPage:
+		return "page-lock"
+	case c.Logging == LogShipCommit:
+		return "ship-log"
+	case c.Logging == LogShipPages:
+		return "ship-pages"
+	default:
+		return "paper"
+	}
+}
+
 // DefaultConfig returns the paper's scheme with test-friendly sizes.
 func DefaultConfig() Config {
 	return Config{

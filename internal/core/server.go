@@ -3,13 +3,13 @@ package core
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"clientlog/internal/buffer"
 	"clientlog/internal/ident"
 	"clientlog/internal/lock"
 	"clientlog/internal/msg"
+	"clientlog/internal/obs"
 	"clientlog/internal/page"
 	"clientlog/internal/storage"
 	"clientlog/internal/trace"
@@ -18,12 +18,13 @@ import (
 
 // ServerMetrics counts server-side protocol events for the experiments.
 type ServerMetrics struct {
-	Merges         atomic.Uint64 // page-copy merges performed (§2)
-	PageForces     atomic.Uint64 // pages written in place to disk
-	Replacements   atomic.Uint64 // replacement log records written (§3.1)
-	TokenTransfers atomic.Uint64 // update-token migrations (baseline)
-	CallbacksSent  atomic.Uint64 // object callbacks issued
-	Deescalations  atomic.Uint64 // page de-escalation callbacks issued
+	Merges         obs.Counter // page-copy merges performed (§2)
+	PageForces     obs.Counter // pages written in place to disk
+	Replacements   obs.Counter // replacement log records written (§3.1)
+	TokenTransfers obs.Counter // update-token migrations (baseline)
+	CallbacksSent  obs.Counter // object callbacks issued
+	Deescalations  obs.Counter // page de-escalation callbacks issued
+	RecoverySteps  obs.Counter // §3.4/§3.5 recovery steps executed
 }
 
 // dctKey identifies a DCT entry: one (page, client) pair.
@@ -102,6 +103,28 @@ func (s *Server) SetTracer(r trace.Recorder) {
 		r = trace.Nop{}
 	}
 	s.tracer = r
+}
+
+// RegisterObs binds the server's metrics — its own protocol counters
+// plus the server log, buffer pool and global lock manager — into reg
+// under scope=server.  Safe to call on every restart: the registry sums
+// all engines ever bound to a series, so /metrics stays monotone while
+// each engine's own Metrics start from zero.
+func (s *Server) RegisterObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	sc := obs.T("scope", "server")
+	reg.BindCounter(&s.Metrics.Merges, "server_merges_total", sc)
+	reg.BindCounter(&s.Metrics.PageForces, "server_page_forces_total", sc)
+	reg.BindCounter(&s.Metrics.Replacements, "server_replacements_total", sc)
+	reg.BindCounter(&s.Metrics.TokenTransfers, "server_token_transfers_total", sc)
+	reg.BindCounter(&s.Metrics.CallbacksSent, "server_callbacks_sent_total", sc)
+	reg.BindCounter(&s.Metrics.Deescalations, "server_deescalations_total", sc)
+	reg.BindCounter(&s.Metrics.RecoverySteps, "server_recovery_steps_total", sc)
+	s.slog.RegisterObs(reg, sc)
+	s.pool.RegisterObs(reg, sc)
+	s.glm.RegisterObs(reg, sc)
 }
 
 type inflightKey struct {

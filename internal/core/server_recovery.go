@@ -36,6 +36,7 @@ func (s *Server) RecoverServer(operational map[ident.ClientID]msg.Client, crashe
 	for id, conn := range operational {
 		s.Attach(id, conn)
 	}
+	s.Metrics.RecoverySteps.Inc()
 	s.tracer.Record(trace.RecoveryStep, 0, 0,
 		fmt.Sprintf("server restart: %d operational, %d crashed", len(operational), len(crashed)))
 	ri := &restartInfo{
@@ -284,6 +285,7 @@ func (s *Server) RecoverServer(operational map[ident.ClientID]msg.Client, crashe
 			return fmt.Errorf("core: page recovery: %w", err)
 		}
 	}
+	s.Metrics.RecoverySteps.Inc()
 	s.tracer.Record(trace.RecoveryStep, 0, 0,
 		fmt.Sprintf("server restart complete: %d page recoveries", len(involved)))
 

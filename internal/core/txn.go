@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"clientlog/internal/ident"
 	"clientlog/internal/lock"
@@ -318,6 +319,8 @@ func (t *Txn) Commit() error {
 		return err
 	}
 	c := t.c
+	start := time.Now()
+	defer func() { c.Metrics.CommitNanos.ObserveDuration(time.Since(start)) }()
 	if c.cfg.Logging != LogLocal {
 		req := msg.CommitShipReq{Client: c.id, Txn: t.st.id, Records: t.st.buffered}
 		if c.cfg.Logging == LogShipPages {

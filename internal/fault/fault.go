@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"clientlog/internal/obs"
 	"clientlog/internal/trace"
 )
 
@@ -143,6 +144,7 @@ type Injector struct {
 	seed    int64
 	plan    Plan
 	faults  atomic.Uint64
+	byKind  [Partition + 1]obs.Counter
 	enabled atomic.Bool
 
 	mu       sync.Mutex
@@ -171,6 +173,30 @@ func (in *Injector) SetEnabled(v bool) { in.enabled.Store(v) }
 
 // Faults returns the number of faults injected so far.
 func (in *Injector) Faults() uint64 { return in.faults.Load() }
+
+// KindCounts returns the per-kind injected-fault counts (only kinds
+// that fired appear).
+func (in *Injector) KindCounts() map[Kind]uint64 {
+	out := make(map[Kind]uint64)
+	for k := Kind(1); k <= Partition; k++ {
+		if n := in.byKind[k].Load(); n > 0 {
+			out[k] = n
+		}
+	}
+	return out
+}
+
+// RegisterObs binds the injector's counters into reg: faults_total
+// overall plus one faults_total{kind=...} series per fault kind.
+func (in *Injector) RegisterObs(reg *obs.Registry, tags ...obs.Tag) {
+	if reg == nil {
+		return
+	}
+	for k := Kind(1); k <= Partition; k++ {
+		kt := append(append([]obs.Tag{}, tags...), obs.T("kind", k.String()))
+		reg.BindCounter(&in.byKind[k], "faults_total", kt...)
+	}
+}
 
 // Schedule returns the injected-fault log ("stream#call kind" lines, in
 // injection order): the replayable fingerprint of a run.
@@ -202,6 +228,9 @@ func streamSeed(seed int64, name string) int64 {
 
 func (in *Injector) record(s string, calls uint64, k Kind, det string) {
 	in.faults.Add(1)
+	if k >= 1 && int(k) < len(in.byKind) {
+		in.byKind[k].Inc()
+	}
 	entry := fmt.Sprintf("%s#%d %s", s, calls, k)
 	in.mu.Lock()
 	in.schedule = append(in.schedule, entry)

@@ -7,8 +7,38 @@ import (
 	"time"
 
 	"clientlog/internal/ident"
+	"clientlog/internal/obs"
 	"clientlog/internal/page"
 )
+
+// GLMMetrics counts global-lock-manager events: grants split by the
+// granted level, acquires that had to wait, deadlock and timeout
+// aborts, page de-escalations applied, and the distribution of blocked
+// wait times.
+type GLMMetrics struct {
+	Grants        obs.Counter // total grants
+	PageGrants    obs.Counter // grants that came back page-level
+	Waits         obs.Counter // acquires that blocked at least once
+	Deadlocks     obs.Counter // ErrDeadlock aborts
+	Timeouts      obs.Counter // ErrTimeout aborts
+	Deescalations obs.Counter // page locks replaced by object locks
+	WaitNanos     obs.Histogram
+}
+
+// RegisterObs binds the GLM's counters into reg as the lock_* families
+// under the caller's tags.
+func (g *GLM) RegisterObs(reg *obs.Registry, tags ...obs.Tag) {
+	if reg == nil {
+		return
+	}
+	reg.BindCounter(&g.Metrics.Grants, "lock_grants_total", tags...)
+	reg.BindCounter(&g.Metrics.PageGrants, "lock_page_grants_total", tags...)
+	reg.BindCounter(&g.Metrics.Waits, "lock_waits_total", tags...)
+	reg.BindCounter(&g.Metrics.Deadlocks, "lock_deadlocks_total", tags...)
+	reg.BindCounter(&g.Metrics.Timeouts, "lock_timeouts_total", tags...)
+	reg.BindCounter(&g.Metrics.Deescalations, "lock_deescalations_total", tags...)
+	reg.BindHistogram(&g.Metrics.WaitNanos, "lock_wait_nanos", tags...)
+}
 
 // Errors returned by GLM.Acquire.
 var (
@@ -91,6 +121,10 @@ type GLM struct {
 
 	cb      Callbacker
 	timeout time.Duration
+
+	// Metrics counts grant/wait/abort events; bind into a registry with
+	// RegisterObs.
+	Metrics GLMMetrics
 }
 
 // waitingReq is one blocked Acquire.
@@ -273,7 +307,8 @@ func (g *GLM) HoldsAnyX(c ident.ClientID, p page.ID) bool {
 // a cycle, ErrTimeout after the configured bound, and ErrStopped if the
 // manager shuts down.
 func (g *GLM) Acquire(req Request) (Grant, error) {
-	deadline := time.Now().Add(g.timeout)
+	start := time.Now()
+	deadline := start.Add(g.timeout)
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.ticket++
@@ -281,6 +316,9 @@ func (g *GLM) Acquire(req Request) (Grant, error) {
 	registered := false
 	defer func() {
 		if registered {
+			// The acquire blocked at least once; record the end-to-end
+			// wait regardless of how it resolved.
+			g.Metrics.WaitNanos.ObserveDuration(time.Since(start))
 			delete(g.waiting, wr)
 			g.notifyAll()
 		}
@@ -296,6 +334,7 @@ func (g *GLM) Acquire(req Request) (Grant, error) {
 		// Already covered (e.g. re-acquire during recovery).
 		if g.covered(req.Client, req.Name, req.Mode) {
 			g.clearWait(req.Client)
+			g.Metrics.Grants.Inc()
 			return Grant{Name: req.Name, Mode: req.Mode}, nil
 		}
 		fair := g.fairnessBlockers(wr, upgrade)
@@ -306,6 +345,8 @@ func (g *GLM) Acquire(req Request) (Grant, error) {
 				if !g.othersHoldOnPage(req.Client, req.Name.Page) {
 					gr := g.grant(req.Client, pgName, req.Mode)
 					g.clearWait(req.Client)
+					g.Metrics.Grants.Inc()
+					g.Metrics.PageGrants.Inc()
 					return gr, nil
 				}
 			}
@@ -314,6 +355,10 @@ func (g *GLM) Acquire(req Request) (Grant, error) {
 		if len(blockers) == 0 && len(fair) == 0 {
 			gr := g.grant(req.Client, req.Name, req.Mode)
 			g.clearWait(req.Client)
+			g.Metrics.Grants.Inc()
+			if gr.Name.IsPage {
+				g.Metrics.PageGrants.Inc()
+			}
 			return gr, nil
 		}
 		for c := range fair {
@@ -322,11 +367,13 @@ func (g *GLM) Acquire(req Request) (Grant, error) {
 		if !registered {
 			registered = true
 			g.waiting[wr] = struct{}{}
+			g.Metrics.Waits.Inc()
 		}
 		// Record the wait and check for deadlock before sleeping.
 		g.setWait(req.Client, blockers)
 		if g.cycleFrom(req.Client) {
 			g.clearWait(req.Client)
+			g.Metrics.Deadlocks.Inc()
 			return Grant{}, ErrDeadlock
 		}
 		ch := make(chan struct{})
@@ -354,6 +401,7 @@ func (g *GLM) Acquire(req Request) (Grant, error) {
 		case <-timer.C:
 			g.mu.Lock()
 			g.clearWait(req.Client)
+			g.Metrics.Timeouts.Inc()
 			return Grant{}, ErrTimeout
 		}
 		g.mu.Lock()
@@ -496,6 +544,7 @@ type ObjLock struct {
 func (g *GLM) Deescalate(c ident.ClientID, p page.ID, objs []ObjLock) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	g.Metrics.Deescalations.Inc()
 	pl := g.pl(p)
 	delete(pl.page, c)
 	for _, ol := range objs {

@@ -10,8 +10,26 @@ import (
 	"clientlog/internal/fault"
 	"clientlog/internal/ident"
 	"clientlog/internal/lock"
+	"clientlog/internal/obs"
 	"clientlog/internal/page"
 )
+
+// rpcRetries counts retransmissions performed by every faulty conn in
+// the process (a retry is process-global behaviour of the simulated
+// network, not of one cluster, so the counter is package-level).
+var rpcRetries obs.Counter
+
+// Retries returns the total number of RPC retransmissions so far.
+func Retries() uint64 { return rpcRetries.Load() }
+
+// RegisterObs binds the package-level transport counters (currently
+// the retry count) into reg as msg_rpc_retries_total.
+func RegisterObs(reg *obs.Registry, tags ...obs.Tag) {
+	if reg == nil {
+		return
+	}
+	reg.BindCounter(&rpcRetries, "msg_rpc_retries_total", tags...)
+}
 
 // ErrUnavailable reports that an RPC exhausted its retry budget against
 // the simulated network; with a sane plan/retry pairing this only
@@ -91,6 +109,7 @@ func (f *faultyConn) call(name string, exec func() (interface{}, error)) (interf
 			prev() //nolint:errcheck // the original call already consumed the result
 		}
 		if d.DropRequest {
+			rpcRetries.Inc()
 			time.Sleep(backoff)
 			backoff = minDur(2*backoff, f.retry.MaxBackoff)
 			continue
@@ -104,6 +123,7 @@ func (f *faultyConn) call(name string, exec func() (interface{}, error)) (interf
 		if d.DropReply || d.Disconnect {
 			// The receiver executed but the reply is lost (or the
 			// connection died under it); retransmit.
+			rpcRetries.Inc()
 			time.Sleep(backoff)
 			backoff = minDur(2*backoff, f.retry.MaxBackoff)
 			continue

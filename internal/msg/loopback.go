@@ -2,11 +2,11 @@ package msg
 
 import (
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"clientlog/internal/ident"
 	"clientlog/internal/lock"
+	"clientlog/internal/obs"
 	"clientlog/internal/page"
 )
 
@@ -15,41 +15,82 @@ import (
 // the different schemes (the paper argues its protocol sends strictly
 // fewer synchronization messages than the update-token approach and no
 // commit-time shipments at all).
+//
+// Stats is a façade over an obs.Registry: every count lives in the
+// msg_messages_total{msg=...} and msg_bytes_total{msg=...} series, so
+// /metrics and Stats report from the same source.  The per-call-type
+// counter handles are cached here so the hot path is two sharded
+// counter adds, not a registry lookup.
 type Stats struct {
-	msgs  atomic.Uint64
-	bytes atomic.Uint64
+	reg *obs.Registry
 
-	mu     sync.Mutex
-	byName map[string]uint64
+	mu     sync.RWMutex
+	series map[string]*statsPair
 }
 
-// NewStats returns zeroed counters.
-func NewStats() *Stats { return &Stats{byName: make(map[string]uint64)} }
+// statsPair holds one call type's counter handles.
+type statsPair struct {
+	msgs  *obs.Counter
+	bytes *obs.Counter
+}
+
+// NewStats returns zeroed counters backed by a private registry.
+func NewStats() *Stats { return NewStatsIn(obs.NewRegistry()) }
+
+// NewStatsIn returns counters that live in reg, so the same numbers
+// surface on the registry's /metrics exposition.
+func NewStatsIn(reg *obs.Registry) *Stats {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Stats{reg: reg, series: make(map[string]*statsPair)}
+}
+
+func (s *Stats) pair(name string) *statsPair {
+	s.mu.RLock()
+	p := s.series[name]
+	s.mu.RUnlock()
+	if p != nil {
+		return p
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p = s.series[name]; p == nil {
+		p = &statsPair{
+			msgs:  s.reg.Counter("msg_messages_total", obs.T("msg", name)),
+			bytes: s.reg.Counter("msg_bytes_total", obs.T("msg", name)),
+		}
+		s.series[name] = p
+	}
+	return p
+}
 
 func (s *Stats) add(name string, msgs int, bytes int) {
 	if s == nil {
 		return
 	}
-	s.msgs.Add(uint64(msgs))
-	s.bytes.Add(uint64(bytes))
-	s.mu.Lock()
-	s.byName[name] += uint64(msgs)
-	s.mu.Unlock()
+	p := s.pair(name)
+	p.msgs.Add(uint64(msgs))
+	p.bytes.Add(uint64(bytes))
 }
 
 // Messages returns the total message count (requests and replies).
-func (s *Stats) Messages() uint64 { return s.msgs.Load() }
+func (s *Stats) Messages() uint64 {
+	return s.reg.TotalCounter("msg_messages_total")
+}
 
 // Bytes returns the approximate total bytes on the wire.
-func (s *Stats) Bytes() uint64 { return s.bytes.Load() }
+func (s *Stats) Bytes() uint64 {
+	return s.reg.TotalCounter("msg_bytes_total")
+}
 
 // ByName returns a copy of the per-call-type message counts.
 func (s *Stats) ByName() map[string]uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[string]uint64, len(s.byName))
-	for k, v := range s.byName {
-		out[k] = v
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]uint64, len(s.series))
+	for k, p := range s.series {
+		out[k] = p.msgs.Load()
 	}
 	return out
 }

@@ -159,6 +159,7 @@ func (s *Server) handleHello(rc *rpcConn, body interface{}) (interface{}, error)
 		if sess == nil {
 			return nil, errors.New(sessionExpiredMsg)
 		}
+		Metrics.Resumes.Inc()
 	}
 	if !sess.bind(rc) {
 		return nil, errors.New(sessionExpiredMsg)

@@ -34,9 +34,33 @@ import (
 	"clientlog/internal/ident"
 	"clientlog/internal/lock"
 	"clientlog/internal/msg"
+	"clientlog/internal/obs"
 	"clientlog/internal/page"
 	"clientlog/internal/wal"
 )
+
+// Metrics counts wire traffic and session lifecycle events across every
+// connection in the process.
+var Metrics struct {
+	FramesSent obs.Counter
+	FramesRecv obs.Counter
+	BytesSent  obs.Counter
+	BytesRecv  obs.Counter
+	Resumes    obs.Counter // sessions resumed within the grace window
+}
+
+// RegisterObs binds the package's wire counters into reg as the
+// netrpc_* families.
+func RegisterObs(reg *obs.Registry, tags ...obs.Tag) {
+	if reg == nil {
+		return
+	}
+	reg.BindCounter(&Metrics.FramesSent, "netrpc_frames_sent_total", tags...)
+	reg.BindCounter(&Metrics.FramesRecv, "netrpc_frames_recv_total", tags...)
+	reg.BindCounter(&Metrics.BytesSent, "netrpc_bytes_sent_total", tags...)
+	reg.BindCounter(&Metrics.BytesRecv, "netrpc_bytes_recv_total", tags...)
+	reg.BindCounter(&Metrics.Resumes, "netrpc_session_resumes_total", tags...)
+}
 
 // MaxFrame bounds a single message on the wire.  A frame length above
 // the bound means the stream is garbage (or hostile); the connection is
@@ -86,6 +110,10 @@ func writeFrame(w io.Writer, env *envelope) error {
 	b := buf.Bytes()
 	binary.BigEndian.PutUint32(b[:4], uint32(n))
 	_, err := w.Write(b)
+	if err == nil {
+		Metrics.FramesSent.Inc()
+		Metrics.BytesSent.Add(uint64(len(b)))
+	}
 	return err
 }
 
@@ -106,6 +134,8 @@ func readFrame(r io.Reader) (envelope, error) {
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return envelope{}, err
 	}
+	Metrics.FramesRecv.Inc()
+	Metrics.BytesRecv.Add(uint64(n) + 4)
 	var env envelope
 	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&env); err != nil {
 		return envelope{}, corruptFrameError{err}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"clientlog/internal/trace"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminMetrics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("commits_total", T("scope", "server")).Add(42)
+	srv := httptest.NewServer(AdminHandler(AdminOptions{Registry: reg}))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	}
+	if !strings.Contains(body, `commits_total{scope="server"} 42`) {
+		t.Fatalf("/metrics missing series: %q", body)
+	}
+}
+
+func TestAdminHealthz(t *testing.T) {
+	healthy := httptest.NewServer(AdminHandler(AdminOptions{}))
+	defer healthy.Close()
+	if code, body := get(t, healthy, "/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthy: %d %q", code, body)
+	}
+
+	sick := httptest.NewServer(AdminHandler(AdminOptions{
+		Health: func() error { return errors.New("dct/lock mismatch") },
+	}))
+	defer sick.Close()
+	if code, body := get(t, sick, "/healthz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "dct/lock mismatch") {
+		t.Fatalf("unhealthy: %d %q", code, body)
+	}
+}
+
+func TestAdminEvents(t *testing.T) {
+	ring := trace.NewRing(16)
+	ring.Record(trace.LockGrant, 1, 7, "S")
+	ring.Record(trace.PageShip, 2, 9, "")
+	ring.Record(trace.LockGrant, 2, 7, "X")
+	srv := httptest.NewServer(AdminHandler(AdminOptions{Events: ring}))
+	defer srv.Close()
+
+	decode := func(body string) []map[string]any {
+		var out []map[string]any
+		dec := json.NewDecoder(strings.NewReader(body))
+		for dec.More() {
+			var m map[string]any
+			if err := dec.Decode(&m); err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, m)
+		}
+		return out
+	}
+
+	_, body := get(t, srv, "/events")
+	if n := len(decode(body)); n != 3 {
+		t.Fatalf("unfiltered: %d events, want 3", n)
+	}
+
+	_, body = get(t, srv, "/events?kind="+trace.LockGrant.String())
+	events := decode(body)
+	if len(events) != 2 {
+		t.Fatalf("kind filter: %d events, want 2", len(events))
+	}
+
+	_, body = get(t, srv, "/events?client=c2")
+	events = decode(body)
+	if len(events) != 2 {
+		t.Fatalf("client filter: %d events, want 2", len(events))
+	}
+
+	_, body = get(t, srv, "/events?page=7&n=1")
+	events = decode(body)
+	if len(events) != 1 || events[0]["detail"] != "X" {
+		t.Fatalf("page+n filter: %+v", events)
+	}
+}
+
+func TestAdminPprof(t *testing.T) {
+	srv := httptest.NewServer(AdminHandler(AdminOptions{}))
+	defer srv.Close()
+	if code, _ := get(t, srv, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/cmdline status %d", code)
+	}
+}
+
+func TestStartAdmin(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("up_total").Inc()
+	adm, err := StartAdmin("127.0.0.1:0", AdminOptions{Registry: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adm.Close()
+	resp, err := http.Get("http://" + adm.Addr().String() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "up_total 1") {
+		t.Fatalf("live endpoint missing metric: %q", body)
+	}
+}

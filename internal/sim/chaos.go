@@ -9,6 +9,7 @@ import (
 	"clientlog/internal/fault"
 	"clientlog/internal/ident"
 	"clientlog/internal/msg"
+	"clientlog/internal/obs"
 	"clientlog/internal/trace"
 )
 
@@ -24,6 +25,14 @@ type ChaosOptions struct {
 	// schedule rather than give up.
 	Retry         msg.RetryPolicy
 	CallbackRetry msg.RetryPolicy
+	// Registry, when non-nil, receives every engine's metrics plus the
+	// injector's per-kind fault counters, so an admin endpoint started
+	// before the run watches it live.
+	Registry *obs.Registry
+	// Ring, when non-nil, records the run's trace events (fault
+	// injections included) instead of a private ring, so /events can
+	// serve them.
+	Ring *trace.Ring
 }
 
 // DefaultChaosOptions pairs the default torture schedule with the
@@ -44,6 +53,11 @@ type ChaosStats struct {
 	TortureStats
 	// Faults is the number of injected transport faults.
 	Faults uint64
+	// FaultsByKind breaks Faults down per fault kind.
+	FaultsByKind map[string]uint64
+	// Retries counts the RPC retransmissions the retry layer performed
+	// during the run.
+	Retries uint64
 	// Suppressed counts duplicate requests absorbed by the reply caches
 	// (each one a retransmission that would have double-executed).
 	Suppressed uint64
@@ -64,8 +78,12 @@ type ChaosStats struct {
 // disagree.
 func Chaos(cfg core.Config, opt ChaosOptions) (ChaosStats, error) {
 	inj := fault.New(opt.Seed, opt.Plan)
-	ring := trace.NewRing(8192)
+	ring := opt.Ring
+	if ring == nil {
+		ring = trace.NewRing(8192)
+	}
 	inj.SetTracer(ring)
+	retries0 := msg.Retries()
 
 	var (
 		cacheMu sync.Mutex
@@ -79,7 +97,9 @@ func Chaos(cfg core.Config, opt ChaosOptions) (ChaosStats, error) {
 		return rc
 	}
 
-	cl := core.NewCluster(cfg)
+	cl := core.NewClusterIn(cfg, opt.Registry)
+	inj.RegisterObs(cl.Reg)
+	msg.RegisterObs(cl.Reg)
 	cl.WrapConns(
 		func(n int, conn msg.Server) msg.Server {
 			return msg.NewFaultyServer(conn, inj, newCache(),
@@ -97,6 +117,11 @@ func Chaos(cfg core.Config, opt ChaosOptions) (ChaosStats, error) {
 			stats.TortureStats = h.stats
 		}
 		stats.Faults = inj.Faults()
+		stats.Retries = msg.Retries() - retries0
+		stats.FaultsByKind = make(map[string]uint64)
+		for k, n := range inj.KindCounts() {
+			stats.FaultsByKind[k.String()] = n
+		}
 		// Per-stream fault sequences are deterministic but the global
 		// interleaving is not (callbacks run on goroutines); sorting
 		// yields a canonical fingerprint, and call numbers embedded in

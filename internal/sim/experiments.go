@@ -87,6 +87,7 @@ func E1Throughput(p Params) (*Table, error) {
 					return nil, fmt.Errorf("E1 %s/%s/%d: %w", kind, name, n, err)
 				}
 				row = append(row, fmt.Sprintf("%.0f", res.Throughput()))
+				t.AddRaw(RawRecord(res, nil))
 			}
 			t.Add(row...)
 		}
@@ -158,6 +159,7 @@ func E3CommitPath(p Params) (*Table, error) {
 				return nil, fmt.Errorf("E3 %s/%v: %w", name, lat, err)
 			}
 			row = append(row, res.CommitLat.Round(time.Microsecond).String())
+			t.AddRaw(RawRecord(res, map[string]any{"net_latency_ns": lat.Nanoseconds()}))
 		}
 		wd := w
 		wd.Diskless = true
@@ -166,6 +168,9 @@ func E3CommitPath(p Params) (*Table, error) {
 			return nil, fmt.Errorf("E3 diskless/%v: %w", lat, err)
 		}
 		row = append(row, res.CommitLat.Round(time.Microsecond).String())
+		t.AddRaw(RawRecord(res, map[string]any{
+			"net_latency_ns": lat.Nanoseconds(), "diskless": true,
+		}))
 		t.Add(row...)
 	}
 	return t, nil

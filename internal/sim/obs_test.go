@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"clientlog/internal/core"
+)
+
+// TestRegistryAgreesWithStats is the acceptance check for the metrics
+// façade: the msg_* series in the cluster registry and the legacy
+// msg.Stats accessors are two views of the same counters, and the
+// client_commits_total family matches the engines' commit counters.
+func TestRegistryAgreesWithStats(t *testing.T) {
+	cfg := core.DefaultConfig()
+	w := DefaultWorkload(HotCold)
+	cl := core.NewCluster(cfg)
+	ids, err := cl.SeedPages(w.Pages, w.ObjsPerPage, w.ObjSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var clients []*core.Client
+	for i := 0; i < 3; i++ {
+		c, err := cl.AddClient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+	}
+	for i, c := range clients {
+		gen := NewGen(w, i, len(clients), ids, 7)
+		for n := 0; n < 20; n++ {
+			if err := RunOne(c, gen); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	snap := cl.Reg.Snapshot()
+	if got, want := snap.Total("msg_messages_total"), cl.Stats.Messages(); got != want {
+		t.Fatalf("registry msg_messages_total = %d, Stats.Messages() = %d", got, want)
+	}
+	if got, want := snap.Total("msg_bytes_total"), cl.Stats.Bytes(); got != want {
+		t.Fatalf("registry msg_bytes_total = %d, Stats.Bytes() = %d", got, want)
+	}
+	var commits uint64
+	for _, c := range clients {
+		commits += c.Metrics.Commits.Load()
+	}
+	if commits == 0 {
+		t.Fatal("workload committed nothing")
+	}
+	if got := snap.Total("client_commits_total"); got != commits {
+		t.Fatalf("registry client_commits_total = %d, engines say %d", got, commits)
+	}
+	if hv := snap.Hist("client_commit_nanos"); hv.Count != commits {
+		t.Fatalf("commit latency histogram count = %d, want %d", hv.Count, commits)
+	}
+
+	// The registry's Prometheus rendering carries the same numbers.
+	var sb strings.Builder
+	if err := cl.Reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, family := range []string{"msg_messages_total", "client_commits_total", "wal_appends_total", "lock_grants_total"} {
+		if !strings.Contains(sb.String(), family) {
+			t.Fatalf("/metrics output missing %s family", family)
+		}
+	}
+}
+
+// TestRegistrySurvivesRestart checks the monotone-across-restart
+// contract end to end: after a client crash+restart the registry series
+// keeps the pre-crash counts while the fresh engine starts from zero.
+func TestRegistrySurvivesRestart(t *testing.T) {
+	cfg := core.DefaultConfig()
+	w := DefaultWorkload(Uniform)
+	cl := core.NewCluster(cfg)
+	ids, err := cl.SeedPages(w.Pages, w.ObjsPerPage, w.ObjSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cl.AddClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := NewGen(w, 0, 1, ids, 3)
+	for n := 0; n < 10; n++ {
+		if err := RunOne(c, gen); err != nil {
+			t.Fatal(err)
+		}
+	}
+	before := cl.Reg.Snapshot().Total("client_commits_total")
+	if before == 0 {
+		t.Fatal("no commits before crash")
+	}
+
+	cl.CrashClient(c.ID())
+	c2, err := cl.RestartClient(c.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Metrics.Commits.Load(); got != 0 {
+		t.Fatalf("fresh engine commits = %d, want 0", got)
+	}
+	gen2 := NewGen(w, 0, 1, ids, 4)
+	for n := 0; n < 5; n++ {
+		if err := RunOne(c2, gen2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := cl.Reg.Snapshot().Total("client_commits_total")
+	want := before + c2.Metrics.Commits.Load()
+	if after != want {
+		t.Fatalf("post-restart series = %d, want %d (pre-crash %d + new engine %d)",
+			after, want, before, c2.Metrics.Commits.Load())
+	}
+}

@@ -9,6 +9,7 @@ import (
 
 	"clientlog/internal/core"
 	"clientlog/internal/lock"
+	"clientlog/internal/obs"
 )
 
 // Result aggregates everything an experiment reports.
@@ -22,6 +23,12 @@ type Result struct {
 	Msgs      uint64
 	Bytes     uint64
 	CommitLat time.Duration // mean commit-call latency
+
+	// Commit-latency quantiles from the engines' obs histograms
+	// (log₂-bucketed, so values are order-of-magnitude accurate).
+	LatP50 time.Duration
+	LatP95 time.Duration
+	LatP99 time.Duration
 
 	ServerLogBytes uint64
 	ClientLogBytes uint64 // sum over clients
@@ -62,20 +69,7 @@ func (r Result) BytesPerCommit() float64 {
 }
 
 // SchemeName labels a configuration for the tables.
-func SchemeName(cfg core.Config) string {
-	switch {
-	case cfg.Update == core.UpdateToken:
-		return "token"
-	case cfg.Granularity == core.GranPage:
-		return "page-lock"
-	case cfg.Logging == core.LogShipCommit:
-		return "ship-log"
-	case cfg.Logging == core.LogShipPages:
-		return "ship-pages"
-	default:
-		return "paper"
-	}
-}
+func SchemeName(cfg core.Config) string { return cfg.SchemeName() }
 
 // Run executes the workload: nClients clients each run txns
 // transactions, retrying deadlock/timeout victims (retries count as
@@ -171,6 +165,7 @@ func RunFor(cfg core.Config, w Workload, nClients, txns int, seed int64, maxWall
 	res.TokenMoves = srv.Metrics.TokenTransfers.Load()
 	res.Callbacks = srv.Metrics.CallbacksSent.Load()
 	res.Deescalations = srv.Metrics.Deescalations.Load()
+	var lat obs.HistView
 	for _, c := range clients {
 		res.Commits += c.Metrics.Commits.Load()
 		res.Aborts += c.Metrics.Aborts.Load()
@@ -179,10 +174,16 @@ func RunFor(cfg core.Config, w Workload, nClients, txns int, seed int64, maxWall
 		res.LogFullEvents += c.Metrics.LogFullEvents.Load()
 		res.PagesShipped += c.Metrics.PagesShipped.Load()
 		res.PagesFetched += c.Metrics.PagesFetched.Load()
+		lat = lat.Merge(c.Metrics.CommitNanos.View())
 	}
 	res.Aborts += aborts.Load()
 	if res.Commits > 0 {
 		res.CommitLat = time.Duration(commitNanos.Load() / int64(res.Commits))
+	}
+	if lat.Count > 0 {
+		res.LatP50 = time.Duration(lat.Quantile(0.50))
+		res.LatP95 = time.Duration(lat.Quantile(0.95))
+		res.LatP99 = time.Duration(lat.Quantile(0.99))
 	}
 	return res, nil
 }

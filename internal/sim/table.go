@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"strings"
@@ -14,6 +15,50 @@ type Table struct {
 	Columns []string
 	Rows    [][]string
 	Notes   string
+	// Raw holds one machine-readable record per sweep point (a superset
+	// of the printed cells); cmd/bench -json writes it out.
+	Raw []map[string]any `json:"Raw,omitempty"`
+}
+
+// AddRaw appends one machine-readable record to Raw.
+func (t *Table) AddRaw(rec map[string]any) { t.Raw = append(t.Raw, rec) }
+
+// RawRecord builds the standard machine-readable record for one sweep
+// point: scheme, sweep coordinates, throughput, message/byte costs and
+// the latency quantiles.
+func RawRecord(r Result, extra map[string]any) map[string]any {
+	rec := map[string]any{
+		"scheme":           r.Scheme,
+		"workload":         r.Workload,
+		"clients":          r.Clients,
+		"commits":          r.Commits,
+		"aborts":           r.Aborts,
+		"elapsed_sec":      r.Elapsed.Seconds(),
+		"ops_per_sec":      r.Throughput(),
+		"msgs_per_commit":  r.MsgsPerCommit(),
+		"bytes_per_commit": r.BytesPerCommit(),
+		"commit_lat_ns":    r.CommitLat.Nanoseconds(),
+		"lat_p50_ns":       r.LatP50.Nanoseconds(),
+		"lat_p95_ns":       r.LatP95.Nanoseconds(),
+		"lat_p99_ns":       r.LatP99.Nanoseconds(),
+	}
+	for k, v := range extra {
+		rec[k] = v
+	}
+	return rec
+}
+
+// WriteJSON writes the table's metadata and raw records as indented
+// JSON (the BENCH_<ID>.json artifact).
+func (t *Table) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		ID      string           `json:"id"`
+		Title   string           `json:"title"`
+		Notes   string           `json:"notes,omitempty"`
+		Results []map[string]any `json:"results"`
+	}{ID: t.ID, Title: t.Title, Notes: t.Notes, Results: t.Raw})
 }
 
 // Add appends a row, formatting each cell with %v.

@@ -2,7 +2,8 @@ package wal
 
 import (
 	"sync"
-	"sync/atomic"
+
+	"clientlog/internal/obs"
 )
 
 // Log is a log manager: a record codec and WAL bookkeeping layered over
@@ -12,10 +13,23 @@ type Log struct {
 	mu    sync.Mutex
 	store Store
 
-	// Metrics, readable concurrently by the benchmark harness.
-	appendedBytes atomic.Uint64
-	appendedRecs  atomic.Uint64
-	forces        atomic.Uint64
+	// Metrics, readable concurrently by the benchmark harness and
+	// bindable into an obs.Registry via RegisterObs.
+	appendedBytes obs.Counter
+	appendedRecs  obs.Counter
+	forces        obs.Counter
+}
+
+// RegisterObs binds the log's counters into reg as the wal_* families,
+// tagged with the caller's tags (typically scope=server or
+// scope=client:<id>).
+func (l *Log) RegisterObs(reg *obs.Registry, tags ...obs.Tag) {
+	if reg == nil {
+		return
+	}
+	reg.BindCounter(&l.appendedRecs, "wal_appends_total", tags...)
+	reg.BindCounter(&l.appendedBytes, "wal_bytes_total", tags...)
+	reg.BindCounter(&l.forces, "wal_forces_total", tags...)
 }
 
 // NewLog wraps a store in a log manager.

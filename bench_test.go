@@ -13,6 +13,7 @@ import (
 	"clientlog/internal/core"
 	"clientlog/internal/ident"
 	"clientlog/internal/lock"
+	"clientlog/internal/obs/span"
 	"clientlog/internal/page"
 	"clientlog/internal/sim"
 	"clientlog/internal/wal"
@@ -255,6 +256,46 @@ func BenchmarkCommitPath(b *testing.B) {
 		if err := txn.Commit(); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTracingOverhead measures what span tracing adds to the
+// zero-message commit path — the path most sensitive to per-operation
+// overhead, since it does no network work to hide behind.  "off" is
+// the default (no store), "sampled" the live default of 1-in-64 head
+// sampling, "every" the worst case of retaining every trace.
+func BenchmarkTracingOverhead(b *testing.B) {
+	for _, mode := range []struct {
+		name  string
+		every int
+	}{{"off", 0}, {"sampled", 64}, {"every", 1}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			if mode.every > 0 {
+				cfg.Spans = span.NewStore(span.Options{SampleEvery: mode.every})
+			}
+			cl := core.NewCluster(cfg)
+			ids, err := cl.SeedPages(1, 8, 32)
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := cl.AddClient()
+			if err != nil {
+				b.Fatal(err)
+			}
+			obj := page.ObjectID{Page: ids[0], Slot: 0}
+			buf := make([]byte, 32)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				txn, _ := c.Begin()
+				if err := txn.Overwrite(obj, buf); err != nil {
+					b.Fatal(err)
+				}
+				if err := txn.Commit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -14,13 +14,17 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"clientlog/internal/core"
 	"clientlog/internal/fault"
+	"clientlog/internal/lock"
 	"clientlog/internal/obs"
+	"clientlog/internal/obs/span"
 	"clientlog/internal/sim"
 	"clientlog/internal/trace"
 )
@@ -94,8 +98,27 @@ func main() {
 	// (and the final snapshot) cover the whole run.
 	reg := obs.NewRegistry()
 	ring := trace.NewRing(8192)
+	// The span store is per seed (transaction ids restart with each
+	// cluster) and the waits-for graph dies with each cluster, so the
+	// admin handlers delegate to whatever the loop last installed:
+	// /trace/* serves the seed currently running, /waitsfor the graph
+	// captured when the previous seed finished.
+	var curSpans atomic.Pointer[span.Store]
+	var lastWF atomic.Pointer[lock.WaitsForSnapshot]
+	lastWF.Store(&lock.WaitsForSnapshot{})
 	if *admin != "" {
-		srv, err := obs.StartAdmin(*admin, obs.AdminOptions{Registry: reg, Events: ring})
+		srv, err := obs.StartAdmin(*admin, obs.AdminOptions{
+			Registry: reg,
+			Events:   ring,
+			Handlers: map[string]http.Handler{
+				"/trace/": http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+					curSpans.Load().TraceHandler().ServeHTTP(w, r)
+				}),
+				"/waitsfor": span.WaitsForHandler(func() lock.WaitsForSnapshot {
+					return *lastWF.Load()
+				}),
+			},
+		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -116,7 +139,12 @@ func main() {
 		opt.Plan = plan
 		opt.Registry = reg
 		opt.Ring = ring
+		// Fresh span store per seed: transaction ids restart with each
+		// cluster, so sharing one store would collide traces across seeds.
+		opt.Spans = span.NewStore(span.Options{SampleEvery: 8})
+		curSpans.Store(opt.Spans)
 		stats, err := sim.Chaos(core.DefaultConfig(), opt)
+		lastWF.Store(&stats.WaitsFor)
 		totFaults += stats.Faults
 		totSuppressed += stats.Suppressed
 		totCommits += stats.Commits
@@ -127,6 +155,14 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "FAIL seed %d (%d faults injected): %v\n", seed, stats.Faults, err)
+			fmt.Fprintf(os.Stderr, "waits-for at failure:\n%s", span.Summary(stats.WaitsFor))
+			if len(stats.SlowestTraces) > 0 {
+				fmt.Fprintf(os.Stderr, "slowest traced txns (inspect via /trace/<txnid>):")
+				for _, id := range stats.SlowestTraces {
+					fmt.Fprintf(os.Stderr, " %v", id)
+				}
+				fmt.Fprintln(os.Stderr)
+			}
 			printSnapshot(reg.Snapshot(), faultsByKind, totRetries)
 			os.Exit(1)
 		}

@@ -20,6 +20,7 @@ import (
 	"clientlog/internal/ident"
 	"clientlog/internal/msg"
 	"clientlog/internal/netrpc"
+	"clientlog/internal/obs/span"
 	"clientlog/internal/repl"
 	"clientlog/internal/wal"
 )
@@ -39,6 +40,11 @@ func main() {
 	defer tr.Close()
 
 	cfg := core.DefaultConfig()
+	// Trace every interactive transaction: the sampled context travels
+	// on each RPC, so the server's /trace/<txnid> admin endpoint can
+	// attribute its side of the work (GLM waits, callbacks) to the
+	// transactions typed here.  Interactive rates make sampling moot.
+	cfg.Spans = span.NewStore(span.Options{SampleEvery: 1})
 	client, err := connect(cfg, tr, *logPath, ident.ClientID(*id), *diskless)
 	if err != nil {
 		log.Fatal(err)

@@ -5,7 +5,9 @@
 //
 // With -admin the server also exposes a live observability endpoint:
 // /metrics (Prometheus text), /events (protocol trace tail as JSON
-// lines), /healthz and /debug/pprof.
+// lines), /trace/<txnid> and /trace/slowest (causal span trees of
+// sampled transactions), /waitsfor (live GLM wait graph, JSON or
+// ?format=dot), /healthz and /debug/pprof.
 //
 // Clients connect with cmd/clcli.
 package main
@@ -15,6 +17,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -23,6 +26,7 @@ import (
 	"clientlog/internal/core"
 	"clientlog/internal/netrpc"
 	"clientlog/internal/obs"
+	"clientlog/internal/obs/span"
 	"clientlog/internal/storage"
 	"clientlog/internal/trace"
 	"clientlog/internal/wal"
@@ -66,6 +70,8 @@ func main() {
 
 	cfg := core.DefaultConfig()
 	cfg.PageSize = *pageSize
+	spans := span.NewDefaultStore()
+	cfg.Spans = spans
 	engine := core.NewServer(cfg, store, slog)
 	engine.HostRemoteLogs(core.NewRemoteLogHost(0))
 
@@ -75,10 +81,15 @@ func main() {
 		engine.SetTracer(ring)
 		engine.RegisterObs(reg)
 		netrpc.RegisterObs(reg)
+		spans.RegisterObs(reg)
 		adm, err := obs.StartAdmin(*admin, obs.AdminOptions{
 			Registry: reg,
 			Events:   ring,
 			Health:   engine.CheckInvariants,
+			Handlers: map[string]http.Handler{
+				"/trace/":   spans.TraceHandler(),
+				"/waitsfor": span.WaitsForHandler(engine.GLM().WaitsFor),
+			},
 		})
 		if err != nil {
 			log.Fatalf("admin: %v", err)

@@ -10,6 +10,7 @@ import (
 	"clientlog/internal/lock"
 	"clientlog/internal/msg"
 	"clientlog/internal/obs"
+	"clientlog/internal/obs/span"
 	"clientlog/internal/page"
 	"clientlog/internal/wal"
 )
@@ -56,6 +57,9 @@ type txnState struct {
 	// baselines; dirtyPages the pages to ship in LogShipPages mode.
 	buffered   [][]byte
 	dirtyPages map[page.ID]bool
+	// tr is the transaction's causal span recorder (nil when tracing
+	// is off; every method on it tolerates nil).
+	tr *span.TxnTrace
 }
 
 // Client is a client engine: it runs transactions entirely locally with
@@ -190,7 +194,10 @@ func (c *Client) acquire(t *txnState, name lock.Name, mode lock.Mode) error {
 			}
 			c.mu.Unlock()
 		}
+		sp := t.tr.Start(span.CatLockWait, name.String())
+		req.Trace = t.tr.Context(sp)
 		reply, err := c.srv.Lock(req)
+		t.tr.End(sp)
 		if err != nil {
 			return err
 		}
@@ -207,7 +214,7 @@ func (c *Client) acquire(t *txnState, name lock.Name, mode lock.Mode) error {
 		// Coherence: a cached copy of the page may be stale for objects
 		// this client held no lock on; merge in the server's copy.
 		if c.pool.Contains(name.Page) {
-			if err := c.refreshPage(name.Page); err != nil {
+			if err := c.refreshPage(t.tr, name.Page); err != nil {
 				return err
 			}
 		}
@@ -227,8 +234,10 @@ func (c *Client) noteExclusive(pid page.ID) {
 
 // refreshPage fetches the server's current copy and merges it into the
 // cached one (§2 client merge procedure).
-func (c *Client) refreshPage(pid page.ID) error {
-	reply, err := c.srv.Fetch(msg.FetchReq{Client: c.id, Page: pid})
+func (c *Client) refreshPage(tr *span.TxnTrace, pid page.ID) error {
+	sp := tr.Start(span.CatFetch, "refresh")
+	reply, err := c.srv.Fetch(msg.FetchReq{Client: c.id, Page: pid, Trace: tr.Context(sp)})
+	tr.End(sp)
 	if err != nil {
 		return err
 	}
@@ -251,8 +260,9 @@ func (c *Client) refreshPage(pid page.ID) error {
 }
 
 // withPage runs fn on the cached page under the client mutex, fetching
-// the page from the server first if needed.
-func (c *Client) withPage(pid page.ID, fn func(p *page.Page) error) error {
+// the page from the server first if needed.  tr attributes the fetch
+// to the calling transaction's trace (nil outside transactions).
+func (c *Client) withPage(tr *span.TxnTrace, pid page.ID, fn func(p *page.Page) error) error {
 	for {
 		c.mu.Lock()
 		if c.crashed {
@@ -267,15 +277,17 @@ func (c *Client) withPage(pid page.ID, fn func(p *page.Page) error) error {
 			return err
 		}
 		c.mu.Unlock()
-		if err := c.fetchPage(pid); err != nil {
+		if err := c.fetchPage(tr, pid); err != nil {
 			return err
 		}
 	}
 }
 
 // fetchPage pulls a page from the server into the cache.
-func (c *Client) fetchPage(pid page.ID) error {
-	reply, err := c.srv.Fetch(msg.FetchReq{Client: c.id, Page: pid})
+func (c *Client) fetchPage(tr *span.TxnTrace, pid page.ID) error {
+	sp := tr.Start(span.CatFetch, "fetch")
+	reply, err := c.srv.Fetch(msg.FetchReq{Client: c.id, Page: pid, Trace: tr.Context(sp)})
+	tr.End(sp)
 	if err != nil {
 		return err
 	}
@@ -485,14 +497,16 @@ func (c *Client) reclaimLocked() {
 
 // ensureToken acquires the page's update token (update-privilege
 // baseline); the freshest copy of the page travels with it.
-func (c *Client) ensureToken(pid page.ID) error {
+func (c *Client) ensureToken(tr *span.TxnTrace, pid page.ID) error {
 	c.mu.Lock()
 	owned := c.tokens[pid]
 	c.mu.Unlock()
 	if owned {
 		return nil
 	}
-	reply, err := c.srv.Token(msg.TokenReq{Client: c.id, Page: pid})
+	sp := tr.Start(span.CatLockWait, "token")
+	reply, err := c.srv.Token(msg.TokenReq{Client: c.id, Page: pid, Trace: tr.Context(sp)})
+	tr.End(sp)
 	if err != nil {
 		return err
 	}

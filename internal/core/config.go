@@ -21,6 +21,8 @@ package core
 
 import (
 	"time"
+
+	"clientlog/internal/obs/span"
 )
 
 // Granularity selects the locking granularity.
@@ -128,6 +130,12 @@ type Config struct {
 	// (pages are forced only on pool pressure or explicit §3.6
 	// requests).
 	ServerDirtyLimit int
+	// Spans, when non-nil, enables per-transaction causal tracing:
+	// clients open a span tree per transaction, propagate the trace
+	// context on their RPCs, and the server stages its side of the work
+	// (GLM waits, callback round trips) into the same store.  nil (the
+	// default) disables tracing entirely.
+	Spans *span.Store
 }
 
 // SchemeName labels the configuration's locking/logging/update scheme

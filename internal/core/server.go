@@ -10,6 +10,7 @@ import (
 	"clientlog/internal/lock"
 	"clientlog/internal/msg"
 	"clientlog/internal/obs"
+	"clientlog/internal/obs/span"
 	"clientlog/internal/page"
 	"clientlog/internal/storage"
 	"clientlog/internal/trace"
@@ -94,6 +95,14 @@ type Server struct {
 
 	Metrics ServerMetrics
 	tracer  trace.Recorder
+	// spans stages the server's side of sampled transactions (GLM queue
+	// waits, callback round trips, commit processing); nil disables it.
+	spans *span.Store
+	// lockTraces maps a client with a sampled Lock in flight to its GLM
+	// queue-wait span, so the callbacks that wait triggers can parent
+	// under it.  Best-effort: a client running concurrent transactions
+	// keeps only the newest entry.  Guarded by mu.
+	lockTraces map[ident.ClientID]span.Context
 }
 
 // SetTracer installs a protocol-event recorder (default: discard).
@@ -152,6 +161,8 @@ func NewServer(cfg Config, store storage.Store, logStore wal.Store) *Server {
 		complexPending: make(map[ident.ClientID]bool),
 		recovering:     make(map[dctKey]bool),
 		recovered:      make(map[dctKey]bool),
+		spans:          cfg.Spans,
+		lockTraces:     make(map[ident.ClientID]span.Context),
 	}
 	s.glm = lock.NewGLM(nil, cfg.LockTimeout)
 	s.glm.SetCallbacker(serverCallbacker{s})
@@ -221,6 +232,17 @@ func (s *Server) Lock(req msg.LockReq) (msg.LockReply, error) {
 	if !req.Upgrade {
 		s.waitInflightClear(req.Client, req.Name)
 	}
+	sp := s.spans.ServerStart(req.Trace, span.CatGLMQueue, req.Name.String())
+	if ctx := sp.Context(); ctx.Sampled {
+		s.mu.Lock()
+		s.lockTraces[req.Client] = ctx
+		s.mu.Unlock()
+		defer func() {
+			s.mu.Lock()
+			delete(s.lockTraces, req.Client)
+			s.mu.Unlock()
+		}()
+	}
 	grant, err := s.glm.Acquire(lock.Request{
 		Client:     req.Client,
 		Name:       req.Name,
@@ -228,6 +250,7 @@ func (s *Server) Lock(req msg.LockReq) (msg.LockReply, error) {
 		PreferPage: req.PreferPage,
 		Upgrade:    req.Upgrade,
 	})
+	sp.End()
 	if err != nil {
 		return msg.LockReply{}, err
 	}
@@ -578,6 +601,8 @@ func (s *Server) Free(req msg.FreeReq) error {
 // baselines): the shipped log records are appended to the server log
 // and forced; shipped pages are merged.
 func (s *Server) CommitShip(req msg.CommitShipReq) error {
+	sp := s.spans.ServerStart(req.Trace, span.CatCommitProc, "")
+	defer sp.End()
 	for _, raw := range req.Records {
 		if _, err := s.slog.AppendEncoded(raw); err != nil {
 			return err
@@ -911,7 +936,12 @@ func (s *Server) runObjectCallback(holder, requester ident.ClientID, obj lock.Na
 	}
 	s.Metrics.CallbacksSent.Add(1)
 	s.tracer.Record(trace.CallbackSent, holder, obj.Page, fmt.Sprintf("obj=%v wanted=%v for=%v", obj, wanted, requester))
+	s.mu.Lock()
+	ctx := s.lockTraces[requester]
+	s.mu.Unlock()
+	sp := s.spans.ServerStart(ctx, span.CatCallback, obj.String())
 	reply, err := conn.CallbackObject(msg.CallbackReq{Requester: requester, Object: obj, Wanted: wanted})
+	sp.End()
 	if err != nil {
 		return // holder crashed mid-callback; §3.3 handling takes over
 	}
@@ -967,7 +997,12 @@ func (s *Server) runDeescalation(holder, requester ident.ClientID, pg page.ID, w
 	}
 	s.Metrics.Deescalations.Add(1)
 	s.tracer.Record(trace.DeescSent, holder, pg, fmt.Sprintf("wanted=%v for=%v", wanted, requester))
+	s.mu.Lock()
+	ctx := s.lockTraces[requester]
+	s.mu.Unlock()
+	sp := s.spans.ServerStart(ctx, span.CatDeesc, lock.PageName(pg).String())
 	reply, err := conn.DeescalatePage(msg.DeescReq{Requester: requester, Page: pg, Wanted: wanted})
+	sp.End()
 	if err != nil {
 		return
 	}

@@ -9,6 +9,7 @@ import (
 	"clientlog/internal/ident"
 	"clientlog/internal/lock"
 	"clientlog/internal/msg"
+	"clientlog/internal/obs/span"
 	"clientlog/internal/page"
 	"clientlog/internal/wal"
 )
@@ -38,6 +39,7 @@ func (c *Client) Begin() (*Txn, error) {
 	c.mu.Lock()
 	c.nextSeq++
 	st := &txnState{id: ident.MakeTxnID(c.id, c.nextSeq), dirtyPages: make(map[page.ID]bool)}
+	st.tr = c.cfg.Spans.Begin(st.id)
 	c.txns[st.id] = st
 	c.mu.Unlock()
 	return &Txn{c: c, st: st}, nil
@@ -62,7 +64,7 @@ func (t *Txn) Read(obj page.ObjectID) ([]byte, error) {
 		return nil, err
 	}
 	var out []byte
-	err := t.c.withPage(obj.Page, func(p *page.Page) error {
+	err := t.c.withPage(t.st.tr, obj.Page, func(p *page.Page) error {
 		data, ok := p.Read(obj.Slot)
 		if !ok {
 			return page.ErrBadSlot
@@ -111,12 +113,12 @@ func (t *Txn) mutate(name lock.Name, fn func(p *page.Page) error) error {
 	}
 	for {
 		if t.c.cfg.Update == UpdateToken {
-			if err := t.c.ensureToken(name.Page); err != nil {
+			if err := t.c.ensureToken(t.st.tr, name.Page); err != nil {
 				return err
 			}
 		}
 		retry := false
-		err := t.c.withPage(name.Page, func(p *page.Page) error {
+		err := t.c.withPage(t.st.tr, name.Page, func(p *page.Page) error {
 			if t.c.cfg.Update == UpdateToken && !t.c.tokens[name.Page] {
 				retry = true // token recalled between ensureToken and here
 				return nil
@@ -334,7 +336,11 @@ func (t *Txn) Commit() error {
 			}
 			c.mu.Unlock()
 		}
-		if err := c.srv.CommitShip(req); err != nil {
+		sp := t.st.tr.Start(span.CatCommitShip, "")
+		req.Trace = t.st.tr.Context(sp)
+		err := c.srv.CommitShip(req)
+		t.st.tr.End(sp)
+		if err != nil {
 			return err
 		}
 	}
@@ -345,11 +351,15 @@ func (t *Txn) Commit() error {
 		return err
 	}
 	if c.cfg.Logging == LogLocal {
-		if err := c.log.Force(lsn); err != nil {
+		sp := t.st.tr.Start(span.CatWALForce, "")
+		err := c.log.Force(lsn)
+		t.st.tr.End(sp)
+		if err != nil {
 			return err
 		}
 	}
 	t.finish()
+	t.st.tr.Finish(true)
 	c.Metrics.Commits.Add(1)
 	c.mu.Lock()
 	c.commitsCk++
@@ -383,6 +393,7 @@ func (t *Txn) Abort() error {
 		return err
 	}
 	t.finish()
+	t.st.tr.Finish(false)
 	c.Metrics.Aborts.Add(1)
 	return nil
 }
@@ -433,7 +444,7 @@ func (c *Client) undoChain(st *txnState, upTo wal.LSN) error {
 // undoUpdate applies the inverse of one physical update as a fresh
 // update and logs a CLR describing the compensation.
 func (c *Client) undoUpdate(st *txnState, r *wal.Update) error {
-	return c.withPage(r.Page, func(p *page.Page) error {
+	return c.withPage(st.tr, r.Page, func(p *page.Page) error {
 		var (
 			before page.PSN
 			err    error
@@ -475,7 +486,7 @@ func (c *Client) undoUpdate(st *txnState, r *wal.Update) error {
 // undoLogical subtracts the delta of a logical record and logs a
 // logical CLR.
 func (c *Client) undoLogical(st *txnState, r *wal.Logical) error {
-	return c.withPage(r.Page, func(p *page.Page) error {
+	return c.withPage(st.tr, r.Page, func(p *page.Page) error {
 		cur, ok := p.Read(r.Slot)
 		if !ok || len(cur) != 8 {
 			return ErrNotCounter

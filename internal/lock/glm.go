@@ -119,6 +119,10 @@ type GLM struct {
 	ticket  uint64
 	stopped bool
 
+	// victims is a bounded ring of recent deadlock victims (newest
+	// last), served by WaitsFor for post-mortem introspection.
+	victims []DeadlockVictim
+
 	cb      Callbacker
 	timeout time.Duration
 
@@ -133,6 +137,7 @@ type waitingReq struct {
 	client ident.ClientID
 	name   Name
 	mode   Mode
+	since  time.Time // when the Acquire arrived, for wait-age reporting
 }
 
 // overlaps reports whether two lock names can conflict: same name, or
@@ -312,7 +317,7 @@ func (g *GLM) Acquire(req Request) (Grant, error) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.ticket++
-	wr := &waitingReq{ticket: g.ticket, client: req.Client, name: req.Name, mode: req.Mode}
+	wr := &waitingReq{ticket: g.ticket, client: req.Client, name: req.Name, mode: req.Mode, since: start}
 	registered := false
 	defer func() {
 		if registered {
@@ -371,9 +376,10 @@ func (g *GLM) Acquire(req Request) (Grant, error) {
 		}
 		// Record the wait and check for deadlock before sleeping.
 		g.setWait(req.Client, blockers)
-		if g.cycleFrom(req.Client) {
+		if cycle, ok := g.cyclePath(req.Client); ok {
 			g.clearWait(req.Client)
 			g.Metrics.Deadlocks.Inc()
+			g.recordVictim(req, cycle)
 			return Grant{}, ErrDeadlock
 		}
 		ch := make(chan struct{})
@@ -473,15 +479,18 @@ func (g *GLM) clearWait(c ident.ClientID) {
 	delete(g.waits, c)
 }
 
-// cycleFrom reports whether the waits-for graph contains a cycle
-// reachable from c.  The graph is client-level and therefore
+// cyclePath reports whether the waits-for graph contains a cycle
+// reachable from c, returning the path c → … → c's blocker-of-blocker
+// that closes it.  The graph is client-level and therefore
 // conservative: two independent transactions on the same client are
 // merged into one node, so a detected "deadlock" is occasionally a
 // false positive; the victim simply retries.  Called with g.mu held.
-func (g *GLM) cycleFrom(c ident.ClientID) bool {
+func (g *GLM) cyclePath(c ident.ClientID) ([]ident.ClientID, bool) {
 	seen := make(map[ident.ClientID]bool)
+	var path []ident.ClientID
 	var dfs func(n ident.ClientID) bool
 	dfs = func(n ident.ClientID) bool {
+		path = append(path, n)
 		for b := range g.waits[n] {
 			if b == c {
 				return true
@@ -493,9 +502,13 @@ func (g *GLM) cycleFrom(c ident.ClientID) bool {
 				}
 			}
 		}
+		path = path[:len(path)-1]
 		return false
 	}
-	return dfs(c)
+	if dfs(c) {
+		return append([]ident.ClientID(nil), path...), true
+	}
+	return nil, false
 }
 
 // Release removes a client's lock on name.

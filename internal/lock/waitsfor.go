@@ -1,0 +1,99 @@
+package lock
+
+import (
+	"sort"
+	"time"
+
+	"clientlog/internal/ident"
+)
+
+// maxVictims bounds the deadlock-victim history ring.
+const maxVictims = 64
+
+// WaiterInfo describes one currently blocked Acquire.
+type WaiterInfo struct {
+	Client ident.ClientID
+	Name   Name
+	Mode   Mode
+	// Age is how long the request has been blocked.
+	Age time.Duration
+}
+
+// WaitEdge is one live edge of the client-level waits-for graph:
+// Waiter cannot proceed until Blocker releases (or downgrades).
+type WaitEdge struct {
+	Waiter  ident.ClientID
+	Blocker ident.ClientID
+}
+
+// DeadlockVictim records one Acquire aborted with ErrDeadlock.
+type DeadlockVictim struct {
+	Client ident.ClientID
+	Name   Name
+	Mode   Mode
+	At     time.Time
+	// Cycle is the waits-for path that closed the cycle, starting at
+	// the victim.
+	Cycle []ident.ClientID
+}
+
+// WaitsForSnapshot is a consistent point-in-time view of the GLM's
+// lock-wait state: who is blocked on what, the waits-for edges between
+// clients, and the recent deadlock victims (newest last).
+type WaitsForSnapshot struct {
+	Waiters []WaiterInfo
+	Edges   []WaitEdge
+	Victims []DeadlockVictim
+}
+
+// recordVictim appends to the bounded victim history.  Called with
+// g.mu held.
+func (g *GLM) recordVictim(req Request, cycle []ident.ClientID) {
+	g.victims = append(g.victims, DeadlockVictim{
+		Client: req.Client,
+		Name:   req.Name,
+		Mode:   req.Mode,
+		At:     time.Now(),
+		Cycle:  cycle,
+	})
+	if len(g.victims) > maxVictims {
+		g.victims = g.victims[len(g.victims)-maxVictims:]
+	}
+}
+
+// WaitsFor snapshots the live lock-wait state for introspection
+// (the /waitsfor admin endpoint and the chaos failure report).  Output
+// is deterministically ordered.
+func (g *GLM) WaitsFor() WaitsForSnapshot {
+	now := time.Now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	var snap WaitsForSnapshot
+	for wr := range g.waiting {
+		snap.Waiters = append(snap.Waiters, WaiterInfo{
+			Client: wr.client,
+			Name:   wr.name,
+			Mode:   wr.mode,
+			Age:    now.Sub(wr.since),
+		})
+	}
+	sort.Slice(snap.Waiters, func(i, j int) bool {
+		if snap.Waiters[i].Age != snap.Waiters[j].Age {
+			return snap.Waiters[i].Age > snap.Waiters[j].Age
+		}
+		return snap.Waiters[i].Client < snap.Waiters[j].Client
+	})
+	for w, blockers := range g.waits {
+		for b := range blockers {
+			snap.Edges = append(snap.Edges, WaitEdge{Waiter: w, Blocker: b})
+		}
+	}
+	sort.Slice(snap.Edges, func(i, j int) bool {
+		if snap.Edges[i].Waiter != snap.Edges[j].Waiter {
+			return snap.Edges[i].Waiter < snap.Edges[j].Waiter
+		}
+		return snap.Edges[i].Blocker < snap.Edges[j].Blocker
+	})
+	snap.Victims = append([]DeadlockVictim(nil), g.victims...)
+	return snap
+}

@@ -12,6 +12,7 @@ package msg
 import (
 	"clientlog/internal/ident"
 	"clientlog/internal/lock"
+	"clientlog/internal/obs/span"
 	"clientlog/internal/page"
 	"clientlog/internal/wal"
 )
@@ -74,7 +75,15 @@ type LockReq struct {
 	Upgrade   bool
 	HasCached bool
 	CachedPSN page.PSN
+	// Trace carries the requester's causal-tracing context so the
+	// server can attribute its GLM wait and callback round trips to the
+	// originating transaction.  Zero (the common case) costs nothing on
+	// the wire.
+	Trace span.Context
 }
+
+// TraceContext exposes the request's trace context to the transports.
+func (r LockReq) TraceContext() span.Context { return r.Trace }
 
 // CallbackOrigin reports, for an exclusive-lock grant that required a
 // callback, which client responded and the PSN the page had when the
@@ -124,7 +133,11 @@ type FetchReq struct {
 	Client   ident.ClientID
 	Page     page.ID
 	Recovery bool
+	Trace    span.Context
 }
+
+// TraceContext exposes the request's trace context to the transports.
+func (r FetchReq) TraceContext() span.Context { return r.Trace }
 
 // FetchReply carries the page image and the PSN stored in the DCT entry
 // for this client and page (NULL/zero when absent).
@@ -138,14 +151,22 @@ type ShipReq struct {
 	Client ident.ClientID
 	Reason ShipReason
 	Image  []byte
+	Trace  span.Context
 }
+
+// TraceContext exposes the request's trace context to the transports.
+func (r ShipReq) TraceContext() span.Context { return r.Trace }
 
 // ForceReq asks the server to force a page to disk; the client's log
 // space manager issues it when its private log fills up (§3.6).
 type ForceReq struct {
 	Client ident.ClientID
 	Page   page.ID
+	Trace  span.Context
 }
+
+// TraceContext exposes the request's trace context to the transports.
+func (r ForceReq) TraceContext() span.Context { return r.Trace }
 
 // ForceReply reports the PSN of the copy that reached disk (zero when
 // nothing was cached to force).  Flush acknowledgments carry the same
@@ -176,7 +197,11 @@ type CommitShipReq struct {
 	Txn     ident.TxnID
 	Records [][]byte // encoded wal records
 	Pages   [][]byte // page images (ShipPagesAtCommit mode)
+	Trace   span.Context
 }
+
+// TraceContext exposes the request's trace context to the transports.
+func (r CommitShipReq) TraceContext() span.Context { return r.Trace }
 
 // TokenReq requests the update token of a page (update-privilege
 // baseline, §3.1); the reply carries the page as last seen by the
@@ -184,7 +209,11 @@ type CommitShipReq struct {
 type TokenReq struct {
 	Client ident.ClientID
 	Page   page.ID
+	Trace  span.Context
 }
+
+// TraceContext exposes the request's trace context to the transports.
+func (r TokenReq) TraceContext() span.Context { return r.Trace }
 
 // TokenReply carries the current page image, which travels with the
 // token.

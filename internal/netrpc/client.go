@@ -132,7 +132,7 @@ func (t *Transport) getConn() (*rpcConn, error) {
 	rc := newRPCConn(c)
 	rc.setHandler(t.dispatch)
 	go rc.serve()
-	body, err := rc.call("hello", 0, helloBody{Token: t.token}, t.callTimeout)
+	body, err := rc.call("hello", 0, helloBody{Token: t.token, Version: ProtocolVersion}, t.callTimeout)
 	if err != nil {
 		rc.Close()
 		if isRemote(err) {

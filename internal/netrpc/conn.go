@@ -160,7 +160,11 @@ func (r *rpcConn) call(method string, seq uint64, body interface{}, timeout time
 	r.pending[id] = ch
 	r.mu.Unlock()
 
-	if err := r.send(envelope{ID: id, Seq: seq, Method: method, Body: body}); err != nil {
+	env := envelope{ID: id, Seq: seq, Method: method, Body: body}
+	if tc, ok := body.(traceCarrier); ok {
+		env.Trace = tc.TraceContext()
+	}
+	if err := r.send(env); err != nil {
 		r.mu.Lock()
 		delete(r.pending, id)
 		r.mu.Unlock()

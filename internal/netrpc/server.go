@@ -168,7 +168,7 @@ func (s *Server) handleHello(rc *rpcConn, body interface{}) (interface{}, error)
 	s.owners[rc] = sess
 	s.mu.Unlock()
 	rc.setHandler(sess.handle)
-	return helloReply{Token: sess.token}, nil
+	return helloReply{Token: sess.token, Version: ProtocolVersion}, nil
 }
 
 // session is the server side of one logical client, across however

@@ -35,9 +35,18 @@ import (
 	"clientlog/internal/lock"
 	"clientlog/internal/msg"
 	"clientlog/internal/obs"
+	"clientlog/internal/obs/span"
 	"clientlog/internal/page"
 	"clientlog/internal/wal"
 )
+
+// ProtocolVersion is the wire protocol revision announced in the hello
+// exchange.  Version 2 added the optional trace-context frame field
+// (envelope.Trace) and the Trace fields inside the msg request bodies.
+// The encoding is gob, which skips zero-valued and unknown fields, so
+// the versions interoperate both ways; the number exists so peers can
+// report what the other side speaks.
+const ProtocolVersion = 2
 
 // Metrics counts wire traffic and session lifecycle events across every
 // connection in the process.
@@ -93,6 +102,18 @@ type envelope struct {
 	Reply  bool
 	Err    string
 	Body   interface{}
+	// Trace is the optional causal-tracing context of the request
+	// (added in ProtocolVersion 2).  It mirrors the context inside the
+	// body so transport-level tooling can observe it without decoding
+	// bodies; zero (unsampled) costs no wire bytes under gob.
+	Trace span.Context
+}
+
+// traceCarrier is implemented by the msg request structs that carry a
+// trace context; the connection lifts it into the envelope's frame
+// field.
+type traceCarrier interface {
+	TraceContext() span.Context
 }
 
 // writeFrame encodes env with a fresh codec and writes one
@@ -165,9 +186,17 @@ type (
 	emptyBody   struct{}
 
 	// helloBody opens every connection: Token zero asks for a new
-	// session, nonzero resumes one within the grace window.
-	helloBody  struct{ Token uint64 }
-	helloReply struct{ Token uint64 }
+	// session, nonzero resumes one within the grace window.  Version
+	// announces the sender's ProtocolVersion (absent/zero from peers
+	// predating the field).
+	helloBody struct {
+		Token   uint64
+		Version uint32
+	}
+	helloReply struct {
+		Token   uint64
+		Version uint32
+	}
 )
 
 func init() {

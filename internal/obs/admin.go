@@ -24,17 +24,27 @@ type AdminOptions struct {
 	// Health is consulted by /healthz; a non-nil error turns the
 	// response into a 503 carrying the error text.
 	Health func() error
+	// Handlers mounts extra endpoints on the mux (pattern → handler),
+	// e.g. the span package's /trace/ and /waitsfor handlers.  Keeping
+	// them injectable avoids an import cycle: this package cannot import
+	// its own subpackages.
+	Handlers map[string]http.Handler
 }
 
 // AdminHandler builds the admin mux:
 //
 //	/metrics       Prometheus text exposition of the registry
 //	/events        filtered tail of the trace ring as JSON lines
-//	               (?kind=, ?client=, ?page=, ?n= query filters)
+//	               (?kind=, ?client=, ?page=, ?n=, ?since= filters)
 //	/healthz       200 "ok" or 503 with the health error
 //	/debug/pprof/  the standard runtime profiles
+//
+// plus whatever opt.Handlers mounts.
 func AdminHandler(opt AdminOptions) http.Handler {
 	mux := http.NewServeMux()
+	for pattern, h := range opt.Handlers {
+		mux.Handle(pattern, h)
+	}
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		if opt.Registry != nil {
@@ -46,7 +56,18 @@ func AdminHandler(opt AdminOptions) http.Handler {
 		if opt.Events == nil {
 			return
 		}
-		writeEvents(w, r, opt.Events.Snapshot())
+		var events []trace.Event
+		if s := r.URL.Query().Get("since"); s != "" {
+			since, err := strconv.ParseUint(s, 10, 64)
+			if err != nil {
+				http.Error(w, "bad since", http.StatusBadRequest)
+				return
+			}
+			events = opt.Events.SnapshotSince(since)
+		} else {
+			events = opt.Events.Snapshot()
+		}
+		writeEvents(w, r, events)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		if opt.Health != nil {
@@ -77,7 +98,10 @@ type eventJSON struct {
 // writeEvents streams the filtered ring tail as JSON lines.  Filters:
 // kind=<kind-string> keeps matching kinds, client=<id> and page=<id>
 // keep matching events, n=<count> keeps only the most recent count
-// after filtering.
+// after filtering.  since=<seq> (applied by the caller) keeps events
+// with Seq strictly above the cursor; sequence numbers are assigned
+// under the ring's lock, so paginating by the last Seq seen never
+// skips or duplicates events.
 func writeEvents(w http.ResponseWriter, r *http.Request, events []trace.Event) {
 	q := r.URL.Query()
 	kind := q.Get("kind")

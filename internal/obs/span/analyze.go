@@ -1,0 +1,181 @@
+package span
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"clientlog/internal/obs"
+)
+
+// Exclusive decomposes a trace's root interval into exclusive time per
+// category: every instant between begin and commit is attributed to the
+// deepest span covering it, so the per-category times always sum to
+// exactly the root duration (the acceptance property the sim test
+// checks).  Children are clamped into their parent's interval; where
+// siblings overlap (concurrent callback round trips), the earlier
+// sibling wins the overlap, which keeps the partition exact and
+// deterministic.
+func Exclusive(tr *Trace) (map[Category]int64, int64) {
+	ex := make(map[Category]int64, catCount)
+	if len(tr.Spans) == 0 {
+		return ex, 0
+	}
+	kids := make(map[uint64][]Span, len(tr.Spans))
+	ids := make(map[uint64]bool, len(tr.Spans))
+	for _, sp := range tr.Spans {
+		ids[sp.ID] = true
+	}
+	root := tr.Spans[0]
+	for _, sp := range tr.Spans[1:] {
+		parent := sp.Parent
+		if !ids[parent] {
+			parent = root.ID // orphans (lost parent context) hang off the root
+		}
+		kids[parent] = append(kids[parent], sp)
+	}
+	for id := range kids {
+		k := kids[id]
+		sort.Slice(k, func(i, j int) bool {
+			if !k[i].Start.Equal(k[j].Start) {
+				return k[i].Start.Before(k[j].Start)
+			}
+			return k[i].ID < k[j].ID
+		})
+	}
+
+	var visit func(sp Span, lo, hi time.Time)
+	visit = func(sp Span, lo, hi time.Time) {
+		if sp.Start.After(lo) {
+			lo = sp.Start
+		}
+		end := sp.End
+		if end.Before(sp.Start) {
+			end = sp.Start // never-ended span contributes nothing
+		}
+		if end.Before(hi) {
+			hi = end
+		}
+		if !hi.After(lo) {
+			return
+		}
+		var covered time.Duration
+		cursor := lo
+		for _, kid := range kids[sp.ID] {
+			klo, khi := kid.Start, kid.End
+			if klo.Before(cursor) {
+				klo = cursor
+			}
+			if khi.After(hi) {
+				khi = hi
+			}
+			if !khi.After(klo) {
+				continue
+			}
+			visit(kid, klo, khi)
+			covered += khi.Sub(klo)
+			cursor = khi
+		}
+		ex[sp.Cat] += int64(hi.Sub(lo) - covered)
+	}
+	visit(root, root.Start, root.End)
+	return ex, int64(root.Duration())
+}
+
+// Breakdown is the accumulated critical-path decomposition over a set
+// of committed traces: the distribution of total commit-path time and,
+// per rollup bucket, the distribution of exclusive time spent there.
+type Breakdown struct {
+	Total   obs.HistView
+	Buckets map[string]obs.HistView
+}
+
+// Breakdown snapshots the store's accumulated decomposition.  It
+// returns nil when no committed trace has been observed yet.
+func (s *Store) Breakdown() *Breakdown {
+	if s == nil {
+		return nil
+	}
+	total := s.total.View()
+	if total.Count == 0 {
+		return nil
+	}
+	b := &Breakdown{Total: total, Buckets: make(map[string]obs.HistView, len(Buckets))}
+	for i, name := range Buckets {
+		b.Buckets[name] = s.byBucket[i].View()
+	}
+	return b
+}
+
+// Merge folds another breakdown into this one (per-scheme summaries
+// across a parameter sweep) and returns the receiver.  Either side may
+// be nil.
+func (b *Breakdown) Merge(o *Breakdown) *Breakdown {
+	if o == nil {
+		return b
+	}
+	if b == nil {
+		cp := &Breakdown{Total: o.Total, Buckets: make(map[string]obs.HistView, len(o.Buckets))}
+		for k, v := range o.Buckets {
+			cp.Buckets[k] = v
+		}
+		return cp
+	}
+	b.Total = b.Total.Merge(o.Total)
+	for k, v := range o.Buckets {
+		b.Buckets[k] = b.Buckets[k].Merge(v)
+	}
+	return b
+}
+
+// Shares returns, per rollup bucket, that bucket's q-quantile exclusive
+// time as a fraction of the q-quantile total.  Because quantiles are
+// not additive the fractions need not sum to exactly 1; they answer
+// "at the median (or the tail), how much of a commit goes where".
+func (b *Breakdown) Shares(q float64) map[string]float64 {
+	out := make(map[string]float64, len(Buckets))
+	total := b.Total.Quantile(q)
+	for _, name := range Buckets {
+		if total == 0 {
+			out[name] = 0
+			continue
+		}
+		out[name] = float64(b.Buckets[name].Quantile(q)) / float64(total)
+	}
+	return out
+}
+
+// JSONMap renders the breakdown as the lat_breakdown section of the
+// bench JSON artifacts.
+func (b *Breakdown) JSONMap() map[string]any {
+	round := func(m map[string]float64) map[string]float64 {
+		for k, v := range m {
+			m[k] = float64(int(v*1000+0.5)) / 1000
+		}
+		return m
+	}
+	return map[string]any{
+		"p50":          round(b.Shares(0.50)),
+		"p95":          round(b.Shares(0.95)),
+		"total_p50_ns": b.Total.Quantile(0.50),
+		"total_p95_ns": b.Total.Quantile(0.95),
+		"traces":       b.Total.Count,
+	}
+}
+
+// String renders a compact one-line summary, e.g.
+// "p50 2.1ms [lock-wait 41% wal-force 8% net 33% other 18%] (n=97)".
+func (b *Breakdown) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "p50 %v [", time.Duration(b.Total.Quantile(0.50)))
+	shares := b.Shares(0.50)
+	for i, name := range Buckets {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s %d%%", name, int(shares[name]*100+0.5))
+	}
+	fmt.Fprintf(&sb, "] p95 %v (n=%d)", time.Duration(b.Total.Quantile(0.95)), b.Total.Count)
+	return sb.String()
+}

@@ -1,0 +1,149 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+
+	"clientlog/internal/ident"
+)
+
+// spanJSON is one node of the rendered trace tree.  Times are offsets
+// from the root's start so trees are readable without wall clocks.
+type spanJSON struct {
+	ID       uint64      `json:"id"`
+	Cat      string      `json:"cat"`
+	Label    string      `json:"label,omitempty"`
+	StartNS  int64       `json:"start_ns"`
+	DurNS    int64       `json:"dur_ns"`
+	Children []*spanJSON `json:"children,omitempty"`
+}
+
+type traceJSON struct {
+	Txn         string           `json:"txn"`
+	TxnID       uint64           `json:"txn_id"`
+	Commit      bool             `json:"commit"`
+	Partial     bool             `json:"partial,omitempty"`
+	TotalNS     int64            `json:"total_ns"`
+	ExclusiveNS map[string]int64 `json:"exclusive_ns"`
+	Root        *spanJSON        `json:"root"`
+}
+
+func renderTrace(tr *Trace) traceJSON {
+	ex, total := Exclusive(tr)
+	exNames := make(map[string]int64, len(ex))
+	for c, ns := range ex {
+		if ns != 0 {
+			exNames[c.String()] = ns
+		}
+	}
+	nodes := make(map[uint64]*spanJSON, len(tr.Spans))
+	root := tr.Spans[0]
+	for _, sp := range tr.Spans {
+		nodes[sp.ID] = &spanJSON{
+			ID:      sp.ID,
+			Cat:     sp.Cat.String(),
+			Label:   sp.Label,
+			StartNS: sp.Start.Sub(root.Start).Nanoseconds(),
+			DurNS:   int64(sp.Duration()),
+		}
+	}
+	for _, sp := range tr.Spans[1:] {
+		parent, ok := nodes[sp.Parent]
+		if !ok || sp.Parent == sp.ID {
+			parent = nodes[root.ID]
+		}
+		parent.Children = append(parent.Children, nodes[sp.ID])
+	}
+	for _, n := range nodes {
+		sort.Slice(n.Children, func(i, j int) bool {
+			if n.Children[i].StartNS != n.Children[j].StartNS {
+				return n.Children[i].StartNS < n.Children[j].StartNS
+			}
+			return n.Children[i].ID < n.Children[j].ID
+		})
+	}
+	return traceJSON{
+		Txn:         tr.Txn.String(),
+		TxnID:       uint64(tr.Txn),
+		Commit:      tr.Commit,
+		Partial:     tr.Partial,
+		TotalNS:     total,
+		ExclusiveNS: exNames,
+		Root:        nodes[root.ID],
+	}
+}
+
+// parseTxnID accepts a raw uint64 ("4294967301") or the c<id>:<seq>
+// shorthand printed by ident.TxnID.String ("c1:5").
+func parseTxnID(s string) (ident.TxnID, error) {
+	if n, err := strconv.ParseUint(s, 10, 64); err == nil {
+		return ident.TxnID(n), nil
+	}
+	rest, ok := strings.CutPrefix(s, "c")
+	if !ok {
+		return 0, fmt.Errorf("bad txn id %q", s)
+	}
+	cs, seqs, ok := strings.Cut(rest, ":")
+	if !ok {
+		return 0, fmt.Errorf("bad txn id %q", s)
+	}
+	cid, err1 := strconv.ParseUint(cs, 10, 32)
+	seq, err2 := strconv.ParseUint(seqs, 10, 32)
+	if err1 != nil || err2 != nil {
+		return 0, fmt.Errorf("bad txn id %q", s)
+	}
+	return ident.MakeTxnID(ident.ClientID(cid), uint32(seq)), nil
+}
+
+// TraceHandler serves the span store under the /trace/ prefix:
+// /trace/<txnid> returns one span tree (txnid as a raw uint64 or the
+// "c1:5" shorthand), /trace/slowest?n= lists the slowest retained
+// traces.  Missing traces (never sampled, evicted, or unknown) get 404.
+func (s *Store) TraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rest := strings.TrimPrefix(r.URL.Path, "/trace/")
+		w.Header().Set("Content-Type", "application/json")
+		if rest == "slowest" || rest == "" {
+			n := 10
+			if v := r.URL.Query().Get("n"); v != "" {
+				if p, err := strconv.Atoi(v); err == nil && p > 0 {
+					n = p
+				}
+			}
+			type row struct {
+				Txn     string `json:"txn"`
+				TxnID   uint64 `json:"txn_id"`
+				TotalNS int64  `json:"total_ns"`
+				Commit  bool   `json:"commit"`
+			}
+			rows := []row{}
+			for _, tr := range s.Slowest(n) {
+				rows = append(rows, row{
+					Txn: tr.Txn.String(), TxnID: uint64(tr.Txn),
+					TotalNS: int64(tr.Total()), Commit: tr.Commit,
+				})
+			}
+			json.NewEncoder(w).Encode(map[string]any{"n": len(rows), "traces": rows})
+			return
+		}
+		txn, err := parseTxnID(rest)
+		if err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			return
+		}
+		tr, ok := s.Get(txn)
+		if !ok {
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(map[string]string{
+				"error": "trace not found (not sampled, evicted, or unknown txn)",
+			})
+			return
+		}
+		json.NewEncoder(w).Encode(renderTrace(tr))
+	})
+}

@@ -1,0 +1,409 @@
+package span
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"clientlog/internal/ident"
+	"clientlog/internal/lock"
+)
+
+func txn(c uint32, seq uint32) ident.TxnID {
+	return ident.MakeTxnID(ident.ClientID(c), seq)
+}
+
+func TestHeadSamplingDecidesRetention(t *testing.T) {
+	s := NewStore(Options{SampleEvery: 2})
+	// Counter starts at 0: txn 1 is unsampled, txn 2 sampled, 3 unsampled...
+	t1 := s.Begin(txn(1, 1))
+	t1.Finish(true)
+	if _, ok := s.Get(txn(1, 1)); ok {
+		t.Fatal("fast unsampled trace must not be retained")
+	}
+	t2 := s.Begin(txn(1, 2))
+	if !t2.Sampled() {
+		t.Fatal("second txn should be head-sampled at 1-in-2")
+	}
+	t2.Finish(true)
+	tr, ok := s.Get(txn(1, 2))
+	if !ok || !tr.Commit || tr.Partial {
+		t.Fatalf("sampled trace missing or wrong: %+v ok=%v", tr, ok)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len=%d, want 1", s.Len())
+	}
+}
+
+func TestSlowTraceKeptWithoutHeadSample(t *testing.T) {
+	s := NewStore(Options{SampleEvery: 1 << 30, SlowCutoff: time.Microsecond})
+	tr := s.Begin(txn(1, 1))
+	if tr.Sampled() {
+		t.Fatal("must not be head-sampled")
+	}
+	time.Sleep(2 * time.Millisecond)
+	tr.Finish(true)
+	if _, ok := s.Get(txn(1, 1)); !ok {
+		t.Fatal("slow trace must be retained even unsampled")
+	}
+	// Unsampled traces must not leak a wire context.
+	if ctx := tr.Context(1); ctx.Sampled {
+		t.Fatal("unsampled trace produced a sampled context")
+	}
+}
+
+func TestNilStoreAndNilTraceAreInert(t *testing.T) {
+	var s *Store
+	tr := s.Begin(txn(1, 1))
+	if tr != nil {
+		t.Fatal("nil store must return nil TxnTrace")
+	}
+	id := tr.Start(CatFetch, "x")
+	tr.End(id)
+	if ctx := tr.Context(id); ctx.Sampled {
+		t.Fatal("nil trace produced a sampled context")
+	}
+	tr.Finish(true)
+	ss := s.ServerStart(Context{}, CatGLMQueue, "")
+	ss.End()
+	if s.Breakdown() != nil || s.Len() != 0 || len(s.Slowest(3)) != 0 {
+		t.Fatal("nil store must report nothing")
+	}
+}
+
+func TestServerSpansStitchIntoClientTrace(t *testing.T) {
+	s := NewStore(Options{SampleEvery: 1})
+	tr := s.Begin(txn(1, 1))
+	lockSpan := tr.Start(CatLockWait, "p1.s0")
+	// The server sees the wire context and nests its queue wait under
+	// the client's lock span; a callback nests under the queue wait.
+	srv := s.ServerStart(tr.Context(lockSpan), CatGLMQueue, "p1.s0")
+	cb := s.ServerStart(srv.Context(), CatCallback, "p1.s0")
+	cb.End()
+	srv.End()
+	tr.End(lockSpan)
+	tr.Finish(true)
+
+	got, ok := s.Get(txn(1, 1))
+	if !ok {
+		t.Fatal("trace not published")
+	}
+	byCat := map[Category]Span{}
+	for _, sp := range got.Spans {
+		byCat[sp.Cat] = sp
+	}
+	if byCat[CatGLMQueue].Parent != lockSpan {
+		t.Fatalf("glm-queue parent=%d, want %d", byCat[CatGLMQueue].Parent, lockSpan)
+	}
+	if byCat[CatCallback].Parent != byCat[CatGLMQueue].ID {
+		t.Fatalf("callback parent=%d, want %d", byCat[CatCallback].Parent, byCat[CatGLMQueue].ID)
+	}
+}
+
+func TestServerOnlyTraceIsPartial(t *testing.T) {
+	s := NewStore(Options{SampleEvery: 1})
+	ctx := Context{Txn: txn(7, 3), Span: 2, Sampled: true}
+	srv := s.ServerStart(ctx, CatGLMQueue, "q")
+	srv.End()
+	tr, ok := s.Get(txn(7, 3))
+	if !ok || !tr.Partial {
+		t.Fatalf("staged-only txn should yield a partial trace, got %+v ok=%v", tr, ok)
+	}
+}
+
+// mkSpan builds a span over [lo,hi) milliseconds from base.
+func mkSpan(base time.Time, id, parent uint64, cat Category, lo, hi int) Span {
+	return Span{
+		ID: id, Parent: parent, Cat: cat,
+		Start: base.Add(time.Duration(lo) * time.Millisecond),
+		End:   base.Add(time.Duration(hi) * time.Millisecond),
+	}
+}
+
+func TestExclusivePartitionsRootExactly(t *testing.T) {
+	base := time.Now()
+	tr := &Trace{Txn: txn(1, 1), Commit: true, Spans: []Span{
+		mkSpan(base, 1, 0, CatTxn, 0, 100),
+		mkSpan(base, 2, 1, CatLockWait, 10, 40),
+		mkSpan(base, 3, 2, CatGLMQueue, 15, 35), // nested under lock wait
+		mkSpan(base, 4, 3, CatCallback, 20, 30), // nested under glm queue
+		mkSpan(base, 5, 1, CatFetch, 50, 70),
+		mkSpan(base, 6, 1, CatWALForce, 65, 90),  // overlaps fetch: earlier sibling wins
+		mkSpan(base, 7, 1, CatCommitShip, 95, 120), // runs past root: clamped
+		mkSpan(base, 8, 99, CatDeesc, 96, 97),    // orphan parent: attaches to root
+	}}
+	ex, total := Exclusive(tr)
+	if total != int64(100*time.Millisecond) {
+		t.Fatalf("total=%d, want 100ms", total)
+	}
+	var sum int64
+	for _, ns := range ex {
+		if ns < 0 {
+			t.Fatalf("negative exclusive time: %v", ex)
+		}
+		sum += ns
+	}
+	if sum != total {
+		t.Fatalf("exclusive times sum to %d, want exactly total %d (%v)", sum, total, ex)
+	}
+	// Spot-check the attribution: lock-wait is 10-40 minus the nested
+	// 15-35 glm-queue interval = 10ms.
+	if ex[CatLockWait] != int64(10*time.Millisecond) {
+		t.Fatalf("lock-wait exclusive=%v, want 10ms", time.Duration(ex[CatLockWait]))
+	}
+	if ex[CatCallback] != int64(10*time.Millisecond) {
+		t.Fatalf("callback exclusive=%v, want 10ms", time.Duration(ex[CatCallback]))
+	}
+	// wal-force lost 65-70 to the earlier fetch sibling: 20ms left.
+	if ex[CatWALForce] != int64(20*time.Millisecond) {
+		t.Fatalf("wal-force exclusive=%v, want 20ms", time.Duration(ex[CatWALForce]))
+	}
+	// commit-ship clamps at the root's end: 5ms.
+	if ex[CatCommitShip] != int64(5*time.Millisecond) {
+		t.Fatalf("commit-ship exclusive=%v, want 5ms", time.Duration(ex[CatCommitShip]))
+	}
+}
+
+func TestBreakdownFromCommittedTraces(t *testing.T) {
+	s := NewStore(Options{SampleEvery: 1})
+	if s.Breakdown() != nil {
+		t.Fatal("empty store must have nil breakdown")
+	}
+	tr := s.Begin(txn(1, 1))
+	id := tr.Start(CatWALForce, "")
+	time.Sleep(time.Millisecond)
+	tr.End(id)
+	tr.Finish(true)
+	b := s.Breakdown()
+	if b == nil || b.Total.Count != 1 {
+		t.Fatalf("breakdown missing after committed trace: %+v", b)
+	}
+	m := b.JSONMap()
+	for _, k := range []string{"p50", "p95", "total_p50_ns", "total_p95_ns", "traces"} {
+		if _, ok := m[k]; !ok {
+			t.Fatalf("JSONMap missing %q: %v", k, m)
+		}
+	}
+	for _, bucket := range Buckets {
+		if _, ok := m["p50"].(map[string]float64)[bucket]; !ok {
+			t.Fatalf("p50 shares missing bucket %q", bucket)
+		}
+	}
+	// Merge with nil on either side keeps the data.
+	if got := (*Breakdown)(nil).Merge(b); got == nil || got.Total.Count != 1 {
+		t.Fatal("nil.Merge(b) lost the data")
+	}
+	if got := b.Merge(nil); got != b {
+		t.Fatal("b.Merge(nil) must return b")
+	}
+	if got := b.Merge(b); got.Total.Count != 2 {
+		t.Fatalf("merged count=%d, want 2", got.Total.Count)
+	}
+}
+
+func TestStoreEvictsOldestBeyondCapacity(t *testing.T) {
+	s := NewStore(Options{SampleEvery: 1, Capacity: 2})
+	for i := uint32(1); i <= 3; i++ {
+		tr := s.Begin(txn(1, i))
+		tr.Finish(true)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len=%d, want 2", s.Len())
+	}
+	if _, ok := s.Get(txn(1, 1)); ok {
+		t.Fatal("oldest trace should have been evicted")
+	}
+	if _, ok := s.Get(txn(1, 3)); !ok {
+		t.Fatal("newest trace missing")
+	}
+}
+
+func TestTraceHandler(t *testing.T) {
+	s := NewStore(Options{SampleEvery: 1})
+	tr := s.Begin(txn(1, 5))
+	id := tr.Start(CatFetch, "fetch")
+	tr.End(id)
+	tr.Finish(true)
+	srv := httptest.NewServer(s.TraceHandler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	code, body := get("/trace/c1:5")
+	if code != http.StatusOK {
+		t.Fatalf("/trace/c1:5 status %d: %s", code, body)
+	}
+	var tj struct {
+		Txn         string           `json:"txn"`
+		TotalNS     int64            `json:"total_ns"`
+		ExclusiveNS map[string]int64 `json:"exclusive_ns"`
+		Root        struct {
+			Cat      string `json:"cat"`
+			Children []struct {
+				Cat string `json:"cat"`
+			} `json:"children"`
+		} `json:"root"`
+	}
+	if err := json.Unmarshal([]byte(body), &tj); err != nil {
+		t.Fatalf("bad trace JSON: %v\n%s", err, body)
+	}
+	if tj.Root.Cat != "txn" || len(tj.Root.Children) != 1 || tj.Root.Children[0].Cat != "fetch" {
+		t.Fatalf("unexpected tree: %s", body)
+	}
+	var exSum int64
+	for _, ns := range tj.ExclusiveNS {
+		exSum += ns
+	}
+	if exSum != tj.TotalNS {
+		t.Fatalf("exclusive_ns sums to %d, total_ns %d", exSum, tj.TotalNS)
+	}
+
+	if code, _ := get("/trace/c9:9"); code != http.StatusNotFound {
+		t.Fatalf("missing trace: status %d, want 404", code)
+	}
+	if code, _ := get("/trace/bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad id: status %d, want 400", code)
+	}
+
+	code, body = get("/trace/slowest?n=5")
+	if code != http.StatusOK {
+		t.Fatalf("/trace/slowest status %d", code)
+	}
+	var slow struct {
+		N      int `json:"n"`
+		Traces []struct {
+			Txn string `json:"txn"`
+		} `json:"traces"`
+	}
+	if err := json.Unmarshal([]byte(body), &slow); err != nil {
+		t.Fatal(err)
+	}
+	if slow.N != 1 || slow.Traces[0].Txn != "txn(c1:5)" {
+		t.Fatalf("slowest: %s", body)
+	}
+}
+
+func TestTraceHandlerEmptyStore(t *testing.T) {
+	s := NewStore(Options{})
+	srv := httptest.NewServer(s.TraceHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/trace/slowest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var slow struct {
+		N      int   `json:"n"`
+		Traces []any `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&slow); err != nil {
+		t.Fatal(err)
+	}
+	if slow.N != 0 || slow.Traces == nil {
+		t.Fatalf("empty store slowest must be n=0 with [] traces: %+v", slow)
+	}
+}
+
+func TestLongestChains(t *testing.T) {
+	c := func(n uint32) ident.ClientID { return ident.ClientID(n) }
+	edges := []lock.WaitEdge{
+		{Waiter: c(1), Blocker: c(2)},
+		{Waiter: c(2), Blocker: c(3)},
+		{Waiter: c(3), Blocker: c(4)},
+		{Waiter: c(5), Blocker: c(4)},
+	}
+	chains := LongestChains(edges, 10)
+	if len(chains) == 0 {
+		t.Fatal("no chains")
+	}
+	want := []ident.ClientID{c(1), c(2), c(3), c(4)}
+	got := chains[0]
+	if len(got) != len(want) {
+		t.Fatalf("longest chain %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("longest chain %v, want %v", got, want)
+		}
+	}
+	// A pure cycle must terminate and still produce a chain.
+	cyc := []lock.WaitEdge{{Waiter: c(1), Blocker: c(2)}, {Waiter: c(2), Blocker: c(1)}}
+	if chains := LongestChains(cyc, 3); len(chains) == 0 {
+		t.Fatal("cycle produced no chain")
+	}
+}
+
+func TestWaitsForHandler(t *testing.T) {
+	empty := fetchWaitsFor(t, lock.WaitsForSnapshot{})
+	if empty.Waiters == nil || empty.Edges == nil || empty.Chains == nil || empty.Victims == nil {
+		t.Fatalf("empty snapshot must serialize as [] not null: %+v", empty)
+	}
+
+	snap := lock.WaitsForSnapshot{
+		Waiters: []lock.WaiterInfo{{Client: 2, Name: lock.PageName(7), Mode: lock.X, Age: time.Second}},
+		Edges:   []lock.WaitEdge{{Waiter: 2, Blocker: 1}},
+		Victims: []lock.DeadlockVictim{{Client: 2, Name: lock.PageName(7), Mode: lock.X, Cycle: []ident.ClientID{2, 1}}},
+	}
+	got := fetchWaitsFor(t, snap)
+	if len(got.Waiters) != 1 || got.Waiters[0].Client != "c2" {
+		t.Fatalf("waiters: %+v", got.Waiters)
+	}
+	if len(got.Chains) != 1 || len(got.Chains[0]) != 2 {
+		t.Fatalf("chains: %+v", got.Chains)
+	}
+	if len(got.Victims) != 1 || len(got.Victims[0].Cycle) != 2 {
+		t.Fatalf("victims: %+v", got.Victims)
+	}
+
+	// Graphviz rendering.
+	srv := httptest.NewServer(WaitsForHandler(func() lock.WaitsForSnapshot { return snap }))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/waitsfor?format=dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 4096)
+	n, _ := resp.Body.Read(buf)
+	dot := string(buf[:n])
+	if !strings.HasPrefix(dot, "digraph waitsfor") || !strings.Contains(dot, `"c2" -> "c1"`) {
+		t.Fatalf("dot output: %s", dot)
+	}
+}
+
+// fetchWaitsFor serves /waitsfor over a snapshot and decodes the JSON.
+func fetchWaitsFor(t *testing.T, snap lock.WaitsForSnapshot) waitsForJSON {
+	t.Helper()
+	srv := httptest.NewServer(WaitsForHandler(func() lock.WaitsForSnapshot { return snap }))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/waitsfor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out waitsForJSON
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}

@@ -1,0 +1,187 @@
+package span
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"clientlog/internal/ident"
+	"clientlog/internal/lock"
+)
+
+// waitsForJSON is the /waitsfor response shape.
+type waitsForJSON struct {
+	Waiters []waiterJSON `json:"waiters"`
+	Edges   []edgeJSON   `json:"edges"`
+	// Chains are the longest waits-for paths (each a list of clients,
+	// waiter first), longest first.
+	Chains  [][]string   `json:"chains"`
+	Victims []victimJSON `json:"victims"`
+}
+
+type waiterJSON struct {
+	Client string `json:"client"`
+	Name   string `json:"name"`
+	Mode   string `json:"mode"`
+	AgeNS  int64  `json:"age_ns"`
+}
+
+type edgeJSON struct {
+	Waiter  string `json:"waiter"`
+	Blocker string `json:"blocker"`
+}
+
+type victimJSON struct {
+	Client string   `json:"client"`
+	Name   string   `json:"name"`
+	Mode   string   `json:"mode"`
+	At     string   `json:"at"`
+	Cycle  []string `json:"cycle"`
+}
+
+// LongestChains returns the longest simple paths in the waits-for
+// graph (waiter first), longest first, at most max of them.  Chains
+// are what turn a pile of edges into a diagnosis: a single chain of
+// length five is a convoy, five chains of length one are contention.
+func LongestChains(edges []lock.WaitEdge, max int) [][]ident.ClientID {
+	next := make(map[ident.ClientID][]ident.ClientID)
+	heads := make(map[ident.ClientID]bool)
+	hasIncoming := make(map[ident.ClientID]bool)
+	for _, e := range edges {
+		next[e.Waiter] = append(next[e.Waiter], e.Blocker)
+		heads[e.Waiter] = true
+		hasIncoming[e.Blocker] = true
+	}
+	var chains [][]ident.ClientID
+	var dfs func(n ident.ClientID, path []ident.ClientID, on map[ident.ClientID]bool)
+	dfs = func(n ident.ClientID, path []ident.ClientID, on map[ident.ClientID]bool) {
+		extended := false
+		for _, b := range next[n] {
+			if on[b] {
+				continue // cycle: stop extending, the path so far still counts
+			}
+			extended = true
+			on[b] = true
+			dfs(b, append(path, b), on)
+			delete(on, b)
+		}
+		if !extended && len(path) > 1 {
+			chains = append(chains, append([]ident.ClientID(nil), path...))
+		}
+	}
+	for h := range heads {
+		if hasIncoming[h] {
+			continue // only start from true heads; interior nodes yield sub-chains
+		}
+		dfs(h, []ident.ClientID{h}, map[ident.ClientID]bool{h: true})
+	}
+	if len(chains) == 0 {
+		// Every waiter is also blocked (pure cycles): fall back to
+		// starting everywhere.
+		for h := range heads {
+			dfs(h, []ident.ClientID{h}, map[ident.ClientID]bool{h: true})
+		}
+	}
+	sort.Slice(chains, func(i, j int) bool {
+		if len(chains[i]) != len(chains[j]) {
+			return len(chains[i]) > len(chains[j])
+		}
+		return chains[i][0] < chains[j][0]
+	})
+	if max > 0 && len(chains) > max {
+		chains = chains[:max]
+	}
+	return chains
+}
+
+// WaitsForDot renders the snapshot as a Graphviz digraph.
+func WaitsForDot(snap lock.WaitsForSnapshot) string {
+	var sb strings.Builder
+	sb.WriteString("digraph waitsfor {\n  rankdir=LR;\n")
+	for _, w := range snap.Waiters {
+		fmt.Fprintf(&sb, "  %q [label=\"%v\\n%v %v (%v)\"];\n",
+			w.Client.String(), w.Client, w.Name, w.Mode, w.Age.Truncate(time.Microsecond))
+	}
+	for _, e := range snap.Edges {
+		fmt.Fprintf(&sb, "  %q -> %q;\n", e.Waiter.String(), e.Blocker.String())
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// WaitsForHandler serves /waitsfor from a live snapshot source
+// (typically GLM.WaitsFor).  Default output is JSON; ?format=dot
+// renders a Graphviz digraph.
+func WaitsForHandler(src func() lock.WaitsForSnapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snap := src()
+		if r.URL.Query().Get("format") == "dot" {
+			w.Header().Set("Content-Type", "text/vnd.graphviz; charset=utf-8")
+			fmt.Fprint(w, WaitsForDot(snap))
+			return
+		}
+		out := waitsForJSON{
+			Waiters: []waiterJSON{},
+			Edges:   []edgeJSON{},
+			Chains:  [][]string{},
+			Victims: []victimJSON{},
+		}
+		for _, wi := range snap.Waiters {
+			out.Waiters = append(out.Waiters, waiterJSON{
+				Client: wi.Client.String(), Name: wi.Name.String(),
+				Mode: wi.Mode.String(), AgeNS: int64(wi.Age),
+			})
+		}
+		for _, e := range snap.Edges {
+			out.Edges = append(out.Edges, edgeJSON{Waiter: e.Waiter.String(), Blocker: e.Blocker.String()})
+		}
+		for _, chain := range LongestChains(snap.Edges, 5) {
+			names := make([]string, len(chain))
+			for i, c := range chain {
+				names[i] = c.String()
+			}
+			out.Chains = append(out.Chains, names)
+		}
+		for _, v := range snap.Victims {
+			cycle := make([]string, len(v.Cycle))
+			for i, c := range v.Cycle {
+				cycle[i] = c.String()
+			}
+			out.Victims = append(out.Victims, victimJSON{
+				Client: v.Client.String(), Name: v.Name.String(), Mode: v.Mode.String(),
+				At: v.At.UTC().Format("2006-01-02T15:04:05.000Z"), Cycle: cycle,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	})
+}
+
+// Summary renders a compact multi-line waits-for report for terminal
+// output (the chaos failure snapshot).
+func Summary(snap lock.WaitsForSnapshot) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "waits-for: %d waiter(s), %d edge(s), %d deadlock victim(s)\n",
+		len(snap.Waiters), len(snap.Edges), len(snap.Victims))
+	for _, w := range snap.Waiters {
+		fmt.Fprintf(&sb, "  %v waits for %v %v (%v)\n", w.Client, w.Name, w.Mode, w.Age.Truncate(time.Microsecond))
+	}
+	for _, chain := range LongestChains(snap.Edges, 3) {
+		parts := make([]string, len(chain))
+		for i, c := range chain {
+			parts[i] = c.String()
+		}
+		fmt.Fprintf(&sb, "  chain: %s\n", strings.Join(parts, " -> "))
+	}
+	n := len(snap.Victims)
+	if n > 3 {
+		snap.Victims = snap.Victims[n-3:]
+	}
+	for _, v := range snap.Victims {
+		fmt.Fprintf(&sb, "  victim: %v on %v %v\n", v.Client, v.Name, v.Mode)
+	}
+	return sb.String()
+}

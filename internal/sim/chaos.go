@@ -8,8 +8,10 @@ import (
 	"clientlog/internal/core"
 	"clientlog/internal/fault"
 	"clientlog/internal/ident"
+	"clientlog/internal/lock"
 	"clientlog/internal/msg"
 	"clientlog/internal/obs"
+	"clientlog/internal/obs/span"
 	"clientlog/internal/trace"
 )
 
@@ -33,6 +35,10 @@ type ChaosOptions struct {
 	// injections included) instead of a private ring, so /events can
 	// serve them.
 	Ring *trace.Ring
+	// Spans, when non-nil, enables causal tracing for the run (it is
+	// installed as the cluster Config's span store); a failure snapshot
+	// then includes the slowest traced transactions.
+	Spans *span.Store
 }
 
 // DefaultChaosOptions pairs the default torture schedule with the
@@ -65,6 +71,12 @@ type ChaosStats struct {
 	// canonical (sorted) order.  Two runs with the same seed and options
 	// produce the same schedule.
 	Schedule []string
+	// WaitsFor is the GLM wait graph at the moment the run finished;
+	// on a failure it shows who was stuck behind whom.
+	WaitsFor lock.WaitsForSnapshot
+	// SlowestTraces names the slowest traced transactions of the run
+	// (empty unless ChaosOptions.Spans was set).
+	SlowestTraces []ident.TxnID
 }
 
 // Chaos runs the torture schedule over fault-injected transports: every
@@ -77,6 +89,9 @@ type ChaosStats struct {
 // update was lost, any PSN regressed, or the lock table and DCT
 // disagree.
 func Chaos(cfg core.Config, opt ChaosOptions) (ChaosStats, error) {
+	if opt.Spans != nil {
+		cfg.Spans = opt.Spans
+	}
 	inj := fault.New(opt.Seed, opt.Plan)
 	ring := opt.Ring
 	if ring == nil {
@@ -133,6 +148,10 @@ func Chaos(cfg core.Config, opt ChaosOptions) (ChaosStats, error) {
 			stats.Suppressed += rc.Suppressed.Load()
 		}
 		cacheMu.Unlock()
+		stats.WaitsFor = cl.Server().GLM().WaitsFor()
+		for _, tr := range opt.Spans.Slowest(5) {
+			stats.SlowestTraces = append(stats.SlowestTraces, tr.Txn)
+		}
 		return stats, err
 	}
 

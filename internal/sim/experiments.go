@@ -5,8 +5,16 @@ import (
 	"time"
 
 	"clientlog/internal/core"
+	"clientlog/internal/obs/span"
 	"clientlog/internal/page"
 )
+
+// traceSampleEvery is the head-sampling rate the latency-focused
+// experiments (E1, E3) trace with.  Denser than the live default so
+// even quick sweeps publish a few traces per cell; the per-transaction
+// cost is unchanged (spans are buffered either way, sampling only
+// decides retention), so it does not distort the numbers.
+const traceSampleEvery = 4
 
 // Params scales the experiments: Txns is per-client transaction count,
 // MaxClients the largest client count in the sweeps.
@@ -77,19 +85,28 @@ func E1Throughput(p Params) (*Table, error) {
 	if txns < 10 {
 		txns = 10
 	}
+	breakdowns := map[string]*span.Breakdown{}
 	for _, kind := range []Kind{HiCon, HotCold} {
 		w := DefaultWorkload(kind)
 		for _, n := range clientSweep(p.MaxClients) {
 			row := []interface{}{kind.String(), n}
 			for _, name := range []string{"paper", "page-lock", "token"} {
-				res, err := RunFor(schemes[name], w, n, txns, p.Seed, 5*time.Second)
+				cfg := schemes[name]
+				cfg.Spans = span.NewStore(span.Options{SampleEvery: traceSampleEvery})
+				res, err := RunFor(cfg, w, n, txns, p.Seed, 5*time.Second)
 				if err != nil {
 					return nil, fmt.Errorf("E1 %s/%s/%d: %w", kind, name, n, err)
 				}
 				row = append(row, fmt.Sprintf("%.0f", res.Throughput()))
 				t.AddRaw(RawRecord(res, nil))
+				breakdowns[name] = breakdowns[name].Merge(res.Breakdown)
 			}
 			t.Add(row...)
+		}
+	}
+	for _, name := range []string{"paper", "page-lock", "token"} {
+		if b := breakdowns[name]; b != nil {
+			t.Breakdowns = append(t.Breakdowns, name+": "+b.String())
 		}
 	}
 	return t, nil
@@ -148,22 +165,28 @@ func E3CommitPath(p Params) (*Table, error) {
 	if txns < 10 {
 		txns = 10
 	}
+	breakdowns := map[string]*span.Breakdown{}
 	for _, lat := range []time.Duration{0, 200 * time.Microsecond, time.Millisecond, 4 * time.Millisecond} {
 		base := core.DefaultConfig()
 		base.Latency = lat
 		schemes := Schemes(base)
 		row := []interface{}{lat.String()}
 		for _, name := range []string{"paper", "ship-log", "ship-pages"} {
-			res, err := Run(schemes[name], w, 2, txns, p.Seed)
+			cfg := schemes[name]
+			cfg.Spans = span.NewStore(span.Options{SampleEvery: traceSampleEvery})
+			res, err := Run(cfg, w, 2, txns, p.Seed)
 			if err != nil {
 				return nil, fmt.Errorf("E3 %s/%v: %w", name, lat, err)
 			}
 			row = append(row, res.CommitLat.Round(time.Microsecond).String())
 			t.AddRaw(RawRecord(res, map[string]any{"net_latency_ns": lat.Nanoseconds()}))
+			breakdowns[name] = breakdowns[name].Merge(res.Breakdown)
 		}
 		wd := w
 		wd.Diskless = true
-		res, err := Run(schemes["paper"], wd, 2, txns, p.Seed)
+		cfg := schemes["paper"]
+		cfg.Spans = span.NewStore(span.Options{SampleEvery: traceSampleEvery})
+		res, err := Run(cfg, wd, 2, txns, p.Seed)
 		if err != nil {
 			return nil, fmt.Errorf("E3 diskless/%v: %w", lat, err)
 		}
@@ -171,7 +194,13 @@ func E3CommitPath(p Params) (*Table, error) {
 		t.AddRaw(RawRecord(res, map[string]any{
 			"net_latency_ns": lat.Nanoseconds(), "diskless": true,
 		}))
+		breakdowns["paper-diskless"] = breakdowns["paper-diskless"].Merge(res.Breakdown)
 		t.Add(row...)
+	}
+	for _, name := range []string{"paper", "ship-log", "ship-pages", "paper-diskless"} {
+		if b := breakdowns[name]; b != nil {
+			t.Breakdowns = append(t.Breakdowns, name+": "+b.String())
+		}
 	}
 	return t, nil
 }

@@ -10,6 +10,7 @@ import (
 	"clientlog/internal/core"
 	"clientlog/internal/lock"
 	"clientlog/internal/obs"
+	"clientlog/internal/obs/span"
 )
 
 // Result aggregates everything an experiment reports.
@@ -29,6 +30,11 @@ type Result struct {
 	LatP50 time.Duration
 	LatP95 time.Duration
 	LatP99 time.Duration
+
+	// Breakdown attributes commit latency to lock-wait / wal-force /
+	// net / other from the sampled span traces; nil when the run's
+	// Config had tracing off (or no trace committed).
+	Breakdown *span.Breakdown
 
 	ServerLogBytes uint64
 	ClientLogBytes uint64 // sum over clients
@@ -185,6 +191,7 @@ func RunFor(cfg core.Config, w Workload, nClients, txns int, seed int64, maxWall
 		res.LatP95 = time.Duration(lat.Quantile(0.95))
 		res.LatP99 = time.Duration(lat.Quantile(0.99))
 	}
+	res.Breakdown = cfg.Spans.Breakdown()
 	return res, nil
 }
 

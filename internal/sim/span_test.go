@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"clientlog/internal/core"
+	"clientlog/internal/obs/span"
+)
+
+// TestTracedRunProducesBreakdown is the acceptance check for the span
+// subsystem end-to-end: a simulated run with tracing on must publish
+// span trees whose exclusive per-category times partition each commit's
+// latency exactly, and the resulting breakdown must flow into the
+// Result and the experiment tables.
+func TestTracedRunProducesBreakdown(t *testing.T) {
+	cfg := Schemes(core.DefaultConfig())["paper"]
+	cfg.Spans = span.NewStore(span.Options{SampleEvery: 1}) // trace every txn
+	w := DefaultWorkload(HotCold)
+	res, err := Run(cfg, w, 2, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits != 20 {
+		t.Fatalf("commits = %d, want 20", res.Commits)
+	}
+	if cfg.Spans.Len() == 0 {
+		t.Fatal("no traces published despite SampleEvery=1")
+	}
+	if res.Breakdown == nil {
+		t.Fatal("Result.Breakdown nil despite tracing on")
+	}
+	if res.Breakdown.Total.Count == 0 {
+		t.Fatal("breakdown has no committed traces")
+	}
+
+	// Every published trace's exclusive categories must sum exactly to
+	// the root span's duration — the analyzer partitions, never
+	// double-counts or drops time.
+	for _, tr := range cfg.Spans.Slowest(cfg.Spans.Len()) {
+		excl, total := span.Exclusive(tr)
+		var sum int64
+		for _, ns := range excl {
+			sum += ns
+		}
+		if sum != total {
+			t.Fatalf("txn %v: exclusive sum %d != root total %d (spans %+v)",
+				tr.Txn, sum, total, tr.Spans)
+		}
+		if total <= 0 {
+			t.Fatalf("txn %v: non-positive total %d", tr.Txn, total)
+		}
+	}
+
+	// The bucket shares are sane: each in [0,1] and lock-wait/wal-force/
+	// net/other are all present in the JSON form.
+	m := res.Breakdown.JSONMap()
+	blob, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]any
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatalf("lat_breakdown not valid JSON: %v", err)
+	}
+	for _, q := range []string{"p50", "p95"} {
+		shares, ok := decoded[q].(map[string]any)
+		if !ok {
+			t.Fatalf("lat_breakdown missing %q: %v", q, decoded)
+		}
+		for _, bucket := range []string{"lock-wait", "wal-force", "net", "other"} {
+			v, ok := shares[bucket].(float64)
+			if !ok {
+				t.Fatalf("lat_breakdown %s missing bucket %q: %v", q, bucket, shares)
+			}
+			if v < 0 || v > 1 {
+				t.Fatalf("lat_breakdown %s[%s] = %v, not a share", q, bucket, v)
+			}
+		}
+	}
+	if decoded["traces"].(float64) <= 0 {
+		t.Fatalf("lat_breakdown traces = %v", decoded["traces"])
+	}
+
+	// The raw record (what cmd/bench -json emits) carries it too.
+	rec := RawRecord(res, nil)
+	if _, ok := rec["lat_breakdown"]; !ok {
+		t.Fatalf("RawRecord missing lat_breakdown: %v", rec)
+	}
+}
+
+// TestUntracedRunHasNoBreakdown: tracing off (the default Config) must
+// leave Result.Breakdown nil and the raw record free of lat_breakdown.
+func TestUntracedRunHasNoBreakdown(t *testing.T) {
+	cfg := Schemes(core.DefaultConfig())["paper"]
+	res, err := Run(cfg, DefaultWorkload(Uniform), 1, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Breakdown != nil {
+		t.Fatalf("breakdown = %+v, want nil with tracing off", res.Breakdown)
+	}
+	if _, ok := RawRecord(res, nil)["lat_breakdown"]; ok {
+		t.Fatal("RawRecord has lat_breakdown with tracing off")
+	}
+}

@@ -18,6 +18,9 @@ type Table struct {
 	// Raw holds one machine-readable record per sweep point (a superset
 	// of the printed cells); cmd/bench -json writes it out.
 	Raw []map[string]any `json:"Raw,omitempty"`
+	// Breakdowns holds one commit-latency attribution line per scheme
+	// (from span.Breakdown.String()), printed under the table.
+	Breakdowns []string
 }
 
 // AddRaw appends one machine-readable record to Raw.
@@ -41,6 +44,9 @@ func RawRecord(r Result, extra map[string]any) map[string]any {
 		"lat_p50_ns":       r.LatP50.Nanoseconds(),
 		"lat_p95_ns":       r.LatP95.Nanoseconds(),
 		"lat_p99_ns":       r.LatP99.Nanoseconds(),
+	}
+	if r.Breakdown != nil {
+		rec["lat_breakdown"] = r.Breakdown.JSONMap()
 	}
 	for k, v := range extra {
 		rec[k] = v
@@ -108,6 +114,9 @@ func (t *Table) Fprint(w io.Writer) {
 	if t.Notes != "" {
 		fmt.Fprintf(w, "  note: %s\n", t.Notes)
 	}
+	for _, b := range t.Breakdowns {
+		fmt.Fprintf(w, "  breakdown: %s\n", b)
+	}
 	fmt.Fprintln(w)
 }
 
@@ -125,6 +134,12 @@ func (t *Table) Markdown(w io.Writer) {
 	}
 	if t.Notes != "" {
 		fmt.Fprintf(w, "\n%s\n", t.Notes)
+	}
+	if len(t.Breakdowns) > 0 {
+		fmt.Fprintln(w)
+		for _, b := range t.Breakdowns {
+			fmt.Fprintf(w, "- breakdown %s\n", b)
+		}
 	}
 	fmt.Fprintln(w)
 }

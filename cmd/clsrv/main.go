@@ -21,6 +21,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"syscall"
 
 	"clientlog/internal/core"
@@ -40,6 +41,7 @@ func main() {
 	seedPages := flag.Int("seed-pages", 0, "allocate this many empty pages if the store is fresh")
 	seedObjs := flag.Int("seed-objects", 16, "objects per seeded page")
 	seedSize := flag.Int("seed-objsize", 32, "bytes per seeded object")
+	mutexProfile := flag.Int("mutexprofile", 5, "with -admin, sample 1/N mutex contention events for /debug/pprof/mutex (0 disables)")
 	flag.Parse()
 
 	store, err := storage.OpenDiskStore(filepath.Join(*dir, "pages"), *pageSize)
@@ -76,6 +78,12 @@ func main() {
 	engine.HostRemoteLogs(core.NewRemoteLogHost(0))
 
 	if *admin != "" {
+		// With the admin endpoint up, make /debug/pprof/mutex useful:
+		// sample 1 in mutexprofile contention events so blocked time on
+		// the sharded subsystem locks is attributable to call sites (the
+		// aggregate totals are the mutex_wait_nanos_total counters on
+		// /metrics either way).
+		runtime.SetMutexProfileFraction(*mutexProfile)
 		reg := obs.NewRegistry()
 		ring := trace.NewRing(8192)
 		engine.SetTracer(ring)

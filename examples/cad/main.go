@@ -96,6 +96,6 @@ func main() {
 			}
 		}
 	}
-	txn.Commit()
+	_ = txn.Commit()
 	fmt.Println("review passed: all concurrent same-page edits merged correctly")
 }

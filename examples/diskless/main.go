@@ -75,6 +75,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	txn2.Commit()
+	_ = txn2.Commit()
 	fmt.Printf("diskless client crashed and recovered from its server-hosted log: %q\n", got)
 }

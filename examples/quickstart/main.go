@@ -54,6 +54,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	txn2.Commit()
+	_ = txn2.Commit()
 	fmt.Printf("after local restart recovery the committed value is back: %q\n", got)
 }

@@ -65,7 +65,7 @@ func main() {
 	ta, _ := alice.Begin()
 	got, err := ta.Read(aliceObj)
 	check(err)
-	ta.Commit()
+	_ = ta.Commit()
 	if !bytes.Equal(got, val("committed")) {
 		log.Fatalf("client recovery wrong: %q", got)
 	}

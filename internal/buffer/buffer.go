@@ -204,6 +204,41 @@ func (b *Pool) EvictVictim() (p *page.Page, dirty bool, err error) {
 	return nil, false, ErrAllPinned
 }
 
+// EvictCandidate returns the id of the least recently used unpinned
+// page WITHOUT removing it.  Callers that must hold an external
+// per-page lock while flushing the victim (the server's page-state
+// shards) peek first, take the victim's lock, and then call Remove —
+// evicting blindly and locking afterwards would let a concurrent merge
+// update a copy that is already on its way to disk.
+func (b *Pool) EvictCandidate() (page.ID, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for e := b.lru.Back(); e != nil; e = e.Prev() {
+		id := e.Value.(page.ID)
+		if b.frames[id].pins > 0 {
+			continue
+		}
+		return id, true
+	}
+	return 0, false
+}
+
+// Remove removes a specific unpinned page, returning it and its dirty
+// flag.  ok is false when the page is absent or pinned (a concurrent
+// Get/Pin won the race after EvictCandidate peeked).
+func (b *Pool) Remove(id page.ID) (p *page.Page, dirty bool, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	f, present := b.frames[id]
+	if !present || f.pins > 0 {
+		return nil, false, false
+	}
+	b.lru.Remove(f.elem)
+	delete(b.frames, id)
+	b.Metrics.Evictions.Inc()
+	return f.pg, f.dirty, true
+}
+
 // IDs returns the ids of all cached pages (unordered); §3.4 server
 // recovery asks each client for this list.
 func (b *Pool) IDs() []page.ID {

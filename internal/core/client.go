@@ -108,7 +108,7 @@ func NewClientWithID(cfg Config, srv msg.Server, logStore wal.Store, id ident.Cl
 		id:     id,
 		cfg:    cfg,
 		srv:    srv,
-		llm:    lock.NewLLM(cfg.LockTimeout),
+		llm:    lock.NewLLMSharded(cfg.LockTimeout, cfg.lockShards()),
 		log:    wal.NewLog(logStore),
 		pool:   buffer.New(cfg.ClientPool),
 		dpt:    make(map[page.ID]*dptEntry),

@@ -183,7 +183,7 @@ func RecoverClient(cfg Config, srv msg.Server, logStore wal.Store, id ident.Clie
 		id:     id,
 		cfg:    cfg,
 		srv:    srv,
-		llm:    lock.NewLLM(cfg.LockTimeout),
+		llm:    lock.NewLLMSharded(cfg.LockTimeout, cfg.lockShards()),
 		log:    wal.NewLog(logStore),
 		pool:   buffer.New(cfg.ClientPool),
 		dpt:    make(map[page.ID]*dptEntry),

@@ -39,9 +39,15 @@ func (h *serverHandle) Register(r msg.RegisterReq) (msg.RegisterReply, error) {
 	return h.get().Register(r)
 }
 func (h *serverHandle) Lock(r msg.LockReq) (msg.LockReply, error) { return h.get().Lock(r) }
-func (h *serverHandle) Unlock(r msg.UnlockReq) error              { return h.get().Unlock(r) }
+func (h *serverHandle) LockBatch(r msg.LockBatchReq) (msg.LockBatchReply, error) {
+	return h.get().LockBatch(r)
+}
+func (h *serverHandle) Unlock(r msg.UnlockReq) error { return h.get().Unlock(r) }
 func (h *serverHandle) Fetch(r msg.FetchReq) (msg.FetchReply, error) {
 	return h.get().Fetch(r)
+}
+func (h *serverHandle) FetchBatch(r msg.FetchBatchReq) (msg.FetchBatchReply, error) {
+	return h.get().FetchBatch(r)
 }
 func (h *serverHandle) Ship(r msg.ShipReq) error                     { return h.get().Ship(r) }
 func (h *serverHandle) Force(r msg.ForceReq) (msg.ForceReply, error) { return h.get().Force(r) }
@@ -105,14 +111,30 @@ type Cluster struct {
 // NewCluster builds a memory-backed cluster (the "disks" survive
 // simulated crashes).
 func NewCluster(cfg Config) *Cluster {
-	return NewClusterWithStores(cfg, storage.NewMemStore(cfg.PageSize), wal.NewMemStore(0))
+	return NewClusterWithStores(cfg, memPageStore(cfg), memLogStore(cfg, 0))
+}
+
+// memPageStore builds the in-memory page store with the configured
+// simulated device latency.
+func memPageStore(cfg Config) *storage.MemStore {
+	st := storage.NewMemStore(cfg.PageSize)
+	st.SetLatency(cfg.DiskLatency)
+	return st
+}
+
+// memLogStore builds an in-memory log device with the configured
+// simulated fsync latency.
+func memLogStore(cfg Config, capacity uint64) *wal.MemStore {
+	st := wal.NewMemStore(capacity)
+	st.SetFlushLatency(cfg.FsyncLatency)
+	return st
 }
 
 // NewClusterIn is NewCluster with the engines bound into an existing
 // metrics registry (nil means a private one), so a caller that serves
 // /metrics can watch the cluster it is about to run.
 func NewClusterIn(cfg Config, reg *obs.Registry) *Cluster {
-	return NewClusterWithStoresIn(cfg, storage.NewMemStore(cfg.PageSize), wal.NewMemStore(0), reg)
+	return NewClusterWithStoresIn(cfg, memPageStore(cfg), memLogStore(cfg, 0), reg)
 }
 
 // NewClusterWithStores builds a cluster over explicit stable storage
@@ -209,7 +231,7 @@ func (cl *Cluster) clientConn(id ident.ClientID, c *Client) msg.Client {
 
 // AddClient joins a new client with a memory-backed private log.
 func (cl *Cluster) AddClient() (*Client, error) {
-	return cl.AddClientWithLog(wal.NewMemStore(cl.cfg.ClientLogCapacity))
+	return cl.AddClientWithLog(memLogStore(cl.cfg, cl.cfg.ClientLogCapacity))
 }
 
 // AddDisklessClient joins a client without a local log disk: its
@@ -428,24 +450,7 @@ func (cl *Cluster) DebugPage(pid page.ID) string {
 		clientIDs = append(clientIDs, id)
 	}
 	cl.mu.Unlock()
-	out := ""
-	server.mu.Lock()
-	if p, ok := server.pool.Get(pid); ok {
-		out += fmt.Sprintf("server pool: psn=%d dirty=%v slots:", p.PSN(), server.pool.IsDirty(pid))
-		for _, sl := range p.UsedSlotIDs() {
-			d, _ := p.Read(sl)
-			out += fmt.Sprintf(" %d@%d=%x", sl, p.SlotPSN(sl), d[:4])
-		}
-		out += "\n"
-	} else {
-		out += "server pool: not cached\n"
-	}
-	for k, e := range server.dct {
-		if k.pg == pid {
-			out += fmt.Sprintf("dct[%v]: psn=%d redo=%v\n", k.c, e.psn, e.redoLSN)
-		}
-	}
-	server.mu.Unlock()
+	out := server.DebugPage(pid)
 	if disk, err := cl.store.Read(pid); err == nil {
 		out += fmt.Sprintf("disk: psn=%d slots:", disk.PSN())
 		for _, sl := range disk.UsedSlotIDs() {

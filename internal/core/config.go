@@ -120,6 +120,15 @@ type Config struct {
 	// Latency is the simulated one-way network latency applied by the
 	// loopback transport.
 	Latency time.Duration
+	// DiskLatency is the simulated per-I/O time of the memory-backed
+	// page store (0 = instantaneous).  The device itself is concurrent;
+	// the knob exists so lock-scaling experiments see realistic I/O time
+	// under the server's locks.
+	DiskLatency time.Duration
+	// FsyncLatency is the simulated fsync time of the memory-backed
+	// server and client log devices (0 = instantaneous).  Group commit
+	// coalesces concurrent forces onto one such sleep.
+	FsyncLatency time.Duration
 	// CheckpointEvery takes a fuzzy client checkpoint after that many
 	// commits (0 disables automatic checkpoints).
 	CheckpointEvery int
@@ -136,6 +145,33 @@ type Config struct {
 	// (GLM waits, callback round trips) into the same store.  nil (the
 	// default) disables tracing entirely.
 	Spans *span.Store
+	// BigLock collapses every sharded lock structure (GLM/LLM lock
+	// tables, the server's page-state shards) to a single shard,
+	// reproducing the pre-sharding serialization.  It exists for one
+	// release as the E12 baseline and will then be removed.
+	BigLock bool
+	// LockShards overrides the GLM/LLM lock-table shard count (0 = the
+	// lock package defaults); ignored when BigLock is set.
+	LockShards int
+	// PageShards overrides the server's page-state shard count (0 = the
+	// server default); ignored when BigLock is set.
+	PageShards int
+}
+
+// lockShards resolves the GLM/LLM shard count for this configuration.
+func (c Config) lockShards() int {
+	if c.BigLock {
+		return 1
+	}
+	return c.LockShards // 0 = package default
+}
+
+// pageShards resolves the server page-state shard count.
+func (c Config) pageShards() int {
+	if c.BigLock {
+		return 1
+	}
+	return c.PageShards // 0 = server default
 }
 
 // SchemeName labels the configuration's locking/logging/update scheme

@@ -28,6 +28,18 @@ type ServerMetrics struct {
 	RecoverySteps  obs.Counter // §3.4/§3.5 recovery steps executed
 }
 
+// lockWaitMetrics accumulates, per server subsystem lock, the
+// nanoseconds callers spent blocked on it (the mutex_wait_nanos_total
+// family; see obs.WaitMutex).
+type lockWaitMetrics struct {
+	registry  obs.Counter
+	pageShard obs.Counter
+	notify    obs.Counter
+	origins   obs.Counter
+	inflight  obs.Counter
+	complex   obs.Counter
+}
+
 // dctKey identifies a DCT entry: one (page, client) pair.
 type dctKey struct {
 	pg page.ID
@@ -43,9 +55,46 @@ type dctEntry struct {
 	redoLSN wal.LSN
 }
 
+// DefaultPageShards is the server's default page-state shard count.
+const DefaultPageShards = 16
+
+// pageShard is one independently mutexed slice of the server's
+// per-page state: the DCT rows, flush-notification subscriptions,
+// update tokens and recovery markers of the pages hashing to it.  The
+// shard mutex also serializes access to those pages' CONTENT: the
+// buffer pool hands out shared *page.Page values, so every merge,
+// marshal or in-place write of a page happens with its shard mutex
+// held.
+type pageShard struct {
+	mu        obs.WaitMutex
+	dct       map[dctKey]*dctEntry
+	shippedBy map[page.ID]map[ident.ClientID]bool
+	tokens    map[page.ID]ident.ClientID
+	// recovering marks (page, client) pairs with an in-flight §3.4 page
+	// recovery; recovered marks completed ones.  RecoveryFetch consults
+	// both: a pair that was never recovering has all its durable state
+	// in the server's copy already.
+	recovering map[dctKey]bool
+	recovered  map[dctKey]bool
+}
+
 // Server is the page server: stable storage, the server buffer pool,
 // the global lock manager, the server log (replacement records and
 // checkpoints) and the DCT.  It implements msg.Server.
+//
+// Concurrency is per subsystem instead of one big mutex.  The lock
+// hierarchy, in acquisition order (see DESIGN.md §10):
+//
+//	registry (regMu, RW) → GLM shard(s) in ascending order →
+//	page shard (one at a time) → notify queue (notifyMu) → WAL
+//
+// with originsMu, inflightMu, complexMu, traceMu and stateMu as
+// independent leaves.  GLM shard mutexes are never held across calls
+// back into the server (callbacks run in fresh goroutines), so
+// read-only GLM queries from inside a page-shard section (e.g.
+// HoldsAnyX during a force) cannot deadlock.  Multi-page operations
+// (Checkpoint, FlushAll, snapshots) visit page shards in ascending
+// index order holding at most one shard mutex at any moment.
 type Server struct {
 	cfg   Config
 	glm   *lock.GLM
@@ -53,55 +102,67 @@ type Server struct {
 	slog  *wal.Log
 	pool  *buffer.Pool
 
-	mu         sync.Mutex
-	dct        map[dctKey]*dctEntry
+	// regMu guards the client registry; admin and data paths share it
+	// only for the brief conn lookups, so /waitsfor and friends never
+	// block behind commit processing.
+	regMu      obs.WaitRWMutex
 	clients    map[ident.ClientID]msg.Client
 	nextClient uint32
-	// shippedBy tracks, per page, the clients that replaced the page to
-	// the server since the last force; they get a flush notification so
-	// their DPT/log-space bookkeeping advances (§3.2, §3.6).
-	shippedBy map[page.ID]map[ident.ClientID]bool
-	// tokens maps pages to their update-token owner (baseline mode).
-	tokens map[page.ID]ident.ClientID
-	// pendingOrigins collects, per requesting client, the callback
-	// origins its next Lock reply must carry so it can write callback
-	// log records (§3.1).
+
+	// pageShards hold the per-page protocol state, hashed by page ID.
+	pageShards []pageShard
+
+	// The notify queue: flush notifications are enqueued while a page
+	// shard is held and delivered by a self-terminating drain goroutine,
+	// so no shard mutex is ever held across client I/O.
+	notifyMu       obs.WaitMutex
+	notifyPending  []pendingNotify
+	notifyDraining bool
+	notifyIdle     chan struct{} // closed when the drain goroutine exits
+
+	// originsMu guards pendingOrigins: per requesting client, the
+	// callback origins its next Lock reply must carry so it can write
+	// callback log records (§3.1).
+	originsMu      obs.WaitMutex
 	pendingOrigins map[ident.ClientID][]msg.CallbackOrigin
-	// inflight dedupes concurrent identical callbacks.
-	inflight map[inflightKey]bool
-	// remoteLogs hosts diskless clients' private logs (Section 2).
-	remoteLogs *RemoteLogHost
-	// inflightWait holds Lock requests blocked behind in-flight
-	// callback applications (see waitInflightClear).
+
+	// inflightMu guards the dedupe table for concurrent identical
+	// callbacks and the Lock requests blocked behind in-flight callback
+	// applications (see waitInflightClear).
+	inflightMu   obs.WaitMutex
+	inflight     map[inflightKey]bool
 	inflightWait []chan struct{}
-	// complexPending counts clients that crashed together with the
-	// server and have not finished §3.5 recovery.  While it is nonzero,
-	// new GLM grants wait: the rebuilt lock tables cannot contain the
-	// crashed clients' exclusive locks (lock tables are volatile, paper
-	// claim 7), so granting in that window could hand out pages whose
-	// freshest state is still being recovered.
+
+	// complexMu guards complexPending: clients that crashed together
+	// with the server and have not finished §3.5 recovery.  While it is
+	// nonempty, new GLM grants wait: the rebuilt lock tables cannot
+	// contain the crashed clients' exclusive locks (lock tables are
+	// volatile, paper claim 7), so granting in that window could hand
+	// out pages whose freshest state is still being recovered.
+	complexMu      obs.WaitMutex
 	complexPending map[ident.ClientID]bool
 	complexWait    []chan struct{}
-	// recovering marks (page, client) pairs with an in-flight §3.4 page
-	// recovery; recovered marks completed ones.  RecoveryFetch consults
-	// both: a pair that was never recovering has all its durable state
-	// in the server's copy already.
-	recovering    map[dctKey]bool
-	recovered     map[dctKey]bool
-	recWaiter     []chan struct{}
-	notifyPending []pendingNotify
-	restart       *restartInfo
-	stopped       bool
 
-	Metrics ServerMetrics
-	tracer  trace.Recorder
+	// stateMu guards restart, the state retained from server restart
+	// recovery for §3.5 RecoverQuery answers.
+	stateMu sync.Mutex
+	restart *restartInfo
+
+	// remoteLogs hosts diskless clients' private logs (Section 2);
+	// installed before serving, then read-only.
+	remoteLogs *RemoteLogHost
+
+	Metrics  ServerMetrics
+	lockWait lockWaitMetrics
+	tracer   trace.Recorder
 	// spans stages the server's side of sampled transactions (GLM queue
 	// waits, callback round trips, commit processing); nil disables it.
 	spans *span.Store
-	// lockTraces maps a client with a sampled Lock in flight to its GLM
-	// queue-wait span, so the callbacks that wait triggers can parent
-	// under it.  Best-effort: a client running concurrent transactions
-	// keeps only the newest entry.  Guarded by mu.
+	// traceMu guards lockTraces: a client with a sampled Lock in flight
+	// maps to its GLM queue-wait span, so the callbacks that wait
+	// triggers can parent under it.  Best-effort: a client running
+	// concurrent transactions keeps only the newest entry.
+	traceMu    sync.Mutex
 	lockTraces map[ident.ClientID]span.Context
 }
 
@@ -114,11 +175,12 @@ func (s *Server) SetTracer(r trace.Recorder) {
 	s.tracer = r
 }
 
-// RegisterObs binds the server's metrics — its own protocol counters
-// plus the server log, buffer pool and global lock manager — into reg
-// under scope=server.  Safe to call on every restart: the registry sums
-// all engines ever bound to a series, so /metrics stays monotone while
-// each engine's own Metrics start from zero.
+// RegisterObs binds the server's metrics — its own protocol counters,
+// per-subsystem mutex-wait counters, plus the server log, buffer pool
+// and global lock manager — into reg under scope=server.  Safe to call
+// on every restart: the registry sums all engines ever bound to a
+// series, so /metrics stays monotone while each engine's own Metrics
+// start from zero.
 func (s *Server) RegisterObs(reg *obs.Registry) {
 	if reg == nil {
 		return
@@ -131,6 +193,12 @@ func (s *Server) RegisterObs(reg *obs.Registry) {
 	reg.BindCounter(&s.Metrics.CallbacksSent, "server_callbacks_sent_total", sc)
 	reg.BindCounter(&s.Metrics.Deescalations, "server_deescalations_total", sc)
 	reg.BindCounter(&s.Metrics.RecoverySteps, "server_recovery_steps_total", sc)
+	reg.BindCounter(&s.lockWait.registry, "mutex_wait_nanos_total", sc, obs.T("lock", "registry"))
+	reg.BindCounter(&s.lockWait.pageShard, "mutex_wait_nanos_total", sc, obs.T("lock", "page-shard"))
+	reg.BindCounter(&s.lockWait.notify, "mutex_wait_nanos_total", sc, obs.T("lock", "notify"))
+	reg.BindCounter(&s.lockWait.origins, "mutex_wait_nanos_total", sc, obs.T("lock", "origins"))
+	reg.BindCounter(&s.lockWait.inflight, "mutex_wait_nanos_total", sc, obs.T("lock", "inflight"))
+	reg.BindCounter(&s.lockWait.complex, "mutex_wait_nanos_total", sc, obs.T("lock", "complex"))
 	s.slog.RegisterObs(reg, sc)
 	s.pool.RegisterObs(reg, sc)
 	s.glm.RegisterObs(reg, sc)
@@ -147,27 +215,46 @@ type inflightKey struct {
 // server log (both survive crashes; a restart constructs a fresh Server
 // over the same store and log and then runs RecoverServer).
 func NewServer(cfg Config, store storage.Store, logStore wal.Store) *Server {
+	nShards := cfg.pageShards()
+	if nShards <= 0 {
+		nShards = DefaultPageShards
+	}
 	s := &Server{
 		cfg:            cfg,
 		store:          store,
 		slog:           wal.NewLog(logStore),
 		pool:           buffer.New(cfg.ServerPool),
-		dct:            make(map[dctKey]*dctEntry),
 		clients:        make(map[ident.ClientID]msg.Client),
-		shippedBy:      make(map[page.ID]map[ident.ClientID]bool),
-		tokens:         make(map[page.ID]ident.ClientID),
+		pageShards:     make([]pageShard, nShards),
 		pendingOrigins: make(map[ident.ClientID][]msg.CallbackOrigin),
 		inflight:       make(map[inflightKey]bool),
 		complexPending: make(map[ident.ClientID]bool),
-		recovering:     make(map[dctKey]bool),
-		recovered:      make(map[dctKey]bool),
 		spans:          cfg.Spans,
 		lockTraces:     make(map[ident.ClientID]span.Context),
 	}
-	s.glm = lock.NewGLM(nil, cfg.LockTimeout)
+	for i := range s.pageShards {
+		sh := &s.pageShards[i]
+		sh.mu.SetWaitCounter(&s.lockWait.pageShard)
+		sh.dct = make(map[dctKey]*dctEntry)
+		sh.shippedBy = make(map[page.ID]map[ident.ClientID]bool)
+		sh.tokens = make(map[page.ID]ident.ClientID)
+		sh.recovering = make(map[dctKey]bool)
+		sh.recovered = make(map[dctKey]bool)
+	}
+	s.regMu.SetWaitCounter(&s.lockWait.registry)
+	s.notifyMu.SetWaitCounter(&s.lockWait.notify)
+	s.originsMu.SetWaitCounter(&s.lockWait.origins)
+	s.inflightMu.SetWaitCounter(&s.lockWait.inflight)
+	s.complexMu.SetWaitCounter(&s.lockWait.complex)
+	s.glm = lock.NewGLMSharded(nil, cfg.LockTimeout, cfg.lockShards())
 	s.glm.SetCallbacker(serverCallbacker{s})
 	s.tracer = trace.Nop{}
 	return s
+}
+
+// shardOf maps a page to its page-state shard.
+func (s *Server) shardOf(pid page.ID) *pageShard {
+	return &s.pageShards[int(uint64(pid)%uint64(len(s.pageShards)))]
 }
 
 // GLM exposes the global lock manager (tests and recovery use it).
@@ -182,25 +269,23 @@ func (s *Server) Store() storage.Store { return s.store }
 // Attach connects a client conn under the given id; the transport layer
 // calls it right after Register.
 func (s *Server) Attach(id ident.ClientID, conn msg.Client) {
-	s.mu.Lock()
+	s.regMu.Lock()
 	s.clients[id] = conn
 	if uint32(id) >= s.nextClient {
 		s.nextClient = uint32(id)
 	}
-	s.mu.Unlock()
+	s.regMu.Unlock()
 }
 
 // conn returns the transport handle for a client.
 func (s *Server) conn(id ident.ClientID) msg.Client {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.regMu.RLock()
+	defer s.regMu.RUnlock()
 	return s.clients[id]
 }
 
 // Register implements msg.Server.
 func (s *Server) Register(req msg.RegisterReq) (msg.RegisterReply, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if req.Recover {
 		// §3.3: a crashed client reconnects; the server hands it the
 		// exclusive locks it retained and the DCT rows that bound the
@@ -213,8 +298,11 @@ func (s *Server) Register(req msg.RegisterReq) (msg.RegisterReply, error) {
 		}
 		return reply, nil
 	}
+	s.regMu.Lock()
 	s.nextClient++
-	return msg.RegisterReply{ID: ident.ClientID(s.nextClient), PageSize: s.store.PageSize()}, nil
+	id := ident.ClientID(s.nextClient)
+	s.regMu.Unlock()
+	return msg.RegisterReply{ID: id, PageSize: s.store.PageSize()}, nil
 }
 
 // Lock implements msg.Server: the GLM acquisition, DCT insertion on
@@ -234,13 +322,13 @@ func (s *Server) Lock(req msg.LockReq) (msg.LockReply, error) {
 	}
 	sp := s.spans.ServerStart(req.Trace, span.CatGLMQueue, req.Name.String())
 	if ctx := sp.Context(); ctx.Sampled {
-		s.mu.Lock()
+		s.traceMu.Lock()
 		s.lockTraces[req.Client] = ctx
-		s.mu.Unlock()
+		s.traceMu.Unlock()
 		defer func() {
-			s.mu.Lock()
+			s.traceMu.Lock()
 			delete(s.lockTraces, req.Client)
-			s.mu.Unlock()
+			s.traceMu.Unlock()
 		}()
 	}
 	grant, err := s.glm.Acquire(lock.Request{
@@ -254,32 +342,35 @@ func (s *Server) Lock(req msg.LockReq) (msg.LockReply, error) {
 	if err != nil {
 		return msg.LockReply{}, err
 	}
-	s.mu.Lock()
 	if grant.FirstX {
+		sh := s.shardOf(grant.Name.Page)
+		sh.mu.Lock()
 		key := dctKey{pg: grant.Name.Page, c: req.Client}
-		if _, ok := s.dct[key]; !ok {
+		if _, ok := sh.dct[key]; !ok {
 			psn := page.PSN(0)
 			if req.HasCached {
 				psn = req.CachedPSN
 			} else {
-				psn = s.currentPSNLocked(grant.Name.Page)
+				psn = s.currentPSN(sh, grant.Name.Page)
 			}
-			s.dct[key] = &dctEntry{psn: psn, redoLSN: wal.NilLSN}
+			sh.dct[key] = &dctEntry{psn: psn, redoLSN: wal.NilLSN}
 		}
-		delete(s.recovered, dctKey{pg: grant.Name.Page, c: req.Client})
+		delete(sh.recovered, key)
+		sh.mu.Unlock()
 	}
+	s.originsMu.Lock()
 	origins := s.pendingOrigins[req.Client]
 	delete(s.pendingOrigins, req.Client)
-	s.mu.Unlock()
+	s.originsMu.Unlock()
 	s.tracer.Record(trace.LockGrant, req.Client, grant.Name.Page,
 		fmt.Sprintf("grant %v %v", grant.Name, grant.Mode))
 	return msg.LockReply{Name: grant.Name, Mode: grant.Mode, Origins: origins}, nil
 }
 
-// currentPSNLocked returns the PSN of the server's current copy of the
-// page, reading it from disk into the pool if necessary.  Called with
-// s.mu held.
-func (s *Server) currentPSNLocked(pid page.ID) page.PSN {
+// currentPSN returns the PSN of the server's current copy of the page,
+// reading it from disk into the pool if necessary.  Called with the
+// page's shard mutex held.
+func (s *Server) currentPSN(sh *pageShard, pid page.ID) page.PSN {
 	if p, ok := s.pool.Get(pid); ok {
 		return p.PSN()
 	}
@@ -311,12 +402,17 @@ func (s *Server) Unlock(req msg.UnlockReq) error {
 // client ignores it during normal processing and installs it during
 // restart recovery).
 func (s *Server) Fetch(req msg.FetchReq) (msg.FetchReply, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.fetchLocked(req.Client, req.Page)
+	sh := s.shardOf(req.Page)
+	sh.mu.Lock()
+	reply, err := s.fetchShard(sh, req.Client, req.Page)
+	sh.mu.Unlock()
+	s.evict()
+	return reply, err
 }
 
-func (s *Server) fetchLocked(c ident.ClientID, pid page.ID) (msg.FetchReply, error) {
+// fetchShard builds a FetchReply for (client, page).  Called with
+// sh.mu held; the caller runs s.evict() after releasing the shard.
+func (s *Server) fetchShard(sh *pageShard, c ident.ClientID, pid page.ID) (msg.FetchReply, error) {
 	p, ok := s.pool.Get(pid)
 	if !ok {
 		read, err := s.store.Read(pid)
@@ -325,14 +421,13 @@ func (s *Server) fetchLocked(c ident.ClientID, pid page.ID) (msg.FetchReply, err
 		}
 		s.pool.Put(read, false)
 		p = read
-		s.evictLocked()
 	}
 	img, err := p.MarshalBinary()
 	if err != nil {
 		return msg.FetchReply{}, err
 	}
 	var psn page.PSN
-	if e, ok := s.dct[dctKey{pg: pid, c: c}]; ok {
+	if e, ok := sh.dct[dctKey{pg: pid, c: c}]; ok {
 		psn = e.psn
 	}
 	return msg.FetchReply{Image: img, DCTPSN: psn}, nil
@@ -345,20 +440,25 @@ func (s *Server) Ship(req msg.ShipReq) error {
 	if err := incoming.UnmarshalBinary(req.Image); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	err := s.receiveLocked(req.Client, incoming, req.Reason)
-	s.evictLocked()
-	s.enforceDirtyLimitLocked()
-	notify := s.drainNotifyLocked()
-	s.mu.Unlock()
-	sendNotifications(notify)
+	sh := s.shardOf(incoming.ID())
+	sh.mu.Lock()
+	err := s.receiveShard(sh, req.Client, incoming, req.Reason)
+	sh.mu.Unlock()
+	s.evict()
+	s.enforceDirtyLimit()
+	// Ship returns only after queued flush notifications are delivered
+	// (the client's §3.6 DPT/log-space bookkeeping keys off them); the
+	// drain goroutine does the delivery, so no shard mutex is held
+	// across client I/O.
+	s.notifyBarrier()
 	return err
 }
 
-// enforceDirtyLimitLocked plays background disk writer: while the pool
-// holds more dirty pages than the configured limit, the oldest dirty
-// pages are forced to disk.  Called with s.mu held.
-func (s *Server) enforceDirtyLimitLocked() {
+// enforceDirtyLimit plays background disk writer: while the pool holds
+// more dirty pages than the configured limit, dirty pages are forced to
+// disk.  Runs without holding any shard mutex; each force takes its
+// page's shard.
+func (s *Server) enforceDirtyLimit() {
 	if s.cfg.ServerDirtyLimit <= 0 {
 		return
 	}
@@ -366,24 +466,28 @@ func (s *Server) enforceDirtyLimitLocked() {
 	for len(dirty) > s.cfg.ServerDirtyLimit {
 		pid := dirty[0]
 		dirty = dirty[1:]
-		if _, err := s.forcePageLocked(pid); err != nil {
+		sh := s.shardOf(pid)
+		sh.mu.Lock()
+		_, err := s.forcePageShard(sh, pid)
+		sh.mu.Unlock()
+		if err != nil {
 			return
 		}
 	}
 }
 
-// receiveLocked merges a page received from a client into the pool and
+// receiveShard merges a page received from a client into the pool and
 // updates the DCT entry for (page, client) with the PSN present on the
-// received copy (§3.1, §3.2).  Called with s.mu held.
-func (s *Server) receiveLocked(c ident.ClientID, incoming *page.Page, reason msg.ShipReason) error {
+// received copy (§3.1, §3.2).  Called with sh.mu held.
+func (s *Server) receiveShard(sh *pageShard, c ident.ClientID, incoming *page.Page, reason msg.ShipReason) error {
 	pid := incoming.ID()
 	key := dctKey{pg: pid, c: c}
-	if e, ok := s.dct[key]; ok {
+	if e, ok := sh.dct[key]; ok {
 		if incoming.PSN() > e.psn {
 			e.psn = incoming.PSN()
 		}
 	} else {
-		s.dct[key] = &dctEntry{psn: incoming.PSN(), redoLSN: wal.NilLSN}
+		sh.dct[key] = &dctEntry{psn: incoming.PSN(), redoLSN: wal.NilLSN}
 	}
 	s.tracer.Record(trace.PageShip, c, pid, fmt.Sprintf("reason=%d psn=%d", reason, incoming.PSN()))
 	cur, ok := s.pool.Get(pid)
@@ -400,70 +504,80 @@ func (s *Server) receiveLocked(c ident.ClientID, incoming *page.Page, reason msg
 	s.tracer.Record(trace.PageMerge, c, pid, fmt.Sprintf("psn=%d", merged.PSN()))
 	s.pool.Put(merged, true)
 	if reason == msg.ShipReplace {
-		set := s.shippedBy[pid]
+		set := sh.shippedBy[pid]
 		if set == nil {
 			set = make(map[ident.ClientID]bool)
-			s.shippedBy[pid] = set
+			sh.shippedBy[pid] = set
 		}
 		set[c] = true
 	}
 	if reason == msg.ShipRecovery {
-		s.markRecoveredLocked(pid, c)
+		s.markRecovered(sh, pid, c)
 	}
-	s.wakeRecoveryWaitersLocked()
 	return nil
 }
 
-// pendingNotify pairs a client conn with the page id and forced PSN it
-// must be told about.
+// pendingNotify is one queued flush notification; the drain goroutine
+// resolves the client id to a conn at delivery time so no shard mutex
+// is ever held across client I/O.
 type pendingNotify struct {
-	conn msg.Client
-	pid  page.ID
-	psn  page.PSN
+	client ident.ClientID
+	pid    page.ID
+	psn    page.PSN
 }
 
-// evictLocked brings the pool back under capacity, forcing dirty
-// victims to disk (steal policy).  Called with s.mu held; the returned
-// notifications are queued on s.notifyQueue by forcePageLocked.
-func (s *Server) evictLocked() {
+// evict brings the pool back under capacity, forcing dirty victims to
+// disk (steal policy).  It runs without holding any shard mutex:
+// victims are peeked first, then removed under their own shard so a
+// concurrent merge cannot update a copy already on its way to disk.
+func (s *Server) evict() {
 	for s.pool.NeedsEviction() {
-		victim, dirty, err := s.pool.EvictVictim()
-		if err != nil {
+		pid, ok := s.pool.EvictCandidate()
+		if !ok {
 			return // everything pinned; let the pool run over capacity
 		}
-		if dirty {
-			s.forceImageLocked(victim)
+		sh := s.shardOf(pid)
+		sh.mu.Lock()
+		victim, dirty, removed := s.pool.Remove(pid)
+		if removed && dirty {
+			s.forceImageShard(sh, victim)
+		}
+		sh.mu.Unlock()
+		if !removed {
+			// Lost the race (re-gotten or pinned meanwhile); try the next
+			// candidate rather than spinning on this one.
+			return
 		}
 	}
 }
 
-// forcePageLocked forces the current copy of pid to disk.  Called with
-// s.mu held.
-func (s *Server) forcePageLocked(pid page.ID) (page.PSN, error) {
+// forcePageShard forces the current copy of pid to disk.  Called with
+// sh.mu held.
+func (s *Server) forcePageShard(sh *pageShard, pid page.ID) (page.PSN, error) {
 	p, ok := s.pool.Get(pid)
 	if !ok {
 		// Nothing cached: the disk version is current.
-		psn := s.currentPSNLocked(pid)
-		s.queueNotifyLocked(pid, psn)
+		psn := s.currentPSN(sh, pid)
+		s.queueNotifyShard(sh, pid, psn)
 		return psn, nil
 	}
 	if !s.pool.IsDirty(pid) {
-		s.queueNotifyLocked(pid, p.PSN())
+		s.queueNotifyShard(sh, pid, p.PSN())
 		return p.PSN(), nil
 	}
-	if err := s.forceImageLocked(p); err != nil {
+	if err := s.forceImageShard(sh, p); err != nil {
 		return 0, err
 	}
 	s.pool.Clean(pid)
 	return p.PSN(), nil
 }
 
-// forceImageLocked writes the replacement log record (§3.1) and then
-// the page in place.  Called with s.mu held.
-func (s *Server) forceImageLocked(p *page.Page) error {
+// forceImageShard writes the replacement log record (§3.1) and then the
+// page in place.  Called with sh.mu held (the page hashes to sh).
+func (s *Server) forceImageShard(sh *pageShard, p *page.Page) error {
 	pid := p.ID()
 	rec := &wal.Replacement{Page: pid, PagePSN: p.PSN()}
-	for k, e := range s.dct {
+	for k, e := range sh.dct {
 		if k.pg == pid {
 			rec.Entries = append(rec.Entries, wal.ReplEntry{Client: k.c, PSN: e.psn})
 		}
@@ -486,43 +600,80 @@ func (s *Server) forceImageLocked(p *page.Page) error {
 	// obsolete and keeping RedoLSN at the newest one lets the server
 	// checkpoint reclaim its log (the server-side analog of §3.6).
 	// Entries whose client holds no exclusive locks on the page are
-	// dropped now that the page is on disk.
-	for k, e := range s.dct {
+	// dropped now that the page is on disk.  (HoldsAnyX takes a GLM
+	// shard mutex under this page shard; safe because the GLM never
+	// holds its mutexes across calls into the server.)
+	for k, e := range sh.dct {
 		if k.pg != pid {
 			continue
 		}
 		e.redoLSN = lsn
 		if !s.glm.HoldsAnyX(k.c, pid) {
-			delete(s.dct, k)
+			delete(sh.dct, k)
 		}
 	}
-	s.queueNotifyLocked(pid, p.PSN())
+	s.queueNotifyShard(sh, pid, p.PSN())
 	return nil
 }
 
-// notifications pending while s.mu is held.
-func (s *Server) queueNotifyLocked(pid page.ID, psn page.PSN) {
-	set := s.shippedBy[pid]
+// queueNotifyShard queues flush notifications for the clients that
+// shipped the page since the last force.  Called with sh.mu held;
+// notifyMu nests below the shard mutex, and delivery happens on the
+// drain goroutine.
+func (s *Server) queueNotifyShard(sh *pageShard, pid page.ID, psn page.PSN) {
+	set := sh.shippedBy[pid]
 	if len(set) == 0 {
 		return
 	}
-	delete(s.shippedBy, pid)
+	delete(sh.shippedBy, pid)
+	s.notifyMu.Lock()
 	for c := range set {
-		if conn := s.clients[c]; conn != nil {
-			s.notifyPending = append(s.notifyPending, pendingNotify{conn: conn, pid: pid, psn: psn})
+		s.notifyPending = append(s.notifyPending, pendingNotify{client: c, pid: pid, psn: psn})
+	}
+	if !s.notifyDraining {
+		s.notifyDraining = true
+		s.notifyIdle = make(chan struct{})
+		go s.drainNotify()
+	}
+	s.notifyMu.Unlock()
+}
+
+// drainNotify delivers queued flush notifications until the queue is
+// empty, then exits (a later enqueue spawns a fresh drainer).
+func (s *Server) drainNotify() {
+	for {
+		s.notifyMu.Lock()
+		if len(s.notifyPending) == 0 {
+			s.notifyDraining = false
+			close(s.notifyIdle)
+			s.notifyMu.Unlock()
+			return
+		}
+		batch := s.notifyPending
+		s.notifyPending = nil
+		s.notifyMu.Unlock()
+		for _, n := range batch {
+			if conn := s.conn(n.client); conn != nil {
+				conn.NotifyFlushed(n.pid, n.psn)
+			}
 		}
 	}
 }
 
-func (s *Server) drainNotifyLocked() []pendingNotify {
-	out := s.notifyPending
-	s.notifyPending = nil
-	return out
-}
-
-func sendNotifications(notify []pendingNotify) {
-	for _, n := range notify {
-		n.conn.NotifyFlushed(n.pid, n.psn)
+// notifyBarrier blocks until every queued flush notification has been
+// delivered.  Force and FlushAll use it so the client's §3.6 log-space
+// bookkeeping has advanced by the time the reply arrives (NotifyFlushed
+// is lossy by contract, but the synchronous paths stay deterministic).
+func (s *Server) notifyBarrier() {
+	for {
+		s.notifyMu.Lock()
+		if !s.notifyDraining && len(s.notifyPending) == 0 {
+			s.notifyMu.Unlock()
+			return
+		}
+		ch := s.notifyIdle
+		s.notifyMu.Unlock()
+		<-ch
 	}
 }
 
@@ -531,31 +682,34 @@ func sendNotifications(notify []pendingNotify) {
 // carries the forced copy's PSN so the caller knows which of its ships
 // the force covered.
 func (s *Server) Force(req msg.ForceReq) (msg.ForceReply, error) {
-	s.mu.Lock()
-	psn, err := s.forcePageLocked(req.Page)
-	notify := s.drainNotifyLocked()
-	s.mu.Unlock()
-	sendNotifications(notify)
+	sh := s.shardOf(req.Page)
+	sh.mu.Lock()
+	psn, err := s.forcePageShard(sh, req.Page)
+	sh.mu.Unlock()
+	s.notifyBarrier()
 	return msg.ForceReply{PSN: psn}, err
 }
 
 // Alloc implements msg.Server: allocates a page, grants the client an
 // exclusive page lock on it, and inserts the DCT entry (first X grant).
+// The DCT entry is inserted before the lock so the "X held ⇒ DCT entry"
+// invariant never has a visible gap.
 func (s *Server) Alloc(req msg.AllocReq) (msg.FetchReply, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	p, err := s.store.Allocate()
 	if err != nil {
 		return msg.FetchReply{}, err
 	}
+	sh := s.shardOf(p.ID())
+	sh.mu.Lock()
 	s.pool.Put(p, false)
-	s.evictLocked()
-	s.glm.Install(req.Client, lock.PageName(p.ID()), lock.X)
-	s.dct[dctKey{pg: p.ID(), c: req.Client}] = &dctEntry{psn: p.PSN(), redoLSN: wal.NilLSN}
-	img, err := p.MarshalBinary()
-	if err != nil {
-		return msg.FetchReply{}, err
+	sh.dct[dctKey{pg: p.ID(), c: req.Client}] = &dctEntry{psn: p.PSN(), redoLSN: wal.NilLSN}
+	img, merr := p.MarshalBinary()
+	sh.mu.Unlock()
+	if merr != nil {
+		return msg.FetchReply{}, merr
 	}
+	s.glm.Install(req.Client, lock.PageName(p.ID()), lock.X)
+	s.evict()
 	return msg.FetchReply{Image: img, DCTPSN: p.PSN()}, nil
 }
 
@@ -565,10 +719,11 @@ func (s *Server) Alloc(req msg.AllocReq) (msg.FetchReply, error) {
 // future reincarnation stays above every log record ever written for
 // the dead incarnation.
 func (s *Server) Free(req msg.FreeReq) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	best := s.currentPSNLocked(req.Page)
-	for k, e := range s.dct {
+	sh := s.shardOf(req.Page)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	best := s.currentPSN(sh, req.Page)
+	for k, e := range sh.dct {
 		if k.pg == req.Page && e.psn > best {
 			best = e.psn
 		}
@@ -587,13 +742,13 @@ func (s *Server) Free(req msg.FreeReq) error {
 		}
 	}
 	s.pool.Drop(req.Page)
-	for k := range s.dct {
+	for k := range sh.dct {
 		if k.pg == req.Page {
-			delete(s.dct, k)
+			delete(sh.dct, k)
 		}
 	}
-	delete(s.shippedBy, req.Page)
-	delete(s.tokens, req.Page)
+	delete(sh.shippedBy, req.Page)
+	delete(sh.tokens, req.Page)
 	return s.store.Free(req.Page)
 }
 
@@ -611,18 +766,20 @@ func (s *Server) CommitShip(req msg.CommitShipReq) error {
 	if err := s.slog.ForceAll(); err != nil {
 		return err
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, img := range req.Pages {
 		p := new(page.Page)
 		if err := p.UnmarshalBinary(img); err != nil {
 			return err
 		}
-		if err := s.receiveLocked(req.Client, p, msg.ShipCommit); err != nil {
+		sh := s.shardOf(p.ID())
+		sh.mu.Lock()
+		err := s.receiveShard(sh, req.Client, p, msg.ShipCommit)
+		sh.mu.Unlock()
+		if err != nil {
 			return err
 		}
 	}
-	s.evictLocked()
+	s.evict()
 	return nil
 }
 
@@ -630,9 +787,10 @@ func (s *Server) CommitShip(req msg.CommitShipReq) error {
 // migrates to the requester; the page travels with it, recalled from
 // the previous owner if necessary.
 func (s *Server) Token(req msg.TokenReq) (msg.TokenReply, error) {
-	s.mu.Lock()
-	owner, owned := s.tokens[req.Page]
-	s.mu.Unlock()
+	sh := s.shardOf(req.Page)
+	sh.mu.Lock()
+	owner, owned := sh.tokens[req.Page]
+	sh.mu.Unlock()
 	if owned && owner != req.Client {
 		conn := s.conn(owner)
 		if conn != nil {
@@ -645,20 +803,20 @@ func (s *Server) Token(req msg.TokenReq) (msg.TokenReply, error) {
 				if err := p.UnmarshalBinary(reply.Image); err != nil {
 					return msg.TokenReply{}, err
 				}
-				s.mu.Lock()
-				if err := s.receiveLocked(owner, p, msg.ShipCallback); err != nil {
-					s.mu.Unlock()
+				sh.mu.Lock()
+				err := s.receiveShard(sh, owner, p, msg.ShipCallback)
+				sh.mu.Unlock()
+				if err != nil {
 					return msg.TokenReply{}, err
 				}
-				s.mu.Unlock()
 			}
 		}
 		s.Metrics.TokenTransfers.Add(1)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.tokens[req.Page] = req.Client
-	reply, err := s.fetchLocked(req.Client, req.Page)
+	sh.mu.Lock()
+	sh.tokens[req.Page] = req.Client
+	reply, err := s.fetchShard(sh, req.Client, req.Page)
+	sh.mu.Unlock()
 	if err != nil {
 		return msg.TokenReply{}, err
 	}
@@ -669,7 +827,7 @@ func (s *Server) Token(req msg.TokenReq) (msg.TokenReply, error) {
 // recovery.
 func (s *Server) RecoverEnd(c ident.ClientID) error {
 	s.glm.ClientRecovered(c)
-	s.mu.Lock()
+	s.complexMu.Lock()
 	if s.complexPending[c] {
 		delete(s.complexPending, c)
 		for _, ch := range s.complexWait {
@@ -677,7 +835,7 @@ func (s *Server) RecoverEnd(c ident.ClientID) error {
 		}
 		s.complexWait = nil
 	}
-	s.mu.Unlock()
+	s.complexMu.Unlock()
 	return nil
 }
 
@@ -688,21 +846,21 @@ func (s *Server) RecoverEnd(c ident.ClientID) error {
 // are not blocked.
 func (s *Server) waitComplexRecovered(requester ident.ClientID) {
 	deadline := time.Now().Add(s.cfg.LockTimeout)
-	s.mu.Lock()
+	s.complexMu.Lock()
 	for {
 		if len(s.complexPending) == 0 || s.complexPending[requester] {
-			s.mu.Unlock()
+			s.complexMu.Unlock()
 			return
 		}
 		ch := make(chan struct{})
 		s.complexWait = append(s.complexWait, ch)
-		s.mu.Unlock()
+		s.complexMu.Unlock()
 		select {
 		case <-ch:
 		case <-time.After(time.Until(deadline)):
 			return
 		}
-		s.mu.Lock()
+		s.complexMu.Lock()
 	}
 }
 
@@ -710,10 +868,12 @@ func (s *Server) waitComplexRecovered(requester ident.ClientID) {
 // have shipped its dirty pages first) gives up all its locks.
 func (s *Server) Disconnect(c ident.ClientID) error {
 	s.glm.ReleaseAll(c)
-	s.mu.Lock()
+	s.regMu.Lock()
 	delete(s.clients, c)
+	s.regMu.Unlock()
+	s.originsMu.Lock()
 	delete(s.pendingOrigins, c)
-	s.mu.Unlock()
+	s.originsMu.Unlock()
 	return nil
 }
 
@@ -729,41 +889,47 @@ func (s *Server) ClientCrashed(c ident.ClientID) {
 // longer need: everything below the minimum RedoLSN in the DCT (the
 // §3.4 scan never starts earlier) and below the checkpoint itself.
 func (s *Server) Checkpoint() error {
-	s.mu.Lock()
 	rec := &wal.ServerCheckpoint{}
-	for k, e := range s.dct {
-		rec.DCT = append(rec.DCT, wal.DCTEntry{Page: k.pg, Client: k.c, PSN: e.psn, RedoLSN: e.redoLSN})
+	for i := range s.pageShards {
+		sh := &s.pageShards[i]
+		sh.mu.Lock()
+		for k, e := range sh.dct {
+			rec.DCT = append(rec.DCT, wal.DCTEntry{Page: k.pg, Client: k.c, PSN: e.psn, RedoLSN: e.redoLSN})
+		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 	lsn, err := s.slog.AppendAndForce(rec)
 	if err != nil {
 		return err
 	}
 	horizon := lsn
-	s.mu.Lock()
-	for _, e := range s.dct {
-		if e.redoLSN != wal.NilLSN && e.redoLSN < horizon {
-			horizon = e.redoLSN
+	for i := range s.pageShards {
+		sh := &s.pageShards[i]
+		sh.mu.Lock()
+		for _, e := range sh.dct {
+			if e.redoLSN != wal.NilLSN && e.redoLSN < horizon {
+				horizon = e.redoLSN
+			}
 		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 	return s.slog.Reclaim(horizon)
 }
 
 // FlushAll forces every dirty page to disk (used by orderly shutdown
-// and by tests that want a clean disk state).
+// and by tests that want a clean disk state).  All pending flush
+// notifications are delivered before it returns.
 func (s *Server) FlushAll() error {
-	s.mu.Lock()
-	dirty := s.pool.DirtyIDs()
-	for _, pid := range dirty {
-		if _, err := s.forcePageLocked(pid); err != nil {
-			s.mu.Unlock()
+	for _, pid := range s.pool.DirtyIDs() {
+		sh := s.shardOf(pid)
+		sh.mu.Lock()
+		_, err := s.forcePageShard(sh, pid)
+		sh.mu.Unlock()
+		if err != nil {
 			return err
 		}
 	}
-	notify := s.drainNotifyLocked()
-	s.mu.Unlock()
-	sendNotifications(notify)
+	s.notifyBarrier()
 	return nil
 }
 
@@ -772,9 +938,6 @@ func (s *Server) FlushAll() error {
 // survive.  The cluster then constructs a fresh Server over the same
 // store/log and runs RecoverServer.
 func (s *Server) Crash() {
-	s.mu.Lock()
-	s.stopped = true
-	s.mu.Unlock()
 	s.glm.Stop()
 	if ms, ok := s.slog.Store().(*wal.MemStore); ok {
 		ms.Crash()
@@ -785,26 +948,41 @@ func (s *Server) Crash() {
 // DCTSnapshot returns a copy of the DCT (tests assert Properties 1-2
 // against it).
 func (s *Server) DCTSnapshot() map[dctKey]dctEntry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	out := make(map[dctKey]dctEntry, len(s.dct))
-	for k, e := range s.dct {
-		out[k] = *e
+	out := make(map[dctKey]dctEntry)
+	for i := range s.pageShards {
+		sh := &s.pageShards[i]
+		sh.mu.Lock()
+		for k, e := range sh.dct {
+			out[k] = *e
+		}
+		sh.mu.Unlock()
 	}
 	return out
+}
+
+// MutexWaitNanos returns the cumulative time callers spent blocked on
+// the server's subsystem locks (registry, page shards, notify queue and
+// the leaf maps) plus the GLM's shard mutexes.  The benchmarks read it
+// to attribute throughput differences to lock contention directly.
+func (s *Server) MutexWaitNanos() uint64 {
+	lw := &s.lockWait
+	return lw.registry.Load() + lw.pageShard.Load() + lw.notify.Load() +
+		lw.origins.Load() + lw.inflight.Load() + lw.complex.Load() +
+		s.glm.Metrics.MutexWait.Load()
 }
 
 // PagePSN returns the server's current PSN for the page: the pooled
 // copy's when cached, else the disk copy's (0 when the page does not
 // exist).  The chaos harness samples it to assert PSN monotonicity.
 func (s *Server) PagePSN(pid page.ID) page.PSN {
-	s.mu.Lock()
+	sh := s.shardOf(pid)
+	sh.mu.Lock()
 	if p, ok := s.pool.Get(pid); ok {
 		psn := p.PSN()
-		s.mu.Unlock()
+		sh.mu.Unlock()
 		return psn
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
 	disk, err := s.store.Read(pid)
 	if err != nil {
 		return 0
@@ -820,14 +998,16 @@ func (s *Server) PagePSN(pid page.ID) page.PSN {
 // first violation found.
 func (s *Server) CheckInvariants() error {
 	holdings := s.glm.AllHoldings()
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	for c, holds := range holdings {
 		for _, h := range holds {
 			if h.Mode != lock.X {
 				continue
 			}
-			if _, ok := s.dct[dctKey{pg: h.Name.Page, c: c}]; ok {
+			sh := s.shardOf(h.Name.Page)
+			sh.mu.Lock()
+			_, ok := sh.dct[dctKey{pg: h.Name.Page, c: c}]
+			sh.mu.Unlock()
+			if ok {
 				continue
 			}
 			if _, err := s.store.Read(h.Name.Page); err != nil {
@@ -843,9 +1023,10 @@ func (s *Server) CheckInvariants() error {
 // DCTPSN returns the DCT PSN for (page, client) and whether the entry
 // exists.
 func (s *Server) DCTPSN(pid page.ID, c ident.ClientID) (page.PSN, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	e, ok := s.dct[dctKey{pg: pid, c: c}]
+	sh := s.shardOf(pid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	e, ok := sh.dct[dctKey{pg: pid, c: c}]
 	if !ok {
 		return 0, false
 	}
@@ -868,8 +1049,8 @@ func (cb serverCallbacker) DeescalatePage(holder, requester ident.ClientID, pg p
 }
 
 func (s *Server) beginInflight(k inflightKey) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.inflightMu.Lock()
+	defer s.inflightMu.Unlock()
 	if s.inflight[k] {
 		return false
 	}
@@ -878,13 +1059,13 @@ func (s *Server) beginInflight(k inflightKey) bool {
 }
 
 func (s *Server) endInflight(k inflightKey) {
-	s.mu.Lock()
+	s.inflightMu.Lock()
 	delete(s.inflight, k)
 	for _, ch := range s.inflightWait {
 		close(ch)
 	}
 	s.inflightWait = nil
-	s.mu.Unlock()
+	s.inflightMu.Unlock()
 }
 
 // inflightTouches reports whether an in-flight callback to client c
@@ -900,7 +1081,7 @@ func inflightTouches(k inflightKey, c ident.ClientID, name lock.Name) bool {
 // waitInflightClear blocks until no in-flight callback to the client
 // overlaps the name.
 func (s *Server) waitInflightClear(c ident.ClientID, name lock.Name) {
-	s.mu.Lock()
+	s.inflightMu.Lock()
 	for {
 		blocked := false
 		for k := range s.inflight {
@@ -910,15 +1091,21 @@ func (s *Server) waitInflightClear(c ident.ClientID, name lock.Name) {
 			}
 		}
 		if !blocked {
-			s.mu.Unlock()
+			s.inflightMu.Unlock()
 			return
 		}
 		ch := make(chan struct{})
 		s.inflightWait = append(s.inflightWait, ch)
-		s.mu.Unlock()
+		s.inflightMu.Unlock()
 		<-ch
-		s.mu.Lock()
+		s.inflightMu.Lock()
 	}
+}
+
+func (s *Server) lockTrace(requester ident.ClientID) span.Context {
+	s.traceMu.Lock()
+	defer s.traceMu.Unlock()
+	return s.lockTraces[requester]
 }
 
 func (s *Server) runObjectCallback(holder, requester ident.ClientID, obj lock.Name, wanted lock.Mode) {
@@ -936,21 +1123,19 @@ func (s *Server) runObjectCallback(holder, requester ident.ClientID, obj lock.Na
 	}
 	s.Metrics.CallbacksSent.Add(1)
 	s.tracer.Record(trace.CallbackSent, holder, obj.Page, fmt.Sprintf("obj=%v wanted=%v for=%v", obj, wanted, requester))
-	s.mu.Lock()
-	ctx := s.lockTraces[requester]
-	s.mu.Unlock()
-	sp := s.spans.ServerStart(ctx, span.CatCallback, obj.String())
+	sp := s.spans.ServerStart(s.lockTrace(requester), span.CatCallback, obj.String())
 	reply, err := conn.CallbackObject(msg.CallbackReq{Requester: requester, Object: obj, Wanted: wanted})
 	sp.End()
 	if err != nil {
 		return // holder crashed mid-callback; §3.3 handling takes over
 	}
-	s.mu.Lock()
+	sh := s.shardOf(obj.Page)
+	sh.mu.Lock()
 	if reply.HadPage {
 		incoming := new(page.Page)
 		if uerr := incoming.UnmarshalBinary(reply.Image); uerr == nil {
-			if rerr := s.receiveLocked(holder, incoming, msg.ShipCallback); rerr != nil {
-				s.mu.Unlock()
+			if rerr := s.receiveShard(sh, holder, incoming, msg.ShipCallback); rerr != nil {
+				sh.mu.Unlock()
 				return
 			}
 		}
@@ -960,22 +1145,25 @@ func (s *Server) runObjectCallback(holder, requester ident.ClientID, obj lock.Na
 	// responder sent it to the server.  When the responder had no page
 	// to ship, its updates were shipped earlier and the DCT remembers
 	// their PSN.
+	var origin *msg.CallbackOrigin
 	if wanted == lock.X {
 		psn := page.PSN(0)
 		if reply.HadPage {
 			if p := new(page.Page); p.UnmarshalBinary(reply.Image) == nil {
 				psn = p.PSN()
 			}
-		} else if e, ok := s.dct[dctKey{pg: obj.Page, c: holder}]; ok {
+		} else if e, ok := sh.dct[dctKey{pg: obj.Page, c: holder}]; ok {
 			psn = e.psn
 		}
-		s.pendingOrigins[requester] = append(s.pendingOrigins[requester],
-			msg.CallbackOrigin{Object: obj.Object(), Responder: holder, PSN: psn})
+		origin = &msg.CallbackOrigin{Object: obj.Object(), Responder: holder, PSN: psn}
 	}
-	s.evictLocked()
-	notify := s.drainNotifyLocked()
-	s.mu.Unlock()
-	sendNotifications(notify)
+	sh.mu.Unlock()
+	if origin != nil {
+		s.originsMu.Lock()
+		s.pendingOrigins[requester] = append(s.pendingOrigins[requester], *origin)
+		s.originsMu.Unlock()
+	}
+	s.evict()
 	switch {
 	case reply.Released:
 		s.glm.Release(holder, obj)
@@ -997,10 +1185,7 @@ func (s *Server) runDeescalation(holder, requester ident.ClientID, pg page.ID, w
 	}
 	s.Metrics.Deescalations.Add(1)
 	s.tracer.Record(trace.DeescSent, holder, pg, fmt.Sprintf("wanted=%v for=%v", wanted, requester))
-	s.mu.Lock()
-	ctx := s.lockTraces[requester]
-	s.mu.Unlock()
-	sp := s.spans.ServerStart(ctx, span.CatDeesc, lock.PageName(pg).String())
+	sp := s.spans.ServerStart(s.lockTrace(requester), span.CatDeesc, lock.PageName(pg).String())
 	reply, err := conn.DeescalatePage(msg.DeescReq{Requester: requester, Page: pg, Wanted: wanted})
 	sp.End()
 	if err != nil {
@@ -1009,15 +1194,14 @@ func (s *Server) runDeescalation(holder, requester ident.ClientID, pg page.ID, w
 	if reply.HadPage {
 		incoming := new(page.Page)
 		if uerr := incoming.UnmarshalBinary(reply.Image); uerr == nil {
-			s.mu.Lock()
-			if rerr := s.receiveLocked(holder, incoming, msg.ShipCallback); rerr != nil {
-				s.mu.Unlock()
+			sh := s.shardOf(pg)
+			sh.mu.Lock()
+			rerr := s.receiveShard(sh, holder, incoming, msg.ShipCallback)
+			sh.mu.Unlock()
+			if rerr != nil {
 				return
 			}
-			s.evictLocked()
-			notify := s.drainNotifyLocked()
-			s.mu.Unlock()
-			sendNotifications(notify)
+			s.evict()
 		}
 	}
 	s.glm.Deescalate(holder, pg, reply.Objs)
@@ -1025,12 +1209,37 @@ func (s *Server) runDeescalation(holder, requester ident.ClientID, pg page.ID, w
 
 // DebugInflight renders the in-flight callback table (debug tooling).
 func (s *Server) DebugInflight() string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.inflightMu.Lock()
+	defer s.inflightMu.Unlock()
 	out := ""
 	for k := range s.inflight {
 		out += fmt.Sprintf("inflight: holder=%v name=%v wanted=%v deesc=%v\n", k.holder, k.name, k.wanted, k.deesc)
 	}
 	out += fmt.Sprintf("inflightWaiters=%d\n", len(s.inflightWait))
+	return out
+}
+
+// DebugPage renders the server's view of a page — pool copy, dirty
+// flag, per-slot PSNs and the DCT rows (debug tooling).
+func (s *Server) DebugPage(pid page.ID) string {
+	sh := s.shardOf(pid)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	out := ""
+	if p, ok := s.pool.Get(pid); ok {
+		out += fmt.Sprintf("server pool: psn=%d dirty=%v slots:", p.PSN(), s.pool.IsDirty(pid))
+		for _, sl := range p.UsedSlotIDs() {
+			d, _ := p.Read(sl)
+			out += fmt.Sprintf(" %d@%d=%x", sl, p.SlotPSN(sl), d[:4])
+		}
+		out += "\n"
+	} else {
+		out += "server pool: not cached\n"
+	}
+	for k, e := range sh.dct {
+		if k.pg == pid {
+			out += fmt.Sprintf("dct[%v]: psn=%d redo=%v\n", k.c, e.psn, e.redoLSN)
+		}
+	}
 	return out
 }

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"sort"
+
+	"clientlog/internal/msg"
+	"clientlog/internal/page"
+)
+
+// LockBatch implements msg.Server: the batched variant of Lock.  The
+// items are acquired in the server's canonical order — ascending page,
+// page-level locks before object-level, then ascending slot — so that
+// two clients issuing overlapping batches cannot deadlock on
+// batch-internal ordering (the same rule every multi-shard operation in
+// this codebase follows: take resources in one global order).  Each
+// item goes through the exact single-item Lock path, so DCT insertion,
+// callback-origin delivery, complex-crash gating and the
+// callback-application barrier behave identically to a client issuing
+// the RPCs one at a time.
+//
+// Items fail independently: the reply carries a per-item error string
+// and the RPC only errors at the transport level.  That keeps the
+// exchange idempotent under exactly-once retry — a retransmitted batch
+// replays the cached reply, including its partial grants, instead of
+// re-acquiring half the locks.
+func (s *Server) LockBatch(req msg.LockBatchReq) (msg.LockBatchReply, error) {
+	reply := msg.LockBatchReply{
+		Grants: make([]msg.LockReply, len(req.Items)),
+		Errs:   make([]string, len(req.Items)),
+	}
+	order := make([]int, len(req.Items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		na, nb := req.Items[order[a]].Name, req.Items[order[b]].Name
+		if na.Page != nb.Page {
+			return na.Page < nb.Page
+		}
+		if na.IsPage != nb.IsPage {
+			return na.IsPage // page-level before object-level
+		}
+		return na.Slot < nb.Slot
+	})
+	for _, i := range order {
+		it := req.Items[i]
+		grant, err := s.Lock(msg.LockReq{
+			Client:     req.Client,
+			Name:       it.Name,
+			Mode:       it.Mode,
+			PreferPage: it.PreferPage,
+			Upgrade:    it.Upgrade,
+			HasCached:  it.HasCached,
+			CachedPSN:  it.CachedPSN,
+			Trace:      req.Trace,
+		})
+		if err != nil {
+			reply.Errs[i] = err.Error()
+			continue
+		}
+		reply.Grants[i] = grant
+	}
+	return reply, nil
+}
+
+// FetchBatch implements msg.Server: the batched variant of Fetch.
+// Pages are read in request order, each under its own page-state shard;
+// failures are per-page.
+func (s *Server) FetchBatch(req msg.FetchBatchReq) (msg.FetchBatchReply, error) {
+	reply := msg.FetchBatchReply{
+		Images:  make([][]byte, len(req.Pages)),
+		DCTPSNs: make([]page.PSN, len(req.Pages)),
+		Errs:    make([]string, len(req.Pages)),
+	}
+	for i, pid := range req.Pages {
+		sh := s.shardOf(pid)
+		sh.mu.Lock()
+		one, err := s.fetchShard(sh, req.Client, pid)
+		sh.mu.Unlock()
+		if err != nil {
+			reply.Errs[i] = err.Error()
+			continue
+		}
+		reply.Images[i] = one.Image
+		reply.DCTPSNs[i] = one.DCTPSN
+	}
+	s.evict()
+	return reply, nil
+}

@@ -21,6 +21,16 @@ type restartInfo struct {
 	crashed map[ident.ClientID]bool
 }
 
+// dctInsertIfAbsent inserts a NULL DCT row for key unless one exists.
+func (s *Server) dctInsertIfAbsent(key dctKey) {
+	sh := s.shardOf(key.pg)
+	sh.mu.Lock()
+	if _, ok := sh.dct[key]; !ok {
+		sh.dct[key] = &dctEntry{psn: 0, redoLSN: wal.NilLSN}
+	}
+	sh.mu.Unlock()
+}
+
 // RecoverServer runs the §3.4 server restart recovery on a freshly
 // constructed Server over the surviving stable storage and server log.
 //
@@ -44,12 +54,12 @@ func (s *Server) RecoverServer(operational map[ident.ClientID]msg.Client, crashe
 		logDCT:  make(map[dctKey]page.PSN),
 		crashed: make(map[ident.ClientID]bool),
 	}
-	s.mu.Lock()
+	s.complexMu.Lock()
 	for _, c := range crashed {
 		ri.crashed[c] = true
 		s.complexPending[c] = true
 	}
-	s.mu.Unlock()
+	s.complexMu.Unlock()
 	for _, c := range crashed {
 		s.glm.ClientCrashed(c)
 	}
@@ -93,13 +103,15 @@ func (s *Server) RecoverServer(operational map[ident.ClientID]msg.Client, crashe
 		}
 	}
 
-	// (c) DCT reconstruction, steps 1-4 of §3.4.
-	s.mu.Lock()
+	// (c) DCT reconstruction, steps 1-4 of §3.4.  Recovery runs before
+	// the server serves requests, so per-shard locking here is about
+	// memory ordering, not contention.
+	//
 	// Step 1: <PID, CID, NULL, NULL> for every page in an operational
 	// client's DPT.
 	for id, info := range infos {
 		for _, de := range info.DPT {
-			s.dct[dctKey{pg: de.Page, c: id}] = &dctEntry{psn: 0, redoLSN: wal.NilLSN}
+			s.dctInsertIfAbsent(dctKey{pg: de.Page, c: id})
 		}
 	}
 	// Invariant restoration (beyond the paper's step 1): a client may
@@ -115,10 +127,7 @@ func (s *Server) RecoverServer(operational map[ident.ClientID]msg.Client, crashe
 			if h.Mode != lock.X {
 				continue
 			}
-			key := dctKey{pg: h.Name.Page, c: id}
-			if _, ok := s.dct[key]; !ok {
-				s.dct[key] = &dctEntry{psn: 0, redoLSN: wal.NilLSN}
-			}
+			s.dctInsertIfAbsent(dctKey{pg: h.Name.Page, c: id})
 		}
 	}
 	// Step 2: read the candidate pages from disk and remember their
@@ -126,13 +135,14 @@ func (s *Server) RecoverServer(operational map[ident.ClientID]msg.Client, crashe
 	for pid := range candidate {
 		p, err := s.store.Read(pid)
 		if err != nil {
-			s.mu.Unlock()
 			return fmt.Errorf("core: reading candidate page %d: %w", pid, err)
 		}
 		ri.diskPSN[pid] = p.PSN()
+		sh := s.shardOf(pid)
+		sh.mu.Lock()
 		s.pool.Put(p, false)
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 
 	// Step 3a: the DCT stored in the last complete server checkpoint
 	// gives the scan start.
@@ -164,8 +174,8 @@ func (s *Server) RecoverServer(operational map[ident.ClientID]msg.Client, crashe
 			}
 		}
 	}
-	// Step 3b: scan replacement records.
-	s.mu.Lock()
+	// Step 3b: scan replacement records; each record touches only its
+	// page's shard.
 	sc := s.slog.Scan(scanFrom)
 	for sc.Next() {
 		rep, ok := sc.Record().(*wal.Replacement)
@@ -173,8 +183,10 @@ func (s *Server) RecoverServer(operational map[ident.ClientID]msg.Client, crashe
 			continue
 		}
 		lsn := sc.LSN()
+		sh := s.shardOf(rep.Page)
+		sh.mu.Lock()
 		anyEntry := false
-		for k, e := range s.dct {
+		for k, e := range sh.dct {
 			if k.pg != rep.Page {
 				continue
 			}
@@ -189,14 +201,14 @@ func (s *Server) RecoverServer(operational map[ident.ClientID]msg.Client, crashe
 			for _, ent := range rep.Entries {
 				ri.logDCT[dctKey{pg: rep.Page, c: ent.Client}] = ent.PSN
 				if anyEntry {
-					if e, ok := s.dct[dctKey{pg: rep.Page, c: ent.Client}]; ok {
+					if e, ok := sh.dct[dctKey{pg: rep.Page, c: ent.Client}]; ok {
 						e.psn = ent.PSN
 					}
 				}
 			}
 		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 	if sc.Err() != nil {
 		return fmt.Errorf("core: replacement scan: %w", sc.Err())
 	}
@@ -222,30 +234,31 @@ func (s *Server) RecoverServer(operational map[ident.ClientID]msg.Client, crashe
 		if err != nil {
 			return fmt.Errorf("core: fetching cached pages from %s: %w", id, err)
 		}
-		s.mu.Lock()
 		for _, img := range images {
 			p := new(page.Page)
 			if uerr := p.UnmarshalBinary(img); uerr != nil {
-				s.mu.Unlock()
 				return uerr
 			}
-			if rerr := s.receiveLocked(id, p, msg.ShipCallback); rerr != nil {
-				s.mu.Unlock()
+			sh := s.shardOf(p.ID())
+			sh.mu.Lock()
+			rerr := s.receiveShard(sh, id, p, msg.ShipCallback)
+			sh.mu.Unlock()
+			if rerr != nil {
 				return rerr
 			}
 		}
-		s.evictLocked()
-		s.mu.Unlock()
+		s.evict()
 	}
 
 	// (d) Per-page coordination: build the merged CallBack_P list for
 	// each involved (page, client) pair and let the clients recover in
 	// parallel.
-	s.mu.Lock()
 	for _, ik := range involved {
-		s.recovering[dctKey{pg: ik.pid, c: ik.c}] = true
+		sh := s.shardOf(ik.pid)
+		sh.mu.Lock()
+		sh.recovering[dctKey{pg: ik.pid, c: ik.c}] = true
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 	var wg sync.WaitGroup
 	errs := make(chan error, len(involved))
 	for _, ik := range involved {
@@ -253,18 +266,19 @@ func (s *Server) RecoverServer(operational map[ident.ClientID]msg.Client, crashe
 		if err != nil {
 			return err
 		}
-		s.mu.Lock()
-		reply, ferr := s.fetchLocked(ik.c, ik.pid)
+		sh := s.shardOf(ik.pid)
+		sh.mu.Lock()
+		reply, ferr := s.fetchShard(sh, ik.c, ik.pid)
 		var psn page.PSN
-		if e, ok := s.dct[dctKey{pg: ik.pid, c: ik.c}]; ok {
+		if e, ok := sh.dct[dctKey{pg: ik.pid, c: ik.c}]; ok {
 			psn = e.psn
 		}
+		sh.mu.Unlock()
 		if psn == 0 {
 			// No matching replacement entry: the disk PSN bounds what is
 			// durable (see DESIGN.md on the NULL-PSN fallback).
 			psn = ri.diskPSN[ik.pid]
 		}
-		s.mu.Unlock()
 		if ferr != nil {
 			return ferr
 		}
@@ -289,9 +303,9 @@ func (s *Server) RecoverServer(operational map[ident.ClientID]msg.Client, crashe
 	s.tracer.Record(trace.RecoveryStep, 0, 0,
 		fmt.Sprintf("server restart complete: %d page recoveries", len(involved)))
 
-	s.mu.Lock()
+	s.stateMu.Lock()
 	s.restart = ri
-	s.mu.Unlock()
+	s.stateMu.Unlock()
 	// A fresh checkpoint shortens the next restart.
 	return s.Checkpoint()
 }
@@ -342,16 +356,25 @@ func (s *Server) Reinstall(c ident.ClientID, holds []lock.Holding) error {
 // log records (Property 2) with the disk PSN as the fallback for pages
 // that were never forced since the entry appeared.
 func (s *Server) RecoverQuery(c ident.ClientID, pages []page.ID) ([]msg.DCTRow, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.stateMu.Lock()
+	restart := s.restart
+	s.stateMu.Unlock()
 	var rows []msg.DCTRow
 	for _, pid := range pages {
-		if e, ok := s.dct[dctKey{pg: pid, c: c}]; ok && e.psn != 0 {
-			rows = append(rows, msg.DCTRow{Page: pid, PSN: e.psn})
+		sh := s.shardOf(pid)
+		sh.mu.Lock()
+		e, live := sh.dct[dctKey{pg: pid, c: c}]
+		var psn page.PSN
+		if live {
+			psn = e.psn
+		}
+		sh.mu.Unlock()
+		if live && psn != 0 {
+			rows = append(rows, msg.DCTRow{Page: pid, PSN: psn})
 			continue
 		}
-		if s.restart != nil && s.restart.crashed[c] {
-			if psn, ok := s.restart.logDCT[dctKey{pg: pid, c: c}]; ok {
+		if restart != nil && restart.crashed[c] {
+			if psn, ok := restart.logDCT[dctKey{pg: pid, c: c}]; ok {
 				// A replacement record matching the crash-time disk PSN
 				// names this client: its PSN is the true Property 1
 				// threshold.
@@ -373,10 +396,10 @@ func (s *Server) RecoverQuery(c ident.ClientID, pages []page.ID) ([]msg.DCTRow, 
 			rows = append(rows, msg.DCTRow{Page: pid, PSN: 0})
 			continue
 		}
-		if e, ok := s.dct[dctKey{pg: pid, c: c}]; ok {
+		if live {
 			// Live entry with PSN 0 (first-X before any receipt): redo
 			// everything for this page.
-			rows = append(rows, msg.DCTRow{Page: pid, PSN: e.psn})
+			rows = append(rows, msg.DCTRow{Page: pid, PSN: psn})
 		}
 	}
 	return rows, nil
@@ -387,43 +410,41 @@ func (s *Server) RecoverQuery(c ident.ClientID, pages []page.ID) ([]msg.DCTRow, 
 // returns its merged copy once CID's recovery has shipped a copy
 // covering all its log records below PSN (or finished the page).
 func (s *Server) RecoveryFetch(req msg.RecoveryFetchReq) (msg.FetchReply, error) {
-	s.mu.Lock()
 	key := dctKey{pg: req.Page, c: req.CID}
-	e := s.dct[key]
-	satisfied := s.recovered[key] || !s.recovering[key] ||
+	sh := s.shardOf(req.Page)
+	sh.mu.Lock()
+	e := sh.dct[key]
+	satisfied := sh.recovered[key] || !sh.recovering[key] ||
 		(e != nil && e.psn >= req.PSN)
-	conn := s.clients[req.CID]
-	if satisfied || conn == nil {
-		reply, err := s.fetchLocked(req.Client, req.Page)
-		s.mu.Unlock()
+	if satisfied {
+		reply, err := s.fetchShard(sh, req.Client, req.Page)
+		sh.mu.Unlock()
 		return reply, err
 	}
-	s.mu.Unlock()
+	sh.mu.Unlock()
+	conn := s.conn(req.CID)
+	if conn == nil {
+		sh.mu.Lock()
+		reply, err := s.fetchShard(sh, req.Client, req.Page)
+		sh.mu.Unlock()
+		return reply, err
+	}
 	// Block until CID's recovery has processed every record below PSN
 	// and shipped its interim copy; the merged server copy then holds
 	// everything the requester needs.
 	if err := conn.RecoveryShipUpTo(req.Page, req.PSN); err != nil {
 		return msg.FetchReply{}, fmt.Errorf("core: recovery handoff of page %d from %s: %w", req.Page, req.CID, err)
 	}
-	s.mu.Lock()
-	reply, err := s.fetchLocked(req.Client, req.Page)
-	s.mu.Unlock()
+	sh.mu.Lock()
+	reply, err := s.fetchShard(sh, req.Client, req.Page)
+	sh.mu.Unlock()
 	return reply, err
 }
 
-// markRecoveredLocked notes that CID's recovery of the page completed;
-// RecoveryFetch waiters re-check.  Called with s.mu held.
-func (s *Server) markRecoveredLocked(pid page.ID, c ident.ClientID) {
-	s.recovered[dctKey{pg: pid, c: c}] = true
-	delete(s.recovering, dctKey{pg: pid, c: c})
-	s.wakeRecoveryWaitersLocked()
-}
-
-// wakeRecoveryWaitersLocked wakes blocked RecoveryFetch calls.  Called
-// with s.mu held.
-func (s *Server) wakeRecoveryWaitersLocked() {
-	for _, ch := range s.recWaiter {
-		close(ch)
-	}
-	s.recWaiter = nil
+// markRecovered notes that CID's recovery of the page completed;
+// RecoveryFetch callers re-check on their next attempt.  Called with
+// sh.mu held (sh is the page's shard).
+func (s *Server) markRecovered(sh *pageShard, pid page.ID, c ident.ClientID) {
+	sh.recovered[dctKey{pg: pid, c: c}] = true
+	delete(sh.recovering, dctKey{pg: pid, c: c})
 }

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"clientlog/internal/obs/span"
+	"clientlog/internal/page"
+	"clientlog/internal/storage"
+	"clientlog/internal/wal"
+)
+
+// gatedLogStore blocks the first Flush until released, simulating a
+// server log device stalled mid-fsync.
+type gatedLogStore struct {
+	wal.Store
+	release chan struct{}
+	blocked chan struct{}
+	once    sync.Once
+}
+
+func (g *gatedLogStore) Flush(upTo wal.LSN) error {
+	g.once.Do(func() { close(g.blocked) })
+	<-g.release
+	return g.Store.Flush(upTo)
+}
+
+// TestWaitsForRespondsDuringBlockedCommit pins the point of the
+// per-subsystem locking: a commit stalled inside the server (here on a
+// slow log force) must not take the introspection or lock paths down
+// with it.  Under the old single server mutex, /waitsfor, /healthz and
+// every other client froze with the stalled commit.
+func TestWaitsForRespondsDuringBlockedCommit(t *testing.T) {
+	cfg := testConfig()
+	cfg.Logging = LogShipCommit // commits ship records and force the server log
+	gated := &gatedLogStore{
+		Store:   wal.NewMemStore(0),
+		release: make(chan struct{}),
+		blocked: make(chan struct{}),
+	}
+	cl := NewClusterWithStores(cfg, storage.NewMemStore(cfg.PageSize), gated)
+	ids, err := cl.SeedPages(4, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := cl.AddClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := cl.AddClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Start a commit and let it wedge inside the server's log force.
+	commitDone := make(chan error, 1)
+	go func() {
+		txn, err := c1.Begin()
+		if err != nil {
+			commitDone <- err
+			return
+		}
+		if err := txn.Overwrite(page.ObjectID{Page: ids[0], Slot: 0}, val('W')); err != nil {
+			commitDone <- err
+			return
+		}
+		commitDone <- txn.Commit()
+	}()
+	select {
+	case <-gated.blocked:
+	case err := <-commitDone:
+		t.Fatalf("commit finished before reaching the log force: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("commit never reached the server log force")
+	}
+
+	// While the commit is wedged: the waits-for introspection endpoint
+	// must answer...
+	srv := cl.Server()
+	probe := make(chan int, 1)
+	go func() {
+		h := span.WaitsForHandler(srv.GLM().WaitsFor)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/waitsfor", nil))
+		probe <- rec.Code
+	}()
+	select {
+	case code := <-probe:
+		if code != 200 {
+			t.Fatalf("/waitsfor returned %d during blocked commit", code)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("/waitsfor hung while a commit was blocked in the server")
+	}
+
+	// ...and so must the data path of an unrelated client on an
+	// unrelated page (lock acquisition + fetch).
+	readDone := make(chan error, 1)
+	go func() {
+		txn, err := c2.Begin()
+		if err != nil {
+			readDone <- err
+			return
+		}
+		_, err = txn.Read(page.ObjectID{Page: ids[3], Slot: 1})
+		txn.Abort()
+		readDone <- err
+	}()
+	select {
+	case err := <-readDone:
+		if err != nil {
+			t.Fatalf("unrelated read failed during blocked commit: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("unrelated client blocked behind the stalled commit")
+	}
+
+	close(gated.release)
+	if err := <-commitDone; err != nil {
+		t.Fatalf("commit after release: %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"clientlog/internal/ident"
@@ -23,6 +24,10 @@ type GLMMetrics struct {
 	Timeouts      obs.Counter // ErrTimeout aborts
 	Deescalations obs.Counter // page locks replaced by object locks
 	WaitNanos     obs.Histogram
+	// MutexWait accumulates nanoseconds callers spent blocked on the
+	// shard mutexes themselves (internal contention, as opposed to
+	// WaitNanos, which measures protocol-level lock waits).
+	MutexWait obs.Counter
 }
 
 // RegisterObs binds the GLM's counters into reg as the lock_* families
@@ -38,6 +43,7 @@ func (g *GLM) RegisterObs(reg *obs.Registry, tags ...obs.Tag) {
 	reg.BindCounter(&g.Metrics.Timeouts, "lock_timeouts_total", tags...)
 	reg.BindCounter(&g.Metrics.Deescalations, "lock_deescalations_total", tags...)
 	reg.BindHistogram(&g.Metrics.WaitNanos, "lock_wait_nanos", tags...)
+	reg.BindCounter(&g.Metrics.MutexWait, "mutex_wait_nanos_total", append(tags, obs.T("lock", "glm-shard"))...)
 }
 
 // Errors returned by GLM.Acquire.
@@ -55,9 +61,9 @@ var (
 )
 
 // Callbacker performs the callback messaging on behalf of the GLM.  The
-// server engine implements it; calls are made without the GLM mutex
-// held and must not block on GLM state (the client's eventual replies
-// arrive through Release/Downgrade/Deescalate).
+// server engine implements it; calls are made without any GLM shard
+// mutex held and must not block on GLM state (the client's eventual
+// replies arrive through Release/Downgrade/Deescalate).
 type Callbacker interface {
 	// CallbackObject asks holder to give up (wanted==X) or downgrade to
 	// shared (wanted==S) its cached lock on obj, on behalf of requester.
@@ -100,29 +106,71 @@ type pageLocks struct {
 
 func (pl *pageLocks) empty() bool { return len(pl.page) == 0 && len(pl.objs) == 0 }
 
+// DefaultLockShards is the shard count NewGLM uses.  Lock names hash to
+// shards by page ID; every conflict, grant and fairness decision is
+// page-local (overlaps requires equal pages), so shards never need each
+// other's mutexes for the hot path.
+const DefaultLockShards = 16
+
+// glmShard is one independently mutexed slice of the lock table: the
+// pages hashing to it, the blocked requests targeting those pages, and
+// the retry-wakeup channels for them.
+type glmShard struct {
+	mu      obs.WaitMutex
+	pages   map[page.ID]*pageLocks
+	waiting map[*waitingReq]struct{}
+	waiters []chan struct{}
+}
+
+// notifyAll wakes every waiting Acquire on this shard so it re-examines
+// the table.  Called with sh.mu held.
+func (sh *glmShard) notifyAll() {
+	for _, ch := range sh.waiters {
+		close(ch)
+	}
+	sh.waiters = nil
+}
+
+func (sh *glmShard) pl(p page.ID) *pageLocks {
+	l, ok := sh.pages[p]
+	if !ok {
+		l = &pageLocks{page: make(map[ident.ClientID]Mode), objs: make(map[uint16]map[ident.ClientID]Mode)}
+		sh.pages[p] = l
+	}
+	return l
+}
+
 // GLM is the server's global lock manager.  Locks are granted to
 // clients (not transactions) and cached by the clients' LLMs until
 // called back.
+//
+// The lock table is sharded by page ID.  Lock ordering within the GLM:
+// a shard mutex is the top; graphMu (waits-for graph, victim ring) and
+// crashedMu are leaves that may be taken while holding one shard mutex,
+// never the other way around, and never while holding two shard
+// mutexes.  Multi-shard operations (ClientCrashed, ReleaseAll,
+// AllHoldings, WaitsFor, Stop, DumpState) visit shards one at a time in
+// ascending shard-index order and hold at most one shard mutex at any
+// moment, so they can never deadlock against each other or Acquire.
 type GLM struct {
-	mu      sync.Mutex
-	pages   map[page.ID]*pageLocks
-	crashed map[ident.ClientID]bool
-	// waits is the conservative client-level waits-for graph: for each
-	// waiting client, the multiset of clients blocking it.
-	waits   map[ident.ClientID]map[ident.ClientID]int
-	waiters []chan struct{}
-	// waiting registers blocked requests with their arrival tickets so
-	// newer conflicting requests cannot steal grants from older waiters
-	// (callback locking has no queue of its own; without this, a hot
-	// holder-requester pair starves everyone else).
-	waiting map[*waitingReq]struct{}
-	ticket  uint64
-	stopped bool
+	shards  []glmShard
+	ticket  atomic.Uint64
+	stopped atomic.Bool
 
-	// victims is a bounded ring of recent deadlock victims (newest
-	// last), served by WaitsFor for post-mortem introspection.
+	// crashedMu guards crashed: clients in the crashed-but-unrecovered
+	// window (§3.3).  Read from conflict scans under a shard mutex.
+	crashedMu sync.RWMutex
+	crashed   map[ident.ClientID]bool
+
+	// graphMu guards the conservative client-level waits-for graph and
+	// the deadlock-victim ring.  The graph is global (a client can wait
+	// in one shard on locks whose holders wait in another), which is
+	// what lets cycle detection see cross-shard deadlocks.
+	graphMu sync.Mutex
+	waits   map[ident.ClientID]map[ident.ClientID]int
 	victims []DeadlockVictim
 
+	cbMu    sync.RWMutex
 	cb      Callbacker
 	timeout time.Duration
 
@@ -153,45 +201,62 @@ func overlaps(a, b Name) bool {
 }
 
 // NewGLM returns a global lock manager that uses cb for callback
-// messaging and aborts waits after timeout (0 means a generous default).
+// messaging and aborts waits after timeout (0 means a generous
+// default), with the default shard count.
 func NewGLM(cb Callbacker, timeout time.Duration) *GLM {
+	return NewGLMSharded(cb, timeout, DefaultLockShards)
+}
+
+// NewGLMSharded is NewGLM with an explicit shard count (1 reproduces
+// the old single-mutex behavior; the E12 big-lock baseline uses it).
+func NewGLMSharded(cb Callbacker, timeout time.Duration, shards int) *GLM {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
-	return &GLM{
-		pages:   make(map[page.ID]*pageLocks),
+	if shards <= 0 {
+		shards = DefaultLockShards
+	}
+	g := &GLM{
+		shards:  make([]glmShard, shards),
 		crashed: make(map[ident.ClientID]bool),
 		waits:   make(map[ident.ClientID]map[ident.ClientID]int),
-		waiting: make(map[*waitingReq]struct{}),
 		cb:      cb,
 		timeout: timeout,
 	}
+	for i := range g.shards {
+		g.shards[i].mu.SetWaitCounter(&g.Metrics.MutexWait)
+		g.shards[i].pages = make(map[page.ID]*pageLocks)
+		g.shards[i].waiting = make(map[*waitingReq]struct{})
+	}
+	return g
+}
+
+// Shards returns the shard count (tests and the E12 report read it).
+func (g *GLM) Shards() int { return len(g.shards) }
+
+// shard maps a page to its shard.
+func (g *GLM) shard(p page.ID) *glmShard {
+	return &g.shards[int(uint64(p)%uint64(len(g.shards)))]
 }
 
 // SetCallbacker installs the callback transport; the server engine calls
 // it once during construction (breaking the GLM/server init cycle).
 func (g *GLM) SetCallbacker(cb Callbacker) {
-	g.mu.Lock()
+	g.cbMu.Lock()
 	g.cb = cb
-	g.mu.Unlock()
+	g.cbMu.Unlock()
 }
 
-func (g *GLM) pl(p page.ID) *pageLocks {
-	l, ok := g.pages[p]
-	if !ok {
-		l = &pageLocks{page: make(map[ident.ClientID]Mode), objs: make(map[uint16]map[ident.ClientID]Mode)}
-		g.pages[p] = l
-	}
-	return l
+func (g *GLM) callbacker() Callbacker {
+	g.cbMu.RLock()
+	defer g.cbMu.RUnlock()
+	return g.cb
 }
 
-// notifyAll wakes every waiting Acquire so it re-examines the table.
-// Called with g.mu held.
-func (g *GLM) notifyAll() {
-	for _, ch := range g.waiters {
-		close(ch)
-	}
-	g.waiters = nil
+func (g *GLM) isCrashed(c ident.ClientID) bool {
+	g.crashedMu.RLock()
+	defer g.crashedMu.RUnlock()
+	return g.crashed[c]
 }
 
 // callback describes one callback message to issue.
@@ -204,16 +269,16 @@ type callback struct {
 }
 
 // conflicts computes, for a request, the set of blocking clients and the
-// callbacks needed to dislodge them.  Called with g.mu held.
-func (g *GLM) conflicts(req Request, name Name) (blockers map[ident.ClientID]bool, cbs []callback) {
-	pl := g.pl(name.Page)
+// callbacks needed to dislodge them.  Called with sh.mu held.
+func (g *GLM) conflicts(sh *glmShard, req Request, name Name) (blockers map[ident.ClientID]bool, cbs []callback) {
+	pl := sh.pl(name.Page)
 	blockers = make(map[ident.ClientID]bool)
 	add := func(c ident.ClientID, cb callback) {
 		blockers[c] = true
 		// Callbacks to crashed clients are queued, not sent: the paper's
 		// server "queues any callback requests until the client
 		// recovers" (§3.3).
-		if !g.crashed[c] {
+		if !g.isCrashed(c) {
 			cbs = append(cbs, cb)
 		}
 	}
@@ -254,9 +319,9 @@ func (g *GLM) conflicts(req Request, name Name) (blockers map[ident.ClientID]boo
 }
 
 // covered reports whether the client already holds a lock that covers
-// the request.  Called with g.mu held.
-func (g *GLM) covered(c ident.ClientID, name Name, mode Mode) bool {
-	pl := g.pl(name.Page)
+// the request.  Called with sh.mu held.
+func (sh *glmShard) covered(c ident.ClientID, name Name, mode Mode) bool {
+	pl := sh.pl(name.Page)
 	if Covers(pl.page[c], mode) {
 		return true
 	}
@@ -266,10 +331,10 @@ func (g *GLM) covered(c ident.ClientID, name Name, mode Mode) bool {
 	return false
 }
 
-// grant records the lock.  Called with g.mu held.
-func (g *GLM) grant(c ident.ClientID, name Name, mode Mode) Grant {
-	pl := g.pl(name.Page)
-	firstX := mode == X && !g.holdsAnyXLocked(c, name.Page)
+// grant records the lock.  Called with sh.mu held.
+func (sh *glmShard) grant(c ident.ClientID, name Name, mode Mode) Grant {
+	pl := sh.pl(name.Page)
+	firstX := mode == X && !sh.holdsAnyX(c, name.Page)
 	if name.IsPage {
 		pl.page[c] = Max(pl.page[c], mode)
 	} else {
@@ -283,10 +348,10 @@ func (g *GLM) grant(c ident.ClientID, name Name, mode Mode) Grant {
 	return Grant{Name: name, Mode: mode, FirstX: firstX}
 }
 
-// holdsAnyXLocked reports whether c holds any exclusive lock (page or
-// object level) on page p.  Called with g.mu held.
-func (g *GLM) holdsAnyXLocked(c ident.ClientID, p page.ID) bool {
-	pl := g.pl(p)
+// holdsAnyX reports whether c holds any exclusive lock (page or object
+// level) on page p.  Called with sh.mu held.
+func (sh *glmShard) holdsAnyX(c ident.ClientID, p page.ID) bool {
+	pl := sh.pl(p)
 	if pl.page[c] == X {
 		return true
 	}
@@ -302,9 +367,10 @@ func (g *GLM) holdsAnyXLocked(c ident.ClientID, p page.ID) bool {
 // server's DCT maintenance consults it when deciding whether an entry
 // may be dropped (§3.2).
 func (g *GLM) HoldsAnyX(c ident.ClientID, p page.ID) bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.holdsAnyXLocked(c, p)
+	sh := g.shard(p)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.holdsAnyX(c, p)
 }
 
 // Acquire blocks until the request can be granted, issuing callbacks to
@@ -314,41 +380,41 @@ func (g *GLM) HoldsAnyX(c ident.ClientID, p page.ID) bool {
 func (g *GLM) Acquire(req Request) (Grant, error) {
 	start := time.Now()
 	deadline := start.Add(g.timeout)
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.ticket++
-	wr := &waitingReq{ticket: g.ticket, client: req.Client, name: req.Name, mode: req.Mode, since: start}
+	sh := g.shard(req.Name.Page)
+	wr := &waitingReq{ticket: g.ticket.Add(1), client: req.Client, name: req.Name, mode: req.Mode, since: start}
 	registered := false
+	sh.mu.Lock()
 	defer func() {
 		if registered {
 			// The acquire blocked at least once; record the end-to-end
 			// wait regardless of how it resolved.
 			g.Metrics.WaitNanos.ObserveDuration(time.Since(start))
-			delete(g.waiting, wr)
-			g.notifyAll()
+			delete(sh.waiting, wr)
+			sh.notifyAll()
 		}
+		sh.mu.Unlock()
 	}()
 	// Upgrades (the requester still holds a lock on the name) bypass
 	// fairness: the older waiter's callback will dislodge them anyway,
 	// and blocking an upgrade behind a waiter deadlocks against itself.
-	upgrade := req.Upgrade || g.holdsOn(req.Client, req.Name)
+	upgrade := req.Upgrade || sh.holdsOn(req.Client, req.Name)
 	for {
-		if g.stopped {
+		if g.stopped.Load() {
 			return Grant{}, ErrStopped
 		}
 		// Already covered (e.g. re-acquire during recovery).
-		if g.covered(req.Client, req.Name, req.Mode) {
+		if sh.covered(req.Client, req.Name, req.Mode) {
 			g.clearWait(req.Client)
 			g.Metrics.Grants.Inc()
 			return Grant{Name: req.Name, Mode: req.Mode}, nil
 		}
-		fair := g.fairnessBlockers(wr, upgrade)
+		fair := sh.fairnessBlockers(wr, upgrade)
 		// Adaptive granularity: try the whole page first.
 		if len(fair) == 0 && req.PreferPage && !req.Name.IsPage {
 			pgName := PageName(req.Name.Page)
-			if b, _ := g.conflicts(Request{Client: req.Client, Name: pgName, Mode: req.Mode}, pgName); len(b) == 0 {
-				if !g.othersHoldOnPage(req.Client, req.Name.Page) {
-					gr := g.grant(req.Client, pgName, req.Mode)
+			if b, _ := g.conflicts(sh, Request{Client: req.Client, Name: pgName, Mode: req.Mode}, pgName); len(b) == 0 {
+				if !sh.othersHoldOnPage(req.Client, req.Name.Page) {
+					gr := sh.grant(req.Client, pgName, req.Mode)
 					g.clearWait(req.Client)
 					g.Metrics.Grants.Inc()
 					g.Metrics.PageGrants.Inc()
@@ -356,9 +422,9 @@ func (g *GLM) Acquire(req Request) (Grant, error) {
 				}
 			}
 		}
-		blockers, cbs := g.conflicts(req, req.Name)
+		blockers, cbs := g.conflicts(sh, req, req.Name)
 		if len(blockers) == 0 && len(fair) == 0 {
-			gr := g.grant(req.Client, req.Name, req.Mode)
+			gr := sh.grant(req.Client, req.Name, req.Mode)
 			g.clearWait(req.Client)
 			g.Metrics.Grants.Inc()
 			if gr.Name.IsPage {
@@ -371,21 +437,22 @@ func (g *GLM) Acquire(req Request) (Grant, error) {
 		}
 		if !registered {
 			registered = true
-			g.waiting[wr] = struct{}{}
+			sh.waiting[wr] = struct{}{}
 			g.Metrics.Waits.Inc()
 		}
-		// Record the wait and check for deadlock before sleeping.
-		g.setWait(req.Client, blockers)
-		if cycle, ok := g.cyclePath(req.Client); ok {
-			g.clearWait(req.Client)
+		// Record the wait and check for deadlock before sleeping.  The
+		// graph is global (graphMu is a leaf under the shard mutex), so
+		// cycles spanning several shards are still closed and detected
+		// by whichever waiter adds the final edge.
+		if cycle, ok := g.setWaitAndCheck(req.Client, blockers); ok {
 			g.Metrics.Deadlocks.Inc()
 			g.recordVictim(req, cycle)
 			return Grant{}, ErrDeadlock
 		}
 		ch := make(chan struct{})
-		g.waiters = append(g.waiters, ch)
-		cb := g.cb
-		g.mu.Unlock()
+		sh.waiters = append(sh.waiters, ch)
+		cb := g.callbacker()
+		sh.mu.Unlock()
 		// Re-issue the callbacks on every retry: a holder may have
 		// re-acquired the lock since the last callback completed (the
 		// waiter holds nothing while it waits), and a once-only issue
@@ -405,19 +472,19 @@ func (g *GLM) Acquire(req Request) (Grant, error) {
 		case <-ch:
 			timer.Stop()
 		case <-timer.C:
-			g.mu.Lock()
+			sh.mu.Lock()
 			g.clearWait(req.Client)
 			g.Metrics.Timeouts.Inc()
 			return Grant{}, ErrTimeout
 		}
-		g.mu.Lock()
+		sh.mu.Lock()
 	}
 }
 
 // holdsOn reports whether the client holds a lock on the name (or the
-// page covering it).  Called with g.mu held.
-func (g *GLM) holdsOn(c ident.ClientID, name Name) bool {
-	pl := g.pl(name.Page)
+// page covering it).  Called with sh.mu held.
+func (sh *glmShard) holdsOn(c ident.ClientID, name Name) bool {
+	pl := sh.pl(name.Page)
 	if pl.page[c] != None {
 		return true
 	}
@@ -429,13 +496,15 @@ func (g *GLM) holdsOn(c ident.ClientID, name Name) bool {
 
 // fairnessBlockers returns the clients whose older waiting requests
 // conflict with this one; granting past them would starve them.
-// Called with g.mu held.
-func (g *GLM) fairnessBlockers(wr *waitingReq, upgrade bool) map[ident.ClientID]bool {
+// Conflicting requests always target the same page, hence the same
+// shard, so the shard-local waiting set is complete.  Called with
+// sh.mu held.
+func (sh *glmShard) fairnessBlockers(wr *waitingReq, upgrade bool) map[ident.ClientID]bool {
 	out := make(map[ident.ClientID]bool)
 	if upgrade {
 		return out
 	}
-	for other := range g.waiting {
+	for other := range sh.waiting {
 		if other.ticket >= wr.ticket || other.client == wr.client {
 			continue
 		}
@@ -447,9 +516,9 @@ func (g *GLM) fairnessBlockers(wr *waitingReq, upgrade bool) map[ident.ClientID]
 }
 
 // othersHoldOnPage reports whether any other client holds any lock on
-// the page.  Called with g.mu held.
-func (g *GLM) othersHoldOnPage(c ident.ClientID, p page.ID) bool {
-	pl := g.pl(p)
+// the page.  Called with sh.mu held.
+func (sh *glmShard) othersHoldOnPage(c ident.ClientID, p page.ID) bool {
+	pl := sh.pl(p)
 	for o := range pl.page {
 		if o != c {
 			return true
@@ -465,27 +534,38 @@ func (g *GLM) othersHoldOnPage(c ident.ClientID, p page.ID) bool {
 	return false
 }
 
-// setWait replaces the waiter's current blocker set (the wait edges are
-// re-derived on every retry so stale edges never linger).
-func (g *GLM) setWait(c ident.ClientID, blockers map[ident.ClientID]bool) {
+// setWaitAndCheck atomically replaces the waiter's blocker set (the
+// wait edges are re-derived on every retry so stale edges never linger)
+// and runs cycle detection; on a cycle the edges are removed again and
+// the closing path returned.
+func (g *GLM) setWaitAndCheck(c ident.ClientID, blockers map[ident.ClientID]bool) ([]ident.ClientID, bool) {
+	g.graphMu.Lock()
+	defer g.graphMu.Unlock()
 	w := make(map[ident.ClientID]int, len(blockers))
 	for b := range blockers {
 		w[b] = 1
 	}
 	g.waits[c] = w
+	if cycle, ok := g.cyclePathLocked(c); ok {
+		delete(g.waits, c)
+		return cycle, true
+	}
+	return nil, false
 }
 
 func (g *GLM) clearWait(c ident.ClientID) {
+	g.graphMu.Lock()
 	delete(g.waits, c)
+	g.graphMu.Unlock()
 }
 
-// cyclePath reports whether the waits-for graph contains a cycle
+// cyclePathLocked reports whether the waits-for graph contains a cycle
 // reachable from c, returning the path c → … → c's blocker-of-blocker
 // that closes it.  The graph is client-level and therefore
 // conservative: two independent transactions on the same client are
 // merged into one node, so a detected "deadlock" is occasionally a
-// false positive; the victim simply retries.  Called with g.mu held.
-func (g *GLM) cyclePath(c ident.ClientID) ([]ident.ClientID, bool) {
+// false positive; the victim simply retries.  Called with graphMu held.
+func (g *GLM) cyclePathLocked(c ident.ClientID) ([]ident.ClientID, bool) {
 	seen := make(map[ident.ClientID]bool)
 	var path []ident.ClientID
 	var dfs func(n ident.ClientID) bool
@@ -511,11 +591,26 @@ func (g *GLM) cyclePath(c ident.ClientID) ([]ident.ClientID, bool) {
 	return nil, false
 }
 
+// forEachPageLocked visits every page's lock table, ascending shard
+// order, with the owning shard mutex held during each visit (invariant
+// checks in tests use it).
+func (g *GLM) forEachPageLocked(f func(page.ID, *pageLocks)) {
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		for pid, pl := range sh.pages {
+			f(pid, pl)
+		}
+		sh.mu.Unlock()
+	}
+}
+
 // Release removes a client's lock on name.
 func (g *GLM) Release(c ident.ClientID, name Name) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	pl := g.pl(name.Page)
+	sh := g.shard(name.Page)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	pl := sh.pl(name.Page)
 	if name.IsPage {
 		delete(pl.page, c)
 	} else if owners := pl.objs[name.Slot]; owners != nil {
@@ -525,17 +620,18 @@ func (g *GLM) Release(c ident.ClientID, name Name) {
 		}
 	}
 	if pl.empty() {
-		delete(g.pages, name.Page)
+		delete(sh.pages, name.Page)
 	}
-	g.notifyAll()
+	sh.notifyAll()
 }
 
 // Downgrade demotes a client's exclusive lock on name to shared
 // (callback in shared mode, §2).
 func (g *GLM) Downgrade(c ident.ClientID, name Name) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	pl := g.pl(name.Page)
+	sh := g.shard(name.Page)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	pl := sh.pl(name.Page)
 	if name.IsPage {
 		if pl.page[c] == X {
 			pl.page[c] = S
@@ -543,7 +639,7 @@ func (g *GLM) Downgrade(c ident.ClientID, name Name) {
 	} else if owners := pl.objs[name.Slot]; owners != nil && owners[c] == X {
 		owners[c] = S
 	}
-	g.notifyAll()
+	sh.notifyAll()
 }
 
 // ObjLock pairs an object slot with a mode; used by de-escalation.
@@ -555,10 +651,11 @@ type ObjLock struct {
 // Deescalate replaces a client's page lock with the given object locks
 // (§3.2 page-level conflict handling).
 func (g *GLM) Deescalate(c ident.ClientID, p page.ID, objs []ObjLock) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	sh := g.shard(p)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	g.Metrics.Deescalations.Inc()
-	pl := g.pl(p)
+	pl := sh.pl(p)
 	delete(pl.page, c)
 	for _, ol := range objs {
 		owners := pl.objs[ol.Slot]
@@ -569,52 +666,63 @@ func (g *GLM) Deescalate(c ident.ClientID, p page.ID, objs []ObjLock) {
 		owners[c] = Max(owners[c], ol.Mode)
 	}
 	if pl.empty() {
-		delete(g.pages, p)
+		delete(sh.pages, p)
 	}
-	g.notifyAll()
+	sh.notifyAll()
 }
 
 // ClientCrashed implements §3.3: the server releases all shared locks of
 // the crashed client, retains its exclusive locks, and queues callbacks
-// against them until recovery finishes.
+// against them until recovery finishes.  The crashed flag is published
+// before the shard sweep so conflict scans suppress callbacks to the
+// client from the first moment; shards are visited in ascending order,
+// one mutex at a time.
 func (g *GLM) ClientCrashed(c ident.ClientID) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.crashedMu.Lock()
 	g.crashed[c] = true
-	for p, pl := range g.pages {
-		if pl.page[c] == S {
-			delete(pl.page, c)
-		}
-		for slot, owners := range pl.objs {
-			if owners[c] == S {
-				delete(owners, c)
-				if len(owners) == 0 {
-					delete(pl.objs, slot)
+	g.crashedMu.Unlock()
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		for p, pl := range sh.pages {
+			if pl.page[c] == S {
+				delete(pl.page, c)
+			}
+			for slot, owners := range pl.objs {
+				if owners[c] == S {
+					delete(owners, c)
+					if len(owners) == 0 {
+						delete(pl.objs, slot)
+					}
 				}
 			}
+			if pl.empty() {
+				delete(sh.pages, p)
+			}
 		}
-		if pl.empty() {
-			delete(g.pages, p)
-		}
+		sh.notifyAll()
+		sh.mu.Unlock()
 	}
-	g.notifyAll()
 }
 
 // ClientRecovered marks the client operational again; queued callbacks
 // may now be delivered (waiting Acquires retry and re-issue them).
 func (g *GLM) ClientRecovered(c ident.ClientID) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.crashedMu.Lock()
 	delete(g.crashed, c)
-	g.notifyAll()
+	g.crashedMu.Unlock()
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		sh.notifyAll()
+		sh.mu.Unlock()
+	}
 }
 
 // Crashed reports whether the client is in the crashed-but-unrecovered
 // window.
 func (g *GLM) Crashed(c ident.ClientID) bool {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	return g.crashed[c]
+	return g.isCrashed(c)
 }
 
 // Holding is one (name, mode) pair held by a client.
@@ -626,38 +734,46 @@ type Holding struct {
 // HeldBy returns every lock the client holds; restart recovery sends
 // the crashed client its retained exclusive locks (§3.3).
 func (g *GLM) HeldBy(c ident.ClientID) []Holding {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	var out []Holding
-	for p, pl := range g.pages {
-		if m, ok := pl.page[c]; ok {
-			out = append(out, Holding{Name: PageName(p), Mode: m})
-		}
-		for slot, owners := range pl.objs {
-			if m, ok := owners[c]; ok {
-				out = append(out, Holding{Name: Name{Page: p, Slot: slot}, Mode: m})
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		for p, pl := range sh.pages {
+			if m, ok := pl.page[c]; ok {
+				out = append(out, Holding{Name: PageName(p), Mode: m})
+			}
+			for slot, owners := range pl.objs {
+				if m, ok := owners[c]; ok {
+					out = append(out, Holding{Name: Name{Page: p, Slot: slot}, Mode: m})
+				}
 			}
 		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
 // AllHoldings returns every client's holdings (crashed clients'
 // retained locks included); the chaos harness uses it to check the
-// lock-table/DCT consistency invariant after recovery.
+// lock-table/DCT consistency invariant after recovery.  Shards are
+// snapshotted in ascending order; concurrent mutations in
+// already-visited shards are not reflected.
 func (g *GLM) AllHoldings() map[ident.ClientID][]Holding {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	out := make(map[ident.ClientID][]Holding)
-	for p, pl := range g.pages {
-		for c, m := range pl.page {
-			out[c] = append(out[c], Holding{Name: PageName(p), Mode: m})
-		}
-		for slot, owners := range pl.objs {
-			for c, m := range owners {
-				out[c] = append(out[c], Holding{Name: Name{Page: p, Slot: slot}, Mode: m})
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		for p, pl := range sh.pages {
+			for c, m := range pl.page {
+				out[c] = append(out[c], Holding{Name: PageName(p), Mode: m})
+			}
+			for slot, owners := range pl.objs {
+				for c, m := range owners {
+					out[c] = append(out[c], Holding{Name: Name{Page: p, Slot: slot}, Mode: m})
+				}
 			}
 		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -666,63 +782,77 @@ func (g *GLM) AllHoldings() map[ident.ClientID][]Holding {
 // recovery rebuilds the GLM from the LLM tables the clients report
 // (§3.4) and crashed-client recovery re-installs retained X locks.
 func (g *GLM) Install(c ident.ClientID, name Name, mode Mode) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.grant(c, name, mode)
+	sh := g.shard(name.Page)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.grant(c, name, mode)
 }
 
 // ReleaseAll removes every lock held by the client (used when a client
 // disconnects cleanly).
 func (g *GLM) ReleaseAll(c ident.ClientID) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	for p, pl := range g.pages {
-		delete(pl.page, c)
-		for slot, owners := range pl.objs {
-			delete(owners, c)
-			if len(owners) == 0 {
-				delete(pl.objs, slot)
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		for p, pl := range sh.pages {
+			delete(pl.page, c)
+			for slot, owners := range pl.objs {
+				delete(owners, c)
+				if len(owners) == 0 {
+					delete(pl.objs, slot)
+				}
+			}
+			if pl.empty() {
+				delete(sh.pages, p)
 			}
 		}
-		if pl.empty() {
-			delete(g.pages, p)
-		}
+		sh.notifyAll()
+		sh.mu.Unlock()
 	}
-	g.notifyAll()
 }
 
 // Stop aborts all waiting requests (server shutdown/crash).
 func (g *GLM) Stop() {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.stopped = true
-	g.notifyAll()
+	g.stopped.Store(true)
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		sh.notifyAll()
+		sh.mu.Unlock()
+	}
 }
 
 // DumpState renders the lock table for debugging.
 func (g *GLM) DumpState() string {
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	out := ""
-	for pid, pl := range g.pages {
-		out += fmt.Sprintf("page %d:\n", pid)
-		for c, m := range pl.page {
-			out += fmt.Sprintf("  page-lock %v %v\n", c, m)
-		}
-		for slot, owners := range pl.objs {
-			for c, m := range owners {
-				out += fmt.Sprintf("  obj %d.%d %v %v\n", pid, slot, c, m)
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		for pid, pl := range sh.pages {
+			out += fmt.Sprintf("page %d:\n", pid)
+			for c, m := range pl.page {
+				out += fmt.Sprintf("  page-lock %v %v\n", c, m)
+			}
+			for slot, owners := range pl.objs {
+				for c, m := range owners {
+					out += fmt.Sprintf("  obj %d.%d %v %v\n", pid, slot, c, m)
+				}
 			}
 		}
+		for wr := range sh.waiting {
+			out += fmt.Sprintf("waitingReq: ticket=%d client=%v name=%v mode=%v\n", wr.ticket, wr.client, wr.name, wr.mode)
+		}
+		sh.mu.Unlock()
 	}
+	g.graphMu.Lock()
 	for w, bs := range g.waits {
 		out += fmt.Sprintf("wait: %v -> %v\n", w, bs)
 	}
+	g.graphMu.Unlock()
+	g.crashedMu.RLock()
 	for c := range g.crashed {
 		out += fmt.Sprintf("crashed: %v\n", c)
 	}
-	for wr := range g.waiting {
-		out += fmt.Sprintf("waitingReq: ticket=%d client=%v name=%v mode=%v\n", wr.ticket, wr.client, wr.name, wr.mode)
-	}
+	g.crashedMu.RUnlock()
 	return out
 }

@@ -355,9 +355,8 @@ func TestPropGrantsNeverConflict(t *testing.T) {
 			g.Acquire(Request{Client: c, Name: name, Mode: mode}) // errors fine
 		}
 		// Validate the invariant over the final table.
-		g.mu.Lock()
-		defer g.mu.Unlock()
-		for _, pl := range g.pages {
+		ok := true
+		g.forEachPageLocked(func(_ page.ID, pl *pageLocks) {
 			var pageHolders []Mode
 			for _, m := range pl.page {
 				pageHolders = append(pageHolders, m)
@@ -365,7 +364,7 @@ func TestPropGrantsNeverConflict(t *testing.T) {
 			for i := 0; i < len(pageHolders); i++ {
 				for j := i + 1; j < len(pageHolders); j++ {
 					if !Compatible(pageHolders[i], pageHolders[j]) {
-						return false
+						ok = false
 					}
 				}
 			}
@@ -377,7 +376,7 @@ func TestPropGrantsNeverConflict(t *testing.T) {
 				for i := 0; i < len(ms); i++ {
 					for j := i + 1; j < len(ms); j++ {
 						if !Compatible(ms[i], ms[j]) {
-							return false
+							ok = false
 						}
 					}
 				}
@@ -385,13 +384,13 @@ func TestPropGrantsNeverConflict(t *testing.T) {
 				for pc, pm := range pl.page {
 					for oc, om := range owners {
 						if pc != oc && !Compatible(pm, om) {
-							return false
+							ok = false
 						}
 					}
 				}
 			}
-		}
-		return true
+		})
+		return ok
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)

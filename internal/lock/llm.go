@@ -1,9 +1,9 @@
 package lock
 
 import (
-	"time"
-
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"clientlog/internal/ident"
 	"clientlog/internal/page"
@@ -20,13 +20,15 @@ const (
 	NeedGlobal
 )
 
-// LLM is a client's local lock manager.  It caches the locks the GLM
-// granted to this client across transaction boundaries
-// (inter-transaction lock caching) and grants them to local transactions
-// under strict two-phase locking.  It also keeps, per page, the list of
-// objects accessed by local transactions, which drives de-escalation
-// (§3.2).
-type LLM struct {
+// DefaultLLMShards is the shard count NewLLM uses.  A client touches
+// far fewer pages than the server, so fewer shards suffice.
+const DefaultLLMShards = 8
+
+// llmShard is one independently mutexed slice of a client's lock
+// tables: the cached locks, transaction uses, access history and
+// callback fences for the pages hashing to it, plus the retry-wakeup
+// channels of blocked local acquisitions on those pages.
+type llmShard struct {
 	mu sync.Mutex
 	// cached are the client-level locks granted by the GLM.
 	cached map[Name]Mode
@@ -43,52 +45,93 @@ type LLM struct {
 	// fences mark names with a pending callback: new conflicting local
 	// acquisitions wait until the callback completes.
 	fences map[Name]Mode
-	// waitsLocal is the transaction-level waits-for graph for local
-	// deadlock detection.
-	waitsLocal map[ident.TxnID]map[ident.TxnID]bool
 
 	waiters []chan struct{}
-	stopped bool
+}
+
+// LLM is a client's local lock manager.  It caches the locks the GLM
+// granted to this client across transaction boundaries
+// (inter-transaction lock caching) and grants them to local transactions
+// under strict two-phase locking.  It also keeps, per page, the list of
+// objects accessed by local transactions, which drives de-escalation
+// (§3.2).
+//
+// The tables are sharded by page ID, mirroring the GLM: every conflict
+// and coverage rule relates a name only to names on the same page, so
+// the hot path touches exactly one shard mutex.  The transaction-level
+// waits-for graph spans pages and lives under the graphMu leaf (taken
+// while holding one shard mutex, never the reverse).
+type LLM struct {
+	shards  []llmShard
+	stopped atomic.Bool
+
+	// graphMu guards waitsLocal, the transaction-level waits-for graph
+	// for local deadlock detection.
+	graphMu    sync.Mutex
+	waitsLocal map[ident.TxnID]map[ident.TxnID]bool
+
 	timeout time.Duration
 }
 
 // NewLLM returns an empty local lock manager whose blocking operations
-// give up after timeout (0 means a generous default).
+// give up after timeout (0 means a generous default), with the default
+// shard count.
 func NewLLM(timeout time.Duration) *LLM {
+	return NewLLMSharded(timeout, DefaultLLMShards)
+}
+
+// NewLLMSharded is NewLLM with an explicit shard count (1 reproduces
+// the old single-mutex behavior; the E12 big-lock baseline uses it).
+func NewLLMSharded(timeout time.Duration, shards int) *LLM {
 	if timeout <= 0 {
 		timeout = 10 * time.Second
 	}
-	return &LLM{
-		cached:     make(map[Name]Mode),
-		use:        make(map[Name]map[ident.TxnID]Mode),
-		accessed:   make(map[Name]Mode),
-		fences:     make(map[Name]Mode),
+	if shards <= 0 {
+		shards = DefaultLLMShards
+	}
+	l := &LLM{
+		shards:     make([]llmShard, shards),
 		waitsLocal: make(map[ident.TxnID]map[ident.TxnID]bool),
 		timeout:    timeout,
 	}
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.cached = make(map[Name]Mode)
+		sh.use = make(map[Name]map[ident.TxnID]Mode)
+		sh.accessed = make(map[Name]Mode)
+		sh.fences = make(map[Name]Mode)
+	}
+	return l
 }
 
-func (l *LLM) notifyAll() {
-	for _, ch := range l.waiters {
+// shard maps a page to its shard.
+func (l *LLM) shard(p page.ID) *llmShard {
+	return &l.shards[int(uint64(p)%uint64(len(l.shards)))]
+}
+
+// notifyAll wakes blocked acquisitions on this shard.  Called with
+// sh.mu held.
+func (sh *llmShard) notifyAll() {
+	for _, ch := range sh.waiters {
 		close(ch)
 	}
-	l.waiters = nil
+	sh.waiters = nil
 }
 
-// wait sleeps until the table changes or the deadline passes.  Called
-// with l.mu held; returns with l.mu held.
-func (l *LLM) wait(deadline time.Time) error {
+// wait sleeps until the shard's tables change or the deadline passes.
+// Called with sh.mu held; returns with sh.mu held.
+func (sh *llmShard) wait(deadline time.Time) error {
 	ch := make(chan struct{})
-	l.waiters = append(l.waiters, ch)
-	l.mu.Unlock()
+	sh.waiters = append(sh.waiters, ch)
+	sh.mu.Unlock()
 	timer := time.NewTimer(time.Until(deadline))
 	select {
 	case <-ch:
 		timer.Stop()
-		l.mu.Lock()
+		sh.mu.Lock()
 		return nil
 	case <-timer.C:
-		l.mu.Lock()
+		sh.mu.Lock()
 		return ErrTimeout
 	}
 }
@@ -108,14 +151,15 @@ func fenceBlocks(fence Mode, mode Mode) bool {
 // reports NeedGlobal when the server must be consulted.
 func (l *LLM) AcquireLocal(t ident.TxnID, name Name, mode Mode) (LocalResult, error) {
 	deadline := time.Now().Add(l.timeout)
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	sh := l.shard(name.Page)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	for {
-		if l.stopped {
+		if l.stopped.Load() {
 			return 0, ErrStopped
 		}
 		// Reentrant: the transaction already holds a sufficient use.
-		if Covers(l.use[name][t], mode) {
+		if Covers(sh.use[name][t], mode) {
 			return Granted, nil
 		}
 		// Pending callbacks fence new conflicting acquisitions so the
@@ -124,20 +168,20 @@ func (l *LLM) AcquireLocal(t ident.TxnID, name Name, mode Mode) (LocalResult, er
 		// callback must wait for that transaction's end regardless, so
 		// letting it upgrade cannot extend the wait — while blocking it
 		// would deadlock the callback against its own holder.
-		ownUse := l.use[name][t] != None
-		if !name.IsPage && l.use[PageName(name.Page)][t] != None {
+		ownUse := sh.use[name][t] != None
+		if !name.IsPage && sh.use[PageName(name.Page)][t] != None {
 			ownUse = true
 		}
 		if !ownUse {
-			if f, ok := l.fences[name]; ok && fenceBlocks(f, mode) {
-				if err := l.wait(deadline); err != nil {
+			if f, ok := sh.fences[name]; ok && fenceBlocks(f, mode) {
+				if err := sh.wait(deadline); err != nil {
 					return 0, err
 				}
 				continue
 			}
 			if !name.IsPage {
-				if f, ok := l.fences[PageName(name.Page)]; ok && fenceBlocks(f, mode) {
-					if err := l.wait(deadline); err != nil {
+				if f, ok := sh.fences[PageName(name.Page)]; ok && fenceBlocks(f, mode) {
+					if err := sh.wait(deadline); err != nil {
 						return 0, err
 					}
 					continue
@@ -145,50 +189,71 @@ func (l *LLM) AcquireLocal(t ident.TxnID, name Name, mode Mode) (LocalResult, er
 			}
 		}
 		// Conflicts with other local transactions (strict 2PL).
-		blockers := l.localConflicts(t, name, mode)
+		blockers := sh.localConflicts(t, name, mode)
 		if len(blockers) > 0 {
-			l.waitsLocal[t] = blockers
-			if l.localCycle(t) {
-				delete(l.waitsLocal, t)
+			if l.setWaitLocalAndCheck(t, blockers) {
 				return 0, ErrDeadlock
 			}
-			err := l.wait(deadline)
-			delete(l.waitsLocal, t)
+			err := sh.wait(deadline)
+			l.clearWaitLocal(t)
 			if err != nil {
 				return 0, err
 			}
 			continue
 		}
 		// Cache coverage.
-		if l.cacheCoversLocked(name, mode) {
-			l.recordUse(t, name, mode)
+		if sh.cacheCovers(name, mode) {
+			sh.recordUse(t, name, mode)
 			return Granted, nil
 		}
 		return NeedGlobal, nil
 	}
 }
 
-// RecordUse registers a transaction's use of a lock that was just
+// setWaitLocalAndCheck records t's blockers in the cross-shard
+// waits-for graph and runs cycle detection; on a cycle the edges are
+// removed again and true returned.  graphMu is a leaf under the shard
+// mutex, so cycles spanning pages in different shards are still caught.
+func (l *LLM) setWaitLocalAndCheck(t ident.TxnID, blockers map[ident.TxnID]bool) bool {
+	l.graphMu.Lock()
+	defer l.graphMu.Unlock()
+	l.waitsLocal[t] = blockers
+	if l.localCycleLocked(t) {
+		delete(l.waitsLocal, t)
+		return true
+	}
+	return false
+}
+
+func (l *LLM) clearWaitLocal(t ident.TxnID) {
+	l.graphMu.Lock()
+	delete(l.waitsLocal, t)
+	l.graphMu.Unlock()
+}
+
+// recordUse registers a transaction's use of a lock that was just
 // installed from a GLM grant (the caller re-ran AcquireLocal, so the
-// use may already exist; RecordUse is idempotent).
-func (l *LLM) recordUse(t ident.TxnID, name Name, mode Mode) {
-	owners := l.use[name]
+// use may already exist; recordUse is idempotent).  Called with sh.mu
+// held.
+func (sh *llmShard) recordUse(t ident.TxnID, name Name, mode Mode) {
+	owners := sh.use[name]
 	if owners == nil {
 		owners = make(map[ident.TxnID]Mode)
-		l.use[name] = owners
+		sh.use[name] = owners
 	}
 	owners[t] = Max(owners[t], mode)
 	if !name.IsPage {
-		l.accessed[name] = Max(l.accessed[name], mode)
+		sh.accessed[name] = Max(sh.accessed[name], mode)
 	}
 }
 
-// localConflicts returns the transactions blocking t's request.  Called
-// with l.mu held.
-func (l *LLM) localConflicts(t ident.TxnID, name Name, mode Mode) map[ident.TxnID]bool {
+// localConflicts returns the transactions blocking t's request.  All
+// conflicting uses are on the request's page, hence in this shard.
+// Called with sh.mu held.
+func (sh *llmShard) localConflicts(t ident.TxnID, name Name, mode Mode) map[ident.TxnID]bool {
 	blockers := make(map[ident.TxnID]bool)
 	scan := func(n Name) {
-		for o, m := range l.use[n] {
+		for o, m := range sh.use[n] {
 			if o != t && !Compatible(m, mode) {
 				blockers[o] = true
 			}
@@ -198,7 +263,7 @@ func (l *LLM) localConflicts(t ident.TxnID, name Name, mode Mode) map[ident.TxnI
 	if name.IsPage {
 		// A page request conflicts with other transactions' object uses
 		// on the page.
-		for n, owners := range l.use {
+		for n, owners := range sh.use {
 			if n.IsPage || n.Page != name.Page {
 				continue
 			}
@@ -219,7 +284,9 @@ func (l *LLM) localConflicts(t ident.TxnID, name Name, mode Mode) map[ident.TxnI
 	return blockers
 }
 
-func (l *LLM) localCycle(t ident.TxnID) bool {
+// localCycleLocked walks the transaction waits-for graph from t.
+// Called with graphMu held.
+func (l *LLM) localCycleLocked(t ident.TxnID) bool {
 	seen := make(map[ident.TxnID]bool)
 	var dfs func(n ident.TxnID) bool
 	dfs = func(n ident.TxnID) bool {
@@ -239,11 +306,13 @@ func (l *LLM) localCycle(t ident.TxnID) bool {
 	return dfs(t)
 }
 
-func (l *LLM) cacheCoversLocked(name Name, mode Mode) bool {
-	if Covers(l.cached[name], mode) {
+// cacheCovers reports whether the cached locks cover name@mode.  Called
+// with sh.mu held.
+func (sh *llmShard) cacheCovers(name Name, mode Mode) bool {
+	if Covers(sh.cached[name], mode) {
 		return true
 	}
-	if !name.IsPage && Covers(l.cached[PageName(name.Page)], mode) {
+	if !name.IsPage && Covers(sh.cached[PageName(name.Page)], mode) {
 		return true
 	}
 	return false
@@ -252,81 +321,96 @@ func (l *LLM) cacheCoversLocked(name Name, mode Mode) bool {
 // CachesAny reports whether the client caches any lock on the name (or
 // the page covering it); such a request is an upgrade.
 func (l *LLM) CachesAny(name Name) bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.cached[name] != None {
+	sh := l.shard(name.Page)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.cached[name] != None {
 		return true
 	}
-	return !name.IsPage && l.cached[PageName(name.Page)] != None
+	return !name.IsPage && sh.cached[PageName(name.Page)] != None
 }
 
 // CacheCovers reports whether the cached locks cover name@mode.
 func (l *LLM) CacheCovers(name Name, mode Mode) bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.cacheCoversLocked(name, mode)
+	sh := l.shard(name.Page)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.cacheCovers(name, mode)
 }
 
 // InstallCached records a lock granted by the GLM.
 func (l *LLM) InstallCached(name Name, mode Mode) {
-	l.mu.Lock()
-	l.cached[name] = Max(l.cached[name], mode)
-	l.notifyAll()
-	l.mu.Unlock()
+	sh := l.shard(name.Page)
+	sh.mu.Lock()
+	sh.cached[name] = Max(sh.cached[name], mode)
+	sh.notifyAll()
+	sh.mu.Unlock()
 }
 
 // CachedMode returns the cached mode for name (None if absent).
 func (l *LLM) CachedMode(name Name) Mode {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.cached[name]
+	sh := l.shard(name.Page)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.cached[name]
 }
 
 // ReleaseTxn drops every use of a terminated transaction; cached locks
-// are retained per inter-transaction caching.
+// are retained per inter-transaction caching.  Shards are visited in
+// ascending order, one mutex at a time.
 func (l *LLM) ReleaseTxn(t ident.TxnID) {
-	l.mu.Lock()
-	for n, owners := range l.use {
-		if _, ok := owners[t]; ok {
-			delete(owners, t)
-			if len(owners) == 0 {
-				delete(l.use, n)
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		for n, owners := range sh.use {
+			if _, ok := owners[t]; ok {
+				delete(owners, t)
+				if len(owners) == 0 {
+					delete(sh.use, n)
+				}
 			}
 		}
+		sh.notifyAll()
+		sh.mu.Unlock()
 	}
-	delete(l.waitsLocal, t)
-	l.notifyAll()
-	l.mu.Unlock()
+	l.clearWaitLocal(t)
 }
 
 // TxnUses returns the names t currently uses with their modes.
 func (l *LLM) TxnUses(t ident.TxnID) []Holding {
-	l.mu.Lock()
-	defer l.mu.Unlock()
 	var out []Holding
-	for n, owners := range l.use {
-		if m, ok := owners[t]; ok {
-			out = append(out, Holding{Name: n, Mode: m})
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		for n, owners := range sh.use {
+			if m, ok := owners[t]; ok {
+				out = append(out, Holding{Name: n, Mode: m})
+			}
 		}
+		sh.mu.Unlock()
 	}
 	return out
 }
 
 // UseMode returns the mode transaction t holds on name (None if none).
 func (l *LLM) UseMode(t ident.TxnID, name Name) Mode {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.use[name][t]
+	sh := l.shard(name.Page)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.use[name][t]
 }
 
 // CachedLocks snapshots the client-level cached locks; server restart
 // recovery collects them to rebuild the GLM tables (§3.4).
 func (l *LLM) CachedLocks() []Holding {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]Holding, 0, len(l.cached))
-	for n, m := range l.cached {
-		out = append(out, Holding{Name: n, Mode: m})
+	var out []Holding
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		for n, m := range sh.cached {
+			out = append(out, Holding{Name: n, Mode: m})
+		}
+		sh.mu.Unlock()
 	}
 	return out
 }
@@ -334,17 +418,19 @@ func (l *LLM) CachedLocks() []Holding {
 // SetFence marks a pending callback on name so that new conflicting
 // local acquisitions wait for its completion.
 func (l *LLM) SetFence(name Name, wanted Mode) {
-	l.mu.Lock()
-	l.fences[name] = Max(l.fences[name], wanted)
-	l.mu.Unlock()
+	sh := l.shard(name.Page)
+	sh.mu.Lock()
+	sh.fences[name] = Max(sh.fences[name], wanted)
+	sh.mu.Unlock()
 }
 
 // ClearFence removes the fence and wakes blocked acquisitions.
 func (l *LLM) ClearFence(name Name) {
-	l.mu.Lock()
-	delete(l.fences, name)
-	l.notifyAll()
-	l.mu.Unlock()
+	sh := l.shard(name.Page)
+	sh.mu.Lock()
+	delete(sh.fences, name)
+	sh.notifyAll()
+	sh.mu.Unlock()
 }
 
 // WaitObjectFree blocks until no active transaction holds a use on obj
@@ -352,24 +438,26 @@ func (l *LLM) ClearFence(name Name) {
 // covers it; the callback handler then mutates the cache.
 func (l *LLM) WaitObjectFree(obj Name, wanted Mode) error {
 	deadline := time.Now().Add(l.timeout)
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	sh := l.shard(obj.Page)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	for {
-		if l.stopped {
+		if l.stopped.Load() {
 			return ErrStopped
 		}
-		if l.objectFreeLocked(obj, wanted) {
+		if sh.objectFree(obj, wanted) {
 			return nil
 		}
-		if err := l.wait(deadline); err != nil {
+		if err := sh.wait(deadline); err != nil {
 			return err
 		}
 	}
 }
 
-func (l *LLM) objectFreeLocked(obj Name, wanted Mode) bool {
+// objectFree is WaitObjectFree's predicate.  Called with sh.mu held.
+func (sh *llmShard) objectFree(obj Name, wanted Mode) bool {
 	check := func(n Name) bool {
-		for _, m := range l.use[n] {
+		for _, m := range sh.use[n] {
 			if !Compatible(m, wanted) {
 				return false
 			}
@@ -383,16 +471,17 @@ func (l *LLM) objectFreeLocked(obj Name, wanted Mode) bool {
 // structural (page-name) use on pg; de-escalation then proceeds.
 func (l *LLM) WaitPageQuiesced(pg page.ID) error {
 	deadline := time.Now().Add(l.timeout)
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	sh := l.shard(pg)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	for {
-		if l.stopped {
+		if l.stopped.Load() {
 			return ErrStopped
 		}
-		if len(l.use[PageName(pg)]) == 0 {
+		if len(sh.use[PageName(pg)]) == 0 {
 			return nil
 		}
-		if err := l.wait(deadline); err != nil {
+		if err := sh.wait(deadline); err != nil {
 			return err
 		}
 	}
@@ -403,10 +492,11 @@ func (l *LLM) WaitPageQuiesced(pg page.ID) error {
 // their strongest modes: the object locks to obtain when de-escalating
 // the page lock (§3.2).
 func (l *LLM) AccessedObjects(pg page.ID) []ObjLock {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	sh := l.shard(pg)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	var out []ObjLock
-	for n, m := range l.accessed {
+	for n, m := range sh.accessed {
 		if n.Page != pg || m == None {
 			continue
 		}
@@ -417,49 +507,52 @@ func (l *LLM) AccessedObjects(pg page.ID) []ObjLock {
 
 // DropCached removes a cached lock (callback in exclusive mode).
 func (l *LLM) DropCached(name Name) {
-	l.mu.Lock()
-	delete(l.cached, name)
+	sh := l.shard(name.Page)
+	sh.mu.Lock()
+	delete(sh.cached, name)
 	if name.IsPage {
 		// Access history under the page lock dies with it unless object
 		// locks were installed by de-escalation first.
-		for n := range l.accessed {
+		for n := range sh.accessed {
 			if n.Page == name.Page {
-				if _, held := l.cached[n]; !held {
-					delete(l.accessed, n)
+				if _, held := sh.cached[n]; !held {
+					delete(sh.accessed, n)
 				}
 			}
 		}
 	} else {
-		delete(l.accessed, name)
+		delete(sh.accessed, name)
 	}
-	l.notifyAll()
-	l.mu.Unlock()
+	sh.notifyAll()
+	sh.mu.Unlock()
 }
 
 // DowngradeCached demotes a cached exclusive lock to shared (callback in
 // shared mode).
 func (l *LLM) DowngradeCached(name Name) {
-	l.mu.Lock()
-	if l.cached[name] == X {
-		l.cached[name] = S
+	sh := l.shard(name.Page)
+	sh.mu.Lock()
+	if sh.cached[name] == X {
+		sh.cached[name] = S
 	}
-	if !name.IsPage && l.accessed[name] == X {
-		l.accessed[name] = S
+	if !name.IsPage && sh.accessed[name] == X {
+		sh.accessed[name] = S
 	}
-	l.notifyAll()
-	l.mu.Unlock()
+	sh.notifyAll()
+	sh.mu.Unlock()
 }
 
 // Deescalate replaces the cached page lock with the given object locks.
 func (l *LLM) Deescalate(pg page.ID, objs []ObjLock) {
-	l.mu.Lock()
-	delete(l.cached, PageName(pg))
+	sh := l.shard(pg)
+	sh.mu.Lock()
+	delete(sh.cached, PageName(pg))
 	for _, ol := range objs {
 		n := Name{Page: pg, Slot: ol.Slot}
-		l.cached[n] = Max(l.cached[n], ol.Mode)
+		sh.cached[n] = Max(sh.cached[n], ol.Mode)
 	}
-	l.notifyAll()
-	l.mu.Unlock()
+	sh.notifyAll()
+	sh.mu.Unlock()
 }
 
 // CachedObjLocks returns the object locks the cache holds on the page
@@ -467,10 +560,11 @@ func (l *LLM) Deescalate(pg page.ID, objs []ObjLock) {
 // without installing the object locks that replace it, even when the
 // callback is stale or repeated).
 func (l *LLM) CachedObjLocks(pg page.ID) []ObjLock {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	sh := l.shard(pg)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	var out []ObjLock
-	for n, m := range l.cached {
+	for n, m := range sh.cached {
 		if !n.IsPage && n.Page == pg && m != None {
 			out = append(out, ObjLock{Slot: n.Slot, Mode: m})
 		}
@@ -482,12 +576,13 @@ func (l *LLM) CachedObjLocks(pg page.ID) []ObjLock {
 // object lock on pg; the client drops a page from its buffer only when
 // this is false (§3.2 object-level conflict handling).
 func (l *LLM) HoldsAnyOnPage(pg page.ID) bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if _, ok := l.cached[PageName(pg)]; ok {
+	sh := l.shard(pg)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.cached[PageName(pg)]; ok {
 		return true
 	}
-	for n := range l.cached {
+	for n := range sh.cached {
 		if !n.IsPage && n.Page == pg {
 			return true
 		}
@@ -497,20 +592,28 @@ func (l *LLM) HoldsAnyOnPage(pg page.ID) bool {
 
 // Clear wipes all state (client crash loses lock tables).
 func (l *LLM) Clear() {
-	l.mu.Lock()
-	l.cached = make(map[Name]Mode)
-	l.use = make(map[Name]map[ident.TxnID]Mode)
-	l.accessed = make(map[Name]Mode)
-	l.fences = make(map[Name]Mode)
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		sh.cached = make(map[Name]Mode)
+		sh.use = make(map[Name]map[ident.TxnID]Mode)
+		sh.accessed = make(map[Name]Mode)
+		sh.fences = make(map[Name]Mode)
+		sh.notifyAll()
+		sh.mu.Unlock()
+	}
+	l.graphMu.Lock()
 	l.waitsLocal = make(map[ident.TxnID]map[ident.TxnID]bool)
-	l.notifyAll()
-	l.mu.Unlock()
+	l.graphMu.Unlock()
 }
 
 // Stop aborts all blocked operations.
 func (l *LLM) Stop() {
-	l.mu.Lock()
-	l.stopped = true
-	l.notifyAll()
-	l.mu.Unlock()
+	l.stopped.Store(true)
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		sh.notifyAll()
+		sh.mu.Unlock()
+	}
 }

@@ -46,9 +46,10 @@ type WaitsForSnapshot struct {
 	Victims []DeadlockVictim
 }
 
-// recordVictim appends to the bounded victim history.  Called with
-// g.mu held.
+// recordVictim appends to the bounded victim history.
 func (g *GLM) recordVictim(req Request, cycle []ident.ClientID) {
+	g.graphMu.Lock()
+	defer g.graphMu.Unlock()
 	g.victims = append(g.victims, DeadlockVictim{
 		Client: req.Client,
 		Name:   req.Name,
@@ -63,19 +64,26 @@ func (g *GLM) recordVictim(req Request, cycle []ident.ClientID) {
 
 // WaitsFor snapshots the live lock-wait state for introspection
 // (the /waitsfor admin endpoint and the chaos failure report).  Output
-// is deterministically ordered.
+// is deterministically ordered.  Shards are visited in ascending order
+// holding one shard mutex at a time, then the graph under graphMu, so
+// the snapshot never blocks behind more than one shard and never
+// deadlocks against Acquire; across shards the view is an epoch
+// snapshot rather than a single atomic cut.
 func (g *GLM) WaitsFor() WaitsForSnapshot {
 	now := time.Now()
-	g.mu.Lock()
-	defer g.mu.Unlock()
 	var snap WaitsForSnapshot
-	for wr := range g.waiting {
-		snap.Waiters = append(snap.Waiters, WaiterInfo{
-			Client: wr.client,
-			Name:   wr.name,
-			Mode:   wr.mode,
-			Age:    now.Sub(wr.since),
-		})
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		for wr := range sh.waiting {
+			snap.Waiters = append(snap.Waiters, WaiterInfo{
+				Client: wr.client,
+				Name:   wr.name,
+				Mode:   wr.mode,
+				Age:    now.Sub(wr.since),
+			})
+		}
+		sh.mu.Unlock()
 	}
 	sort.Slice(snap.Waiters, func(i, j int) bool {
 		if snap.Waiters[i].Age != snap.Waiters[j].Age {
@@ -83,6 +91,8 @@ func (g *GLM) WaitsFor() WaitsForSnapshot {
 		}
 		return snap.Waiters[i].Client < snap.Waiters[j].Client
 	})
+	g.graphMu.Lock()
+	defer g.graphMu.Unlock()
 	for w, blockers := range g.waits {
 		for b := range blockers {
 			snap.Edges = append(snap.Edges, WaitEdge{Waiter: w, Blocker: b})

@@ -193,6 +193,17 @@ func (f *FaultyServer) Lock(r LockReq) (LockReply, error) {
 	return body.(LockReply), nil
 }
 
+// LockBatch implements Server.  The whole batch is one idempotent
+// request: a retransmission replays the cached reply — including any
+// partial per-item failures — rather than re-acquiring.
+func (f *FaultyServer) LockBatch(r LockBatchReq) (LockBatchReply, error) {
+	body, err := f.conn.call("lock-batch", func() (interface{}, error) { return f.Inner.LockBatch(r) })
+	if err != nil {
+		return LockBatchReply{}, err
+	}
+	return body.(LockBatchReply), nil
+}
+
 // Unlock implements Server.
 func (f *FaultyServer) Unlock(r UnlockReq) error {
 	_, err := f.conn.call("unlock", func() (interface{}, error) { return nil, f.Inner.Unlock(r) })
@@ -206,6 +217,15 @@ func (f *FaultyServer) Fetch(r FetchReq) (FetchReply, error) {
 		return FetchReply{}, err
 	}
 	return body.(FetchReply), nil
+}
+
+// FetchBatch implements Server.
+func (f *FaultyServer) FetchBatch(r FetchBatchReq) (FetchBatchReply, error) {
+	body, err := f.conn.call("fetch-batch", func() (interface{}, error) { return f.Inner.FetchBatch(r) })
+	if err != nil {
+		return FetchBatchReply{}, err
+	}
+	return body.(FetchBatchReply), nil
 }
 
 // Ship implements Server.

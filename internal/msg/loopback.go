@@ -134,6 +134,13 @@ func (l *LoopbackServer) Lock(r LockReq) (LockReply, error) {
 	return l.Inner.Lock(r)
 }
 
+// LockBatch implements Server.  One exchange regardless of item count:
+// the whole point of the batch variant is to pay the round trip once.
+func (l *LoopbackServer) LockBatch(r LockBatchReq) (LockBatchReply, error) {
+	l.rpc("lock-batch", 16*len(r.Items))
+	return l.Inner.LockBatch(r)
+}
+
 // Unlock implements Server.
 func (l *LoopbackServer) Unlock(r UnlockReq) error {
 	l.rpc("unlock", 8*len(r.Objs))
@@ -144,6 +151,13 @@ func (l *LoopbackServer) Unlock(r UnlockReq) error {
 func (l *LoopbackServer) Fetch(r FetchReq) (FetchReply, error) {
 	reply, err := l.Inner.Fetch(r)
 	l.rpc("fetch", len(reply.Image))
+	return reply, err
+}
+
+// FetchBatch implements Server.
+func (l *LoopbackServer) FetchBatch(r FetchBatchReq) (FetchBatchReply, error) {
+	reply, err := l.Inner.FetchBatch(r)
+	l.rpc("fetch-batch", imagesLen(reply.Images))
 	return reply, err
 }
 

@@ -10,6 +10,8 @@
 package msg
 
 import (
+	"errors"
+
 	"clientlog/internal/ident"
 	"clientlog/internal/lock"
 	"clientlog/internal/obs/span"
@@ -84,6 +86,82 @@ type LockReq struct {
 
 // TraceContext exposes the request's trace context to the transports.
 func (r LockReq) TraceContext() span.Context { return r.Trace }
+
+// LockItem is one element of a LockBatchReq: the per-lock fields of a
+// LockReq without the client identity and trace context, which are
+// shared by the whole batch.
+type LockItem struct {
+	Name       lock.Name
+	Mode       lock.Mode
+	PreferPage bool
+	Upgrade    bool
+	HasCached  bool
+	CachedPSN  page.PSN
+}
+
+// LockBatchReq acquires several locks in one request/reply exchange.
+// The server acquires the items in its own canonical order (ascending
+// page, page-level before object-level, then ascending slot) regardless
+// of the order sent, so two clients issuing overlapping batches cannot
+// deadlock on batch-internal ordering; replies come back in the
+// caller's order.  Items fail independently: one deadlocked item does
+// not poison the grants before or after it.
+type LockBatchReq struct {
+	Client ident.ClientID
+	Items  []LockItem
+	Trace  span.Context
+}
+
+// TraceContext exposes the request's trace context to the transports.
+func (r LockBatchReq) TraceContext() span.Context { return r.Trace }
+
+// LockBatchReply carries one slot per requested item, in request order.
+// Errs[i] is the empty string for a granted item and the error text
+// otherwise (use LockErrFromString to restore the typed lock errors);
+// the RPC itself only fails on transport errors, so partial grants
+// survive — crucial for exactly-once retries, where the reply cache
+// must be able to replay a half-successful batch verbatim.
+type LockBatchReply struct {
+	Grants []LockReply
+	Errs   []string
+}
+
+// FetchBatchReq fetches several pages in one exchange.
+type FetchBatchReq struct {
+	Client ident.ClientID
+	Pages  []page.ID
+	Trace  span.Context
+}
+
+// TraceContext exposes the request's trace context to the transports.
+func (r FetchBatchReq) TraceContext() span.Context { return r.Trace }
+
+// FetchBatchReply carries one slot per requested page, in request
+// order; a failed page has its error text in Errs[i] and a nil image.
+type FetchBatchReply struct {
+	Images  [][]byte
+	DCTPSNs []page.PSN
+	Errs    []string
+}
+
+// LockErrFromString restores the typed lock errors that travelled as
+// strings inside a batch reply, so errors.Is keeps working at the
+// client regardless of transport.
+func LockErrFromString(s string) error {
+	if s == "" {
+		return nil
+	}
+	switch s {
+	case lock.ErrDeadlock.Error():
+		return lock.ErrDeadlock
+	case lock.ErrTimeout.Error():
+		return lock.ErrTimeout
+	case lock.ErrStopped.Error():
+		return lock.ErrStopped
+	default:
+		return errors.New(s)
+	}
+}
 
 // CallbackOrigin reports, for an exclusive-lock grant that required a
 // callback, which client responded and the PSN the page had when the
@@ -282,8 +360,13 @@ type LogReply struct {
 type Server interface {
 	Register(RegisterReq) (RegisterReply, error)
 	Lock(LockReq) (LockReply, error)
+	// LockBatch acquires several locks in one exchange (see
+	// LockBatchReq); items fail independently via LockBatchReply.Errs.
+	LockBatch(LockBatchReq) (LockBatchReply, error)
 	Unlock(UnlockReq) error
 	Fetch(FetchReq) (FetchReply, error)
+	// FetchBatch fetches several pages in one exchange.
+	FetchBatch(FetchBatchReq) (FetchBatchReply, error)
 	Ship(ShipReq) error
 	Force(ForceReq) (ForceReply, error)
 	Alloc(AllocReq) (FetchReply, error)

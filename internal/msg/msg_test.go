@@ -30,10 +30,22 @@ func (f *fakeServer) Register(RegisterReq) (RegisterReply, error) {
 	return RegisterReply{ID: 1}, nil
 }
 func (f *fakeServer) Lock(LockReq) (LockReply, error) { f.hit("lock"); return LockReply{}, nil }
-func (f *fakeServer) Unlock(UnlockReq) error          { f.hit("unlock"); return nil }
+func (f *fakeServer) LockBatch(r LockBatchReq) (LockBatchReply, error) {
+	f.hit("lock-batch")
+	return LockBatchReply{Grants: make([]LockReply, len(r.Items)), Errs: make([]string, len(r.Items))}, nil
+}
+func (f *fakeServer) Unlock(UnlockReq) error { f.hit("unlock"); return nil }
 func (f *fakeServer) Fetch(FetchReq) (FetchReply, error) {
 	f.hit("fetch")
 	return FetchReply{Image: make([]byte, 128)}, nil
+}
+func (f *fakeServer) FetchBatch(r FetchBatchReq) (FetchBatchReply, error) {
+	f.hit("fetch-batch")
+	return FetchBatchReply{
+		Images:  make([][]byte, len(r.Pages)),
+		DCTPSNs: make([]page.PSN, len(r.Pages)),
+		Errs:    make([]string, len(r.Pages)),
+	}, nil
 }
 func (f *fakeServer) Ship(ShipReq) error { f.hit("ship"); return nil }
 func (f *fakeServer) Force(ForceReq) (ForceReply, error) {

@@ -302,6 +302,17 @@ func mapLockErr(err error) error {
 	}
 }
 
+// LockBatch implements msg.Server.  Per-item errors travel as strings
+// inside the reply (msg.LockErrFromString restores them at the caller);
+// only transport failures surface as the RPC error.
+func (t *Transport) LockBatch(req msg.LockBatchReq) (msg.LockBatchReply, error) {
+	body, err := t.call("lock-batch", req)
+	if err != nil {
+		return msg.LockBatchReply{}, err
+	}
+	return body.(msg.LockBatchReply), nil
+}
+
 // Unlock implements msg.Server.
 func (t *Transport) Unlock(req msg.UnlockReq) error {
 	_, err := t.call("unlock", req)
@@ -315,6 +326,15 @@ func (t *Transport) Fetch(req msg.FetchReq) (msg.FetchReply, error) {
 		return msg.FetchReply{}, err
 	}
 	return body.(msg.FetchReply), nil
+}
+
+// FetchBatch implements msg.Server.
+func (t *Transport) FetchBatch(req msg.FetchBatchReq) (msg.FetchBatchReply, error) {
+	body, err := t.call("fetch-batch", req)
+	if err != nil {
+		return msg.FetchBatchReply{}, err
+	}
+	return body.(msg.FetchBatchReply), nil
 }
 
 // Ship implements msg.Server.

@@ -387,10 +387,14 @@ func (s *session) exec(method string, body interface{}) (interface{}, error) {
 		return reply, nil
 	case "lock":
 		return e.Lock(body.(msg.LockReq))
+	case "lock-batch":
+		return e.LockBatch(body.(msg.LockBatchReq))
 	case "unlock":
 		return nil, e.Unlock(body.(msg.UnlockReq))
 	case "fetch":
 		return e.Fetch(body.(msg.FetchReq))
+	case "fetch-batch":
+		return e.FetchBatch(body.(msg.FetchBatchReq))
 	case "ship":
 		return nil, e.Ship(body.(msg.ShipReq))
 	case "force":

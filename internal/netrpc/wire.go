@@ -120,7 +120,7 @@ type traceCarrier interface {
 // length-prefixed frame as a single Write.
 func writeFrame(w io.Writer, env *envelope) error {
 	var buf bytes.Buffer
-	buf.Write([]byte{0, 0, 0, 0})
+	_, _ = buf.Write([]byte{0, 0, 0, 0})
 	if err := gob.NewEncoder(&buf).Encode(env); err != nil {
 		return fmt.Errorf("netrpc: encode %s: %w", env.Method, err)
 	}
@@ -204,6 +204,10 @@ func init() {
 	gob.Register(msg.RegisterReply{})
 	gob.Register(msg.LockReq{})
 	gob.Register(msg.LockReply{})
+	gob.Register(msg.LockBatchReq{})
+	gob.Register(msg.LockBatchReply{})
+	gob.Register(msg.FetchBatchReq{})
+	gob.Register(msg.FetchBatchReply{})
 	gob.Register(msg.UnlockReq{})
 	gob.Register(msg.FetchReq{})
 	gob.Register(msg.FetchReply{})

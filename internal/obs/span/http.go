@@ -127,13 +127,13 @@ func (s *Store) TraceHandler() http.Handler {
 					TotalNS: int64(tr.Total()), Commit: tr.Commit,
 				})
 			}
-			json.NewEncoder(w).Encode(map[string]any{"n": len(rows), "traces": rows})
+			_ = json.NewEncoder(w).Encode(map[string]any{"n": len(rows), "traces": rows})
 			return
 		}
 		txn, err := parseTxnID(rest)
 		if err != nil {
 			w.WriteHeader(http.StatusBadRequest)
-			json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+			_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
 			return
 		}
 		tr, ok := s.Get(txn)
@@ -144,6 +144,6 @@ func (s *Store) TraceHandler() http.Handler {
 			})
 			return
 		}
-		json.NewEncoder(w).Encode(renderTrace(tr))
+		_ = json.NewEncoder(w).Encode(renderTrace(tr))
 	})
 }

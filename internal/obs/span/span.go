@@ -208,8 +208,8 @@ type Store struct {
 	// Exclusive-time attribution, fed on publish of committed traces.
 	started   obs.Counter
 	published obs.Counter
-	total     obs.Histogram            // root (begin→commit) nanos
-	byCat     [catCount]obs.Histogram  // per-category exclusive nanos
+	total     obs.Histogram               // root (begin→commit) nanos
+	byCat     [catCount]obs.Histogram     // per-category exclusive nanos
 	byBucket  [len(Buckets)]obs.Histogram // rollup exclusive nanos
 }
 

@@ -131,9 +131,9 @@ func TestExclusivePartitionsRootExactly(t *testing.T) {
 		mkSpan(base, 3, 2, CatGLMQueue, 15, 35), // nested under lock wait
 		mkSpan(base, 4, 3, CatCallback, 20, 30), // nested under glm queue
 		mkSpan(base, 5, 1, CatFetch, 50, 70),
-		mkSpan(base, 6, 1, CatWALForce, 65, 90),  // overlaps fetch: earlier sibling wins
+		mkSpan(base, 6, 1, CatWALForce, 65, 90),    // overlaps fetch: earlier sibling wins
 		mkSpan(base, 7, 1, CatCommitShip, 95, 120), // runs past root: clamped
-		mkSpan(base, 8, 99, CatDeesc, 96, 97),    // orphan parent: attaches to root
+		mkSpan(base, 8, 99, CatDeesc, 96, 97),      // orphan parent: attaches to root
 	}}
 	ex, total := Exclusive(tr)
 	if total != int64(100*time.Millisecond) {

@@ -156,7 +156,7 @@ func WaitsForHandler(src func() lock.WaitsForSnapshot) http.Handler {
 			})
 		}
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(out)
+		_ = json.NewEncoder(w).Encode(out)
 	})
 }
 

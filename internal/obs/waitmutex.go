@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// WaitMutex is a sync.Mutex that accumulates the time callers spend
+// blocked into a Counter (nanoseconds).  The uncontended path is a
+// single TryLock, so instrumentation costs nothing when the lock is
+// free; only a blocked caller pays for two clock reads.
+//
+// Several WaitMutexes may share one Counter (e.g. all shards of a
+// sharded table report into a single mutex_wait_nanos_total series),
+// and a Counter can be bound into a Registry with BindCounter.
+type WaitMutex struct {
+	mu sync.Mutex
+	// wait, when non-nil, receives blocked nanoseconds.  Set it before
+	// the mutex is shared (typically at construction).
+	wait *Counter
+}
+
+// SetWaitCounter directs blocked time into c.  Call before the mutex is
+// visible to other goroutines.
+func (m *WaitMutex) SetWaitCounter(c *Counter) { m.wait = c }
+
+// Lock locks the mutex, accounting any blocked time.
+func (m *WaitMutex) Lock() {
+	if m.mu.TryLock() {
+		return
+	}
+	if m.wait == nil {
+		m.mu.Lock()
+		return
+	}
+	t0 := time.Now()
+	m.mu.Lock()
+	m.wait.Add(uint64(time.Since(t0)))
+}
+
+// Unlock unlocks the mutex.
+func (m *WaitMutex) Unlock() { m.mu.Unlock() }
+
+// WaitRWMutex is the sync.RWMutex analog of WaitMutex: blocked time of
+// both readers and writers accumulates into the shared Counter.
+type WaitRWMutex struct {
+	mu   sync.RWMutex
+	wait *Counter
+}
+
+// SetWaitCounter directs blocked time into c.  Call before the mutex is
+// visible to other goroutines.
+func (m *WaitRWMutex) SetWaitCounter(c *Counter) { m.wait = c }
+
+// Lock write-locks the mutex, accounting any blocked time.
+func (m *WaitRWMutex) Lock() {
+	if m.mu.TryLock() {
+		return
+	}
+	if m.wait == nil {
+		m.mu.Lock()
+		return
+	}
+	t0 := time.Now()
+	m.mu.Lock()
+	m.wait.Add(uint64(time.Since(t0)))
+}
+
+// Unlock write-unlocks the mutex.
+func (m *WaitRWMutex) Unlock() { m.mu.Unlock() }
+
+// RLock read-locks the mutex, accounting any blocked time.
+func (m *WaitRWMutex) RLock() {
+	if m.mu.TryRLock() {
+		return
+	}
+	if m.wait == nil {
+		m.mu.RLock()
+		return
+	}
+	t0 := time.Now()
+	m.mu.RLock()
+	m.wait.Add(uint64(time.Since(t0)))
+}
+
+// RUnlock read-unlocks the mutex.
+func (m *WaitRWMutex) RUnlock() { m.mu.RUnlock() }

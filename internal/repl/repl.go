@@ -40,7 +40,7 @@ func NewSession(c *core.Client, objSize int) *Session {
 // Close aborts any open transaction.
 func (s *Session) Close() {
 	if s.txn != nil {
-		s.txn.Abort()
+		_ = s.txn.Abort()
 		s.txn = nil
 	}
 }

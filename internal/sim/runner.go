@@ -36,6 +36,14 @@ type Result struct {
 	// Config had tracing off (or no trace committed).
 	Breakdown *span.Breakdown
 
+	// ServerMutexWaitNanos is the total time spent blocked on the
+	// server's subsystem and lock-manager mutexes (E12's direct evidence
+	// of lock contention).
+	ServerMutexWaitNanos uint64
+	// ServerForcesCoalesced counts server-log forces satisfied by
+	// another caller's group-commit flush.
+	ServerForcesCoalesced uint64
+
 	ServerLogBytes uint64
 	ClientLogBytes uint64 // sum over clients
 	DiskReads      uint64
@@ -164,6 +172,8 @@ func RunFor(cfg core.Config, w Workload, nClients, txns int, seed int64, maxWall
 		Bytes:    cl.Stats.Bytes(),
 	}
 	srv := cl.Server()
+	res.ServerMutexWaitNanos = srv.MutexWaitNanos()
+	res.ServerForcesCoalesced = srv.Log().ForcesCoalesced()
 	res.ServerLogBytes = srv.Log().BytesAppended()
 	st := srv.Store().Stats()
 	res.DiskReads, res.DiskWrites = st.Reads, st.Writes
@@ -210,7 +220,7 @@ func runOneTxn(c *core.Client, gen *Gen, commitNanos *atomic.Int64) error {
 			_, err = txn.Read(obj)
 		}
 		if err != nil {
-			txn.Abort()
+			_ = txn.Abort()
 			return err
 		}
 	}

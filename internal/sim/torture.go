@@ -178,12 +178,12 @@ func (h *harness) run() error {
 			for i := 0; i < 1+r.Intn(4); i++ {
 				obj := page.ObjectID{Page: h.ids[r.Intn(opt.Pages)], Slot: uint16(r.Intn(opt.Slots))}
 				v := make([]byte, 16)
-				r.Read(v)
+				_, _ = r.Read(v)
 				if err := txn.Overwrite(obj, v); err != nil {
 					if !errors.Is(err, lock.ErrDeadlock) && !errors.Is(err, lock.ErrTimeout) {
 						return err
 					}
-					txn.Abort()
+					_ = txn.Abort()
 					h.stats.Aborts++
 					bad = true
 					break

@@ -186,6 +186,6 @@ func (g *Gen) Next() (obj page.ObjectID, write bool) {
 // Value produces a deterministic-length random value for writes.
 func (g *Gen) Value() []byte {
 	v := make([]byte, g.w.ObjSize)
-	g.r.Read(v)
+	_, _ = g.r.Read(v)
 	return v
 }

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"clientlog/internal/page"
 )
@@ -68,6 +69,12 @@ type MemStore struct {
 
 	reads  atomic.Uint64
 	writes atomic.Uint64
+
+	// latency is the simulated per-I/O device time (nanoseconds).  The
+	// sleep happens outside mu: the device itself is concurrent (command
+	// queuing), so any serialization observed above it is the caller's —
+	// which is exactly what the lock-scaling experiments measure.
+	latency atomic.Int64
 }
 
 // NewMemStore returns an empty store with the given page size.
@@ -121,8 +128,19 @@ func (s *MemStore) Free(id page.ID) error {
 	return nil
 }
 
+// SetLatency makes every subsequent Read and Write take at least d of
+// wall time, modeling the disk the in-memory store stands in for.
+func (s *MemStore) SetLatency(d time.Duration) { s.latency.Store(int64(d)) }
+
+func (s *MemStore) simulateIO() {
+	if d := s.latency.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
+}
+
 // Read implements Store.
 func (s *MemStore) Read(id page.ID) (*page.Page, error) {
+	s.simulateIO()
 	s.mu.Lock()
 	img, ok := s.pages[id]
 	s.mu.Unlock()
@@ -139,6 +157,7 @@ func (s *MemStore) Read(id page.ID) (*page.Page, error) {
 
 // Write implements Store.
 func (s *MemStore) Write(p *page.Page) error {
+	s.simulateIO()
 	img, err := p.MarshalBinary()
 	if err != nil {
 		return err

@@ -13,11 +13,19 @@ type Log struct {
 	mu    sync.Mutex
 	store Store
 
+	// Group-commit state: concurrent Force callers elect one leader
+	// that flushes the whole appended prefix while the rest wait on
+	// flushDone, so K committers pay ~1 device flush between them.
+	fmu       sync.Mutex
+	flushing  bool
+	flushDone chan struct{}
+
 	// Metrics, readable concurrently by the benchmark harness and
 	// bindable into an obs.Registry via RegisterObs.
 	appendedBytes obs.Counter
 	appendedRecs  obs.Counter
 	forces        obs.Counter
+	coalesced     obs.Counter
 }
 
 // RegisterObs binds the log's counters into reg as the wal_* families,
@@ -30,6 +38,7 @@ func (l *Log) RegisterObs(reg *obs.Registry, tags ...obs.Tag) {
 	reg.BindCounter(&l.appendedRecs, "wal_appends_total", tags...)
 	reg.BindCounter(&l.appendedBytes, "wal_bytes_total", tags...)
 	reg.BindCounter(&l.forces, "wal_forces_total", tags...)
+	reg.BindCounter(&l.coalesced, "wal_force_coalesced_total", tags...)
 }
 
 // NewLog wraps a store in a log manager.
@@ -83,12 +92,47 @@ func (l *Log) AppendAndForce(r Record) (LSN, error) {
 }
 
 // Force makes all records up to and including upTo durable.
+//
+// Concurrent callers group-commit: the first becomes the flush leader
+// and flushes everything appended so far; the others wait for that
+// flush and re-check durability, so a burst of K committers usually
+// pays a single device flush.  A caller whose records the leader's
+// flush did not cover (appended after the leader captured the end of
+// the log) simply becomes the next leader.
 func (l *Log) Force(upTo LSN) error {
-	if upTo < l.store.Durable() {
-		return nil
+	for {
+		if upTo < l.store.Durable() {
+			return nil
+		}
+		l.fmu.Lock()
+		if l.flushing {
+			done := l.flushDone
+			l.fmu.Unlock()
+			l.coalesced.Add(1)
+			<-done
+			// The leader's flush may have covered upTo; if it failed or
+			// fell short, loop and take the lead ourselves.
+			continue
+		}
+		l.flushing = true
+		done := make(chan struct{})
+		l.flushDone = done
+		l.fmu.Unlock()
+
+		// Flush the whole appended prefix, not just upTo: every waiter
+		// whose records landed before this point rides along for free.
+		target := l.store.End()
+		if target < upTo {
+			target = upTo
+		}
+		l.forces.Add(1)
+		err := l.store.Flush(target)
+		l.fmu.Lock()
+		l.flushing = false
+		l.fmu.Unlock()
+		close(done)
+		return err
 	}
-	l.forces.Add(1)
-	return l.store.Flush(upTo)
 }
 
 // ForceAll forces everything appended so far.
@@ -133,6 +177,10 @@ func (l *Log) RecordsAppended() uint64 { return l.appendedRecs.Load() }
 
 // Forces returns the number of Force calls that reached the store.
 func (l *Log) Forces() uint64 { return l.forces.Load() }
+
+// ForcesCoalesced returns the number of Force calls absorbed by another
+// caller's in-flight flush (the group-commit win).
+func (l *Log) ForcesCoalesced() uint64 { return l.coalesced.Load() }
 
 // Scanner iterates over records in LSN order.
 type Scanner struct {

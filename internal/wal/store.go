@@ -4,6 +4,8 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 )
 
 // Store is the byte-level log device under a Log.  Records are framed by
@@ -59,6 +61,12 @@ type MemStore struct {
 	durable   LSN
 	reclaimed LSN
 	capacity  uint64 // 0 = unbounded
+
+	// flushLatency is the simulated fsync time (nanoseconds).  The sleep
+	// happens outside mu so that what serializes flushes is the caller's
+	// locking, not the model: the Log layer's group commit coalesces
+	// concurrent forces onto one Flush and therefore one sleep.
+	flushLatency atomic.Int64
 }
 
 type memRec struct {
@@ -88,8 +96,15 @@ func (m *MemStore) Append(payload []byte) (LSN, error) {
 	return lsn, nil
 }
 
+// SetFlushLatency makes every subsequent Flush take at least d of wall
+// time, modeling the fsync cost of the disk this store stands in for.
+func (m *MemStore) SetFlushLatency(d time.Duration) { m.flushLatency.Store(int64(d)) }
+
 // Flush implements Store.
 func (m *MemStore) Flush(upTo LSN) error {
+	if d := m.flushLatency.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if upTo >= m.end {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"time"
 
@@ -41,6 +42,7 @@ func main() {
 	outDir := flag.String("out", ".", "directory for -json artifacts")
 	txns := flag.Int("txns", 0, "override per-client transaction count")
 	clients := flag.Int("clients", 0, "override the maximum client count")
+	liteClients := flag.String("lite-clients", "", "comma-separated population sweep for the lite-runner experiments (e.g. 16,1000,5000)")
 	seed := flag.Int64("seed", 1, "workload seed")
 	flag.Parse()
 
@@ -60,6 +62,18 @@ func main() {
 	}
 	if *clients > 0 {
 		params.MaxClients = *clients
+	}
+	if *liteClients != "" {
+		var ns []int
+		for _, f := range strings.Split(*liteClients, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "bad -lite-clients entry %q\n", f)
+				os.Exit(2)
+			}
+			ns = append(ns, n)
+		}
+		params.LiteClients = ns
 	}
 	params.Seed = *seed
 

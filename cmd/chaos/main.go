@@ -64,6 +64,8 @@ func main() {
 	clients := flag.Int("clients", 3, "clients per cluster")
 	noServer := flag.Bool("no-server-crashes", false, "client crashes only")
 	diskless := flag.Bool("diskless", false, "first client logs to a server-hosted remote log")
+	churn := flag.Bool("churn", false, "add membership storms: clean leave+rejoin and crash bursts")
+	logSlots := flag.Int("log-slots", 0, "cap private logs at ~N records so §3.6 freeLogSpace fires (0 = unbounded)")
 
 	drop := flag.Float64("drop", -1, "message drop probability (-1 = default plan)")
 	dup := flag.Float64("dup", -1, "message duplication probability")
@@ -136,6 +138,8 @@ func main() {
 		opt.Clients = *clients
 		opt.ServerCrashes = !*noServer
 		opt.Diskless = *diskless
+		opt.Churn = *churn
+		opt.LogSlots = *logSlots
 		opt.Plan = plan
 		opt.Registry = reg
 		opt.Ring = ring

@@ -22,6 +22,8 @@ func main() {
 	rounds := flag.Int("rounds", 150, "rounds per schedule")
 	clients := flag.Int("clients", 3, "clients per cluster")
 	noServer := flag.Bool("no-server-crashes", false, "client crashes only")
+	churn := flag.Bool("churn", false, "add membership storms: clean leave+rejoin and crash bursts")
+	logSlots := flag.Int("log-slots", 0, "cap private logs at ~N records so §3.6 freeLogSpace fires (0 = unbounded)")
 	flag.Parse()
 
 	var total sim.TortureStats
@@ -31,6 +33,8 @@ func main() {
 		opt.Rounds = *rounds
 		opt.Clients = *clients
 		opt.ServerCrashes = !*noServer
+		opt.Churn = *churn
+		opt.LogSlots = *logSlots
 		stats, err := sim.Torture(core.DefaultConfig(), opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "FAIL seed %d: %v\n", seed, err)
@@ -42,9 +46,11 @@ func main() {
 		total.ServerCrashes += stats.ServerCrashes
 		total.Complex += stats.Complex
 		total.Verifications += stats.Verifications
-		fmt.Printf("seed %-5d ok: %4d commits %3d aborts %2d client-crashes %2d server-crashes (%d complex)\n",
-			seed, stats.Commits, stats.Aborts, stats.ClientCrashes, stats.ServerCrashes, stats.Complex)
+		total.Leaves += stats.Leaves
+		total.Joins += stats.Joins
+		fmt.Printf("seed %-5d ok: %4d commits %3d aborts %2d client-crashes %2d server-crashes (%d complex) %2d leaves\n",
+			seed, stats.Commits, stats.Aborts, stats.ClientCrashes, stats.ServerCrashes, stats.Complex, stats.Leaves)
 	}
-	fmt.Printf("\nALL PASS: %d commits, %d aborts, %d client crashes, %d server crashes (%d complex), %d verifications\n",
-		total.Commits, total.Aborts, total.ClientCrashes, total.ServerCrashes, total.Complex, total.Verifications)
+	fmt.Printf("\nALL PASS: %d commits, %d aborts, %d client crashes, %d server crashes (%d complex), %d leave/rejoins, %d verifications\n",
+		total.Commits, total.Aborts, total.ClientCrashes, total.ServerCrashes, total.Complex, total.Leaves, total.Verifications)
 }

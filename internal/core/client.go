@@ -33,6 +33,9 @@ type ClientMetrics struct {
 	LogFullEvents   obs.Counter // times the private log filled
 	Checkpoints     obs.Counter
 	ClientMerges    obs.Counter // client-side page merges (§2)
+	LogReclaims     obs.Counter // §3.6 freeLogSpace attempts
+	LogReclaimFails obs.Counter // attempts that freed nothing (ErrNoLogSpace)
+	ForcedShips     obs.Counter // dirty pages shipped by the §3.6 replace-and-force path
 
 	// CommitNanos is the end-to-end Commit latency distribution.
 	CommitNanos obs.Histogram
@@ -60,6 +63,34 @@ type txnState struct {
 	// tr is the transaction's causal span recorder (nil when tracing
 	// is off; every method on it tolerates nil).
 	tr *span.TxnTrace
+	// undoNeed is the transaction's undo reservation on a bounded log:
+	// the bytes its CLRs plus an abort record could still require.
+	// Forward appends must leave this much capacity free (summed over
+	// all active transactions) so rollback can always log.
+	undoNeed uint64
+}
+
+// Undo reservation sizing: a CLR compensating an update is at most the
+// update's encoded size plus the UndoNext field and framing (clrSlack
+// over-approximates that), and abortRecCost over-approximates a framed
+// Abort record.
+const (
+	clrSlack     = 32
+	abortRecCost = 64
+)
+
+// undoReserveLocked sums the undo reservations of every active
+// transaction except skip (pass the transaction whose own rollback the
+// append being sized belongs to, or nil).  Called with c.mu held.
+func (c *Client) undoReserveLocked(skip *txnState) uint64 {
+	var sum uint64
+	for _, t := range c.txns {
+		if t == skip {
+			continue
+		}
+		sum += t.undoNeed
+	}
+	return sum
 }
 
 // Client is a client engine: it runs transactions entirely locally with
@@ -136,6 +167,9 @@ func (c *Client) RegisterObs(reg *obs.Registry) {
 	reg.BindCounter(&c.Metrics.LogFullEvents, "client_log_full_total", sc)
 	reg.BindCounter(&c.Metrics.Checkpoints, "client_checkpoints_total", sc)
 	reg.BindCounter(&c.Metrics.ClientMerges, "client_merges_total", sc)
+	reg.BindCounter(&c.Metrics.LogReclaims, "client_log_reclaim_total", sc)
+	reg.BindCounter(&c.Metrics.LogReclaimFails, "client_log_reclaim_fail_total", sc)
+	reg.BindCounter(&c.Metrics.ForcedShips, "client_forced_ships_total", sc)
 	reg.BindHistogram(&c.Metrics.CommitNanos, "client_commit_nanos", sc)
 	c.log.RegisterObs(reg, sc)
 	c.pool.RegisterObs(reg, sc)
@@ -204,7 +238,7 @@ func (c *Client) acquire(t *txnState, name lock.Name, mode lock.Mode) error {
 		c.llm.InstallCached(reply.Name, reply.Mode)
 		for _, o := range reply.Origins {
 			c.mu.Lock()
-			_, aerr := c.appendLocked(&wal.Callback{Object: o.Object, Responder: o.Responder, PSN: o.PSN})
+			_, aerr := c.appendLocked(&wal.Callback{Object: o.Object, Responder: o.Responder, PSN: o.PSN}, c.undoReserveLocked(nil))
 			c.mu.Unlock()
 			if aerr != nil {
 				return aerr
@@ -363,11 +397,13 @@ func (c *Client) shipVictims(victims []shipment) {
 }
 
 // appendLocked appends a log record, running the §3.6 log space
-// protocol on ErrLogFull.  Called with c.mu held; may briefly release
-// it while talking to the server.
-func (c *Client) appendLocked(rec wal.Record) (wal.LSN, error) {
+// protocol on ErrLogFull.  headroom is the undo reservation the append
+// must leave free (zero for records allowed to consume the reserve:
+// CLRs and abort records spend the space reserved for them).  Called
+// with c.mu held; may briefly release it while talking to the server.
+func (c *Client) appendLocked(rec wal.Record, headroom uint64) (wal.LSN, error) {
 	for attempt := 0; ; attempt++ {
-		lsn, err := c.log.Append(rec)
+		lsn, err := c.log.AppendWithHeadroom(rec, headroom)
 		if err == nil {
 			return lsn, nil
 		}
@@ -375,10 +411,16 @@ func (c *Client) appendLocked(rec wal.Record) (wal.LSN, error) {
 			return wal.NilLSN, err
 		}
 		c.Metrics.LogFullEvents.Add(1)
+		before := c.log.Horizon()
 		c.mu.Unlock()
 		ferr := c.freeLogSpace()
 		c.mu.Lock()
-		if ferr != nil {
+		// Callback processing appends on this client concurrently with
+		// the transaction, so two freeLogSpace calls can race: ours may
+		// report no progress because the other one already reclaimed the
+		// space it was after.  As long as the horizon moved while we were
+		// out, the verdict is stale — retry the append.
+		if ferr != nil && c.log.Horizon() <= before {
 			return wal.NilLSN, ferr
 		}
 	}
@@ -389,7 +431,13 @@ func (c *Client) appendLocked(rec wal.Record) (wal.LSN, error) {
 // that entry's RedoLSN to the remembered end of the log, and reclaim
 // the log prefix below the new minimum.
 func (c *Client) freeLogSpace() error {
+	c.Metrics.LogReclaims.Add(1)
 	c.mu.Lock()
+	// All progress verdicts below compare against the horizon as of
+	// entry: a concurrent freeLogSpace (callback processing appends on
+	// this client too) advancing it counts as progress for us as well.
+	horizon0 := c.log.Horizon()
+	dpt0 := len(c.dpt)
 	var victim page.ID
 	var min wal.LSN
 	found := false
@@ -400,8 +448,29 @@ func (c *Client) freeLogSpace() error {
 	}
 	if !found {
 		// No dirty pages: the log is pinned by active transactions or
-		// the checkpoint; nothing this protocol can free.
+		// the checkpoint.  The prefix below the pin may still be
+		// reclaimable — records of aborted transactions are never
+		// covered by a commit force, and the store only reuses durable
+		// space — so force up to the pin and retry the reclaim before
+		// giving up.  A stale checkpoint (restart recovery leaves one
+		// behind and nothing else renews it) is rewritten first so the
+		// pin travels to the end of the log.
+		c.refreshCheckpointLocked()
+		target := c.minRedoLocked()
 		c.mu.Unlock()
+		if target > horizon0 {
+			if err := c.log.Force(target); err != nil {
+				return err
+			}
+		}
+		c.mu.Lock()
+		c.reclaimLocked()
+		progress := c.log.Horizon() > horizon0
+		c.mu.Unlock()
+		if progress {
+			return nil
+		}
+		c.Metrics.LogReclaimFails.Add(1)
 		return ErrNoLogSpace
 	}
 	var ship []byte
@@ -421,6 +490,7 @@ func (c *Client) freeLogSpace() error {
 			return err
 		}
 		c.Metrics.PagesShipped.Add(1)
+		c.Metrics.ForcedShips.Add(1)
 	}
 	// Ask the server to force the page (§3.6: "asks the server to force
 	// the page to disk", also when the page is not cached locally).
@@ -434,10 +504,30 @@ func (c *Client) freeLogSpace() error {
 	// The Force reply acknowledges the flush; apply the same transition
 	// the asynchronous flush notification would.
 	c.applyFlushedLocked(victim, freply.PSN)
+	c.refreshCheckpointLocked()
+	target := c.minRedoLocked()
+	c.mu.Unlock()
+	// The reclaim below only reuses durable space; force through the
+	// reclaim point first so records no one will ever read again
+	// (aborted transactions especially) actually free their bytes.
+	if target > c.log.Durable() {
+		if err := c.log.Force(target); err != nil {
+			return err
+		}
+	}
+	c.mu.Lock()
 	c.reclaimLocked()
-	progress := len(c.dpt) == 0 || c.minRedoLocked() > min
+	// Progress is anything that moves the protocol forward, not only an
+	// immediate horizon advance: when several DPT entries tie at the
+	// minimum RedoLSN, each round retires one of them and the horizon
+	// only moves once the last tie is gone — that retirement must count,
+	// or the append's retry loop gives up with work still to do.
+	ve, vok := c.dpt[victim]
+	progress := len(c.dpt) == 0 || len(c.dpt) < dpt0 || !vok || ve.redoLSN > min ||
+		c.minRedoLocked() > min || c.log.Horizon() > horizon0
 	c.mu.Unlock()
 	if !progress {
+		c.Metrics.LogReclaimFails.Add(1)
 		return ErrNoLogSpace
 	}
 	return nil
@@ -493,6 +583,33 @@ func (c *Client) minRedoLocked() wal.LSN {
 // reclaimLocked releases reusable log space.  Called with c.mu held.
 func (c *Client) reclaimLocked() {
 	c.log.Reclaim(c.minRedoLocked())
+}
+
+// refreshCheckpointLocked rewrites the fuzzy checkpoint at the current
+// end of the log when the old checkpoint record has become the reclaim
+// pin: the checkpoint exists for restart analysis, so it can travel —
+// rewriting it frees every log byte it was holding down (§3.6).
+// Returns true if a new checkpoint record was written.  Called with
+// c.mu held.
+func (c *Client) refreshCheckpointLocked() bool {
+	if c.lastCkpt == wal.NilLSN || c.minRedoLocked() != c.lastCkpt {
+		return false
+	}
+	rec := &wal.Checkpoint{}
+	for _, t := range c.txns {
+		rec.Active = append(rec.Active, wal.TxnInfo{ID: t.id, FirstLSN: t.firstLSN, LastLSN: t.lastLSN})
+	}
+	for pid, e := range c.dpt {
+		rec.DPT = append(rec.DPT, wal.DPTEntry{Page: pid, RedoLSN: e.redoLSN})
+	}
+	lsn, err := c.log.AppendWithHeadroom(rec, c.undoReserveLocked(nil))
+	if err != nil {
+		return false
+	}
+	c.lastCkpt = lsn
+	c.commitsCk = 0
+	c.Metrics.Checkpoints.Add(1)
+	return true
 }
 
 // ensureToken acquires the page's update token (update-privilege
@@ -606,20 +723,16 @@ func (c *Client) Checkpoint() error {
 	for pid, e := range c.dpt {
 		rec.DPT = append(rec.DPT, wal.DPTEntry{Page: pid, RedoLSN: e.redoLSN})
 	}
+	// The checkpoint record is a forward append like any other: it must
+	// respect the undo reservation (appendLocked also runs the §3.6
+	// retry protocol on a full log).
+	lsn, err := c.appendLocked(rec, c.undoReserveLocked(nil))
 	c.mu.Unlock()
-	var lsn wal.LSN
-	var err error
-	for attempt := 0; ; attempt++ {
-		lsn, err = c.log.AppendAndForce(rec)
-		if err == nil {
-			break
-		}
-		if !errors.Is(err, wal.ErrLogFull) || attempt > 8 {
-			return err
-		}
-		if ferr := c.freeLogSpace(); ferr != nil {
-			return ferr
-		}
+	if err != nil {
+		return err
+	}
+	if err := c.log.Force(lsn); err != nil {
+		return err
 	}
 	c.mu.Lock()
 	c.lastCkpt = lsn
@@ -652,11 +765,32 @@ func (c *Client) FlushCache() error {
 	return nil
 }
 
-// Disconnect leaves the cluster cleanly: dirty pages are shipped and
-// all locks released.
+// Disconnect leaves the cluster cleanly: dirty pages are shipped, every
+// page still covered by this client's log is forced to server disk, and
+// all locks released.  The forces are what make departure safe: server
+// crash recovery (§3.4) replays lost pages from client logs, and a
+// departed client's log is no longer available — so nothing on the
+// server may depend on it.  The DPT is exactly the set of pages with
+// that dependence.
 func (c *Client) Disconnect() error {
 	if err := c.FlushCache(); err != nil {
 		return err
+	}
+	c.mu.Lock()
+	pids := make([]page.ID, 0, len(c.dpt))
+	for pid := range c.dpt {
+		pids = append(pids, pid)
+	}
+	c.mu.Unlock()
+	for _, pid := range pids {
+		freply, err := c.srv.Force(msg.ForceReq{Client: c.id, Page: pid})
+		if err != nil {
+			return err
+		}
+		c.Metrics.ForceRequests.Add(1)
+		c.mu.Lock()
+		c.applyFlushedLocked(pid, freply.PSN)
+		c.mu.Unlock()
 	}
 	return c.srv.Disconnect(c.id)
 }

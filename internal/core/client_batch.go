@@ -140,7 +140,7 @@ func (c *Client) acquireBatch(t *txnState, objs []page.ObjectID, mode lock.Mode)
 			c.llm.InstallCached(g.Name, g.Mode)
 			for _, o := range g.Origins {
 				c.mu.Lock()
-				_, aerr := c.appendLocked(&wal.Callback{Object: o.Object, Responder: o.Responder, PSN: o.PSN})
+				_, aerr := c.appendLocked(&wal.Callback{Object: o.Object, Responder: o.Responder, PSN: o.PSN}, c.undoReserveLocked(nil))
 				c.mu.Unlock()
 				if aerr != nil {
 					return aerr

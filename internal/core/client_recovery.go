@@ -430,7 +430,7 @@ func (c *Client) restartRecovery(haveLocks bool) error {
 			return fmt.Errorf("core: restart undo %s: %w", st.id, err)
 		}
 		c.mu.Lock()
-		_, aerr := c.appendLocked(&wal.Abort{TxnID: st.id, PrevLSN: st.lastLSN})
+		_, aerr := c.appendLocked(&wal.Abort{TxnID: st.id, PrevLSN: st.lastLSN}, c.undoReserveLocked(st))
 		delete(c.txns, st.id)
 		c.mu.Unlock()
 		if aerr != nil {

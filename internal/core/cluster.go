@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -72,12 +73,38 @@ func (h *serverHandle) LogOp(r msg.LogReq) (msg.LogReply, error) { return h.get(
 func (h *serverHandle) RecoverEnd(c ident.ClientID) error        { return h.get().RecoverEnd(c) }
 func (h *serverHandle) Disconnect(c ident.ClientID) error        { return h.get().Disconnect(c) }
 
+// ErrUnknownClient reports an operation addressed to a client id the
+// cluster does not track (never joined, or already removed by churn).
+var ErrUnknownClient = errors.New("core: unknown client")
+
 // clientSlot tracks one client's engine and durable log device across
-// crashes.
+// crashes.  opMu serializes whole membership operations (crash,
+// restart, remove, surrogate recovery) on this client: churn drives
+// them concurrently for the same id, and the loser of a race must see
+// the winner's completed state (ErrCrashed, ErrUnknownClient), not a
+// half-performed transition.  Cluster.mu still guards the clients map
+// and slot field access; opMu is always acquired first and never held
+// while taking another slot's opMu.
 type clientSlot struct {
+	opMu     sync.Mutex
 	engine   *Client
 	logStore wal.Store
 	crashed  bool
+}
+
+// slotFor fetches the slot for id, or nil.
+func (cl *Cluster) slotFor(id ident.ClientID) *clientSlot {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.clients[id]
+}
+
+// stillTracked reports whether slot is still the cluster's entry for
+// id (a concurrent RemoveClient/SurrogateRecover may have won).
+func (cl *Cluster) stillTracked(id ident.ClientID, slot *clientSlot) bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.clients[id] == slot
 }
 
 // Cluster assembles a server and a set of clients over the in-process
@@ -287,28 +314,39 @@ func (cl *Cluster) Client(id ident.ClientID) *Client {
 // CrashClient simulates a client crash: the engine loses its volatile
 // state and the server reacts per §3.3.
 func (cl *Cluster) CrashClient(id ident.ClientID) {
-	cl.mu.Lock()
-	slot := cl.clients[id]
-	server := cl.server
-	cl.mu.Unlock()
+	slot := cl.slotFor(id)
 	if slot == nil {
 		return
 	}
-	slot.engine.Crash()
+	slot.opMu.Lock()
+	defer slot.opMu.Unlock()
+	if !cl.stillTracked(id, slot) {
+		return // departed while we waited
+	}
+	cl.mu.Lock()
+	server := cl.server
+	engine := slot.engine
 	slot.crashed = true
+	cl.mu.Unlock()
+	engine.Crash()
 	server.ClientCrashed(id)
 }
 
 // RestartClient runs §3.3 restart recovery for a crashed client and
 // returns the fresh engine.
 func (cl *Cluster) RestartClient(id ident.ClientID) (*Client, error) {
+	slot := cl.slotFor(id)
+	if slot == nil {
+		return nil, fmt.Errorf("%w %s", ErrUnknownClient, id)
+	}
+	slot.opMu.Lock()
+	defer slot.opMu.Unlock()
+	if !cl.stillTracked(id, slot) {
+		return nil, fmt.Errorf("%w %s", ErrUnknownClient, id)
+	}
 	cl.mu.Lock()
-	slot := cl.clients[id]
 	server := cl.server
 	cl.mu.Unlock()
-	if slot == nil {
-		return nil, fmt.Errorf("core: unknown client %s", id)
-	}
 	c, err := RecoverClient(cl.cfg, cl.serverConn(), slot.logStore, id)
 	if err != nil {
 		return nil, err
@@ -323,15 +361,57 @@ func (cl *Cluster) RestartClient(id ident.ClientID) (*Client, error) {
 	return c, nil
 }
 
+// RemoveClient cleanly departs a client (churn "leave"): the engine
+// must be quiescent (no transaction in flight).  The server releases
+// the client's locks and forgets it, and the cluster stops tracking the
+// slot, so the departed client no longer participates in server restart
+// recovery.  Removing a crashed client is an error — crashed clients
+// hold retained X locks that only RestartClient or SurrogateRecover may
+// release.
+func (cl *Cluster) RemoveClient(id ident.ClientID) error {
+	slot := cl.slotFor(id)
+	if slot == nil {
+		return fmt.Errorf("%w %s", ErrUnknownClient, id)
+	}
+	slot.opMu.Lock()
+	defer slot.opMu.Unlock()
+	if !cl.stillTracked(id, slot) {
+		return fmt.Errorf("%w %s", ErrUnknownClient, id)
+	}
+	cl.mu.Lock()
+	crashed := slot.crashed
+	engine := slot.engine
+	cl.mu.Unlock()
+	if crashed {
+		return ErrCrashed
+	}
+	// Orderly shutdown: ship every dirty page, force every page still
+	// covered by this client's log, then have the server release the
+	// locks and drop the connection.
+	if err := engine.Disconnect(); err != nil {
+		return err
+	}
+	// Neutralize the departed engine so a stale handle gets ErrCrashed
+	// instead of issuing RPCs as an unregistered client.
+	engine.Crash()
+	cl.mu.Lock()
+	delete(cl.clients, id)
+	cl.mu.Unlock()
+	return nil
+}
+
 // SurrogateRecover recovers a crashed client's updates from its log
 // without bringing the client back: the surrogate redoes/undoes per
 // §3.3, ships the result, releases the locks and removes the client.
 func (cl *Cluster) SurrogateRecover(id ident.ClientID) error {
-	cl.mu.Lock()
-	slot := cl.clients[id]
-	cl.mu.Unlock()
+	slot := cl.slotFor(id)
 	if slot == nil {
-		return fmt.Errorf("core: unknown client %s", id)
+		return fmt.Errorf("%w %s", ErrUnknownClient, id)
+	}
+	slot.opMu.Lock()
+	defer slot.opMu.Unlock()
+	if !cl.stillTracked(id, slot) {
+		return fmt.Errorf("%w %s", ErrUnknownClient, id)
 	}
 	if err := SurrogateRecover(cl.cfg, cl.serverConn(), slot.logStore, id); err != nil {
 		return err
@@ -347,19 +427,19 @@ func (cl *Cluster) SurrogateRecover(id ident.ClientID) error {
 func (cl *Cluster) CrashServer(alsoClients ...ident.ClientID) {
 	cl.mu.Lock()
 	server := cl.server
-	var slots []*clientSlot
+	var engines []*Client
 	for _, id := range alsoClients {
 		if slot := cl.clients[id]; slot != nil {
-			slots = append(slots, slot)
 			slot.crashed = true
+			engines = append(engines, slot.engine)
 		}
 	}
 	cl.mu.Unlock()
 	server.Crash()
 	// The hosted remote logs lose their unflushed tails with the server.
 	cl.remoteLogs.Crash()
-	for _, slot := range slots {
-		slot.engine.Crash()
+	for _, engine := range engines {
+		engine.Crash()
 	}
 }
 

@@ -1,10 +1,33 @@
 package core
 
 import (
+	"bytes"
+	"encoding/binary"
+	"errors"
 	"testing"
 
 	"clientlog/internal/page"
 )
+
+// retryPressure runs fn as one transaction, retrying when §3.6 log
+// pressure aborts it (ErrNoLogSpace is the engine saying "abort and
+// retry": the undo reservation guarantees the rollback itself can
+// log).  Any other error, or more than limit retries, fails the test.
+func retryPressure(t *testing.T, limit int, fn func() error) {
+	t.Helper()
+	for attempt := 0; ; attempt++ {
+		err := fn()
+		if err == nil {
+			return
+		}
+		if !errors.Is(err, ErrNoLogSpace) {
+			t.Fatalf("attempt %d: %v", attempt, err)
+		}
+		if attempt >= limit {
+			t.Fatalf("still no log space after %d retries: %v", attempt, err)
+		}
+	}
+}
 
 // TestBoundedLogTwoClientsWithCallbacks drives two clients over a tiny
 // private log so that callback log records, checkpoints and the §3.6
@@ -32,16 +55,28 @@ func TestBoundedLogTwoClientsWithCallbacks(t *testing.T) {
 		if round%2 == 1 {
 			c = b
 		}
-		txn, _ := c.Begin()
-		for op := 0; op < 4; op++ {
-			obj := page.ObjectID{Page: ids[(round+op)%len(ids)], Slot: uint16(op)}
-			if err := txn.Overwrite(obj, make([]byte, 32)); err != nil {
-				t.Fatalf("round %d: %v", round, err)
+		retryPressure(t, 20, func() error {
+			txn, err := c.Begin()
+			if err != nil {
+				return err
 			}
-		}
-		if err := txn.Commit(); err != nil {
-			t.Fatalf("round %d commit: %v", round, err)
-		}
+			for op := 0; op < 4; op++ {
+				obj := page.ObjectID{Page: ids[(round+op)%len(ids)], Slot: uint16(op)}
+				if err := txn.Overwrite(obj, make([]byte, 32)); err != nil {
+					if aerr := txn.Abort(); aerr != nil {
+						t.Fatalf("abort must always have reserved log space: %v", aerr)
+					}
+					return err
+				}
+			}
+			if err := txn.Commit(); err != nil {
+				if aerr := txn.Abort(); aerr != nil {
+					t.Fatalf("abort must always have reserved log space: %v", aerr)
+				}
+				return err
+			}
+			return nil
+		})
 		if round%30 == 29 {
 			if err := c.Checkpoint(); err != nil {
 				t.Fatalf("round %d checkpoint: %v", round, err)
@@ -51,4 +86,214 @@ func TestBoundedLogTwoClientsWithCallbacks(t *testing.T) {
 	if a.Metrics.ForceRequests.Load()+b.Metrics.ForceRequests.Load() == 0 {
 		t.Fatal("bounded logs never triggered §3.6 forces")
 	}
+}
+
+// pressureVal derives the deterministic 16-byte value a given commit
+// round writes to a given slot; the reference model and the database
+// must agree on it.
+func pressureVal(round, slot int) []byte {
+	v := make([]byte, 16)
+	binary.LittleEndian.PutUint64(v, uint64(round)*1_000_003+uint64(slot))
+	return v
+}
+
+// TestLogSpacePressureCommittedSurvivesCrash is the §3.6 durability
+// property test: under sustained log-space pressure — a private log so
+// small that freeLogSpace runs mid-transaction throughout — every
+// committed update survives a client crash and §3.3 restart recovery,
+// even though the log records that produced it may long since have been
+// reclaimed and the page copies live who-knows-where between client
+// cache, server pool and server disk.
+func TestLogSpacePressureCommittedSurvivesCrash(t *testing.T) {
+	cfg := testConfig()
+	cfg.ClientLogCapacity = 4 * 1024
+	cl := NewCluster(cfg)
+	ids, err := cl.SeedPages(8, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cl.AddClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// model holds the value each object had after the last COMMITTED
+	// transaction that wrote it; aborted rounds must leave no trace.
+	model := make(map[page.ObjectID][]byte)
+
+	verify := func(tag string) {
+		t.Helper()
+		txn, err := c.Begin()
+		if err != nil {
+			t.Fatalf("%s: begin verify: %v", tag, err)
+		}
+		for obj, want := range model {
+			got, err := txn.Read(obj)
+			if err != nil {
+				t.Fatalf("%s: read %v: %v", tag, obj, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: %v = %x, committed %x", tag, obj, got, want)
+			}
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatalf("%s: verify commit: %v", tag, err)
+		}
+	}
+
+	const rounds = 90
+	for round := 0; round < rounds; round++ {
+		objs := make([]page.ObjectID, 4)
+		for op := range objs {
+			objs[op] = page.ObjectID{
+				Page: ids[(round*7+op*3)%len(ids)],
+				Slot: uint16((round + op) % 8),
+			}
+		}
+		retryPressure(t, 30, func() error {
+			txn, err := c.Begin()
+			if err != nil {
+				return err
+			}
+			for op, obj := range objs {
+				if err := txn.Overwrite(obj, pressureVal(round, op)); err != nil {
+					if aerr := txn.Abort(); aerr != nil {
+						t.Fatalf("abort must always have reserved log space: %v", aerr)
+					}
+					return err
+				}
+			}
+			if err := txn.Commit(); err != nil {
+				if aerr := txn.Abort(); aerr != nil {
+					t.Fatalf("abort must always have reserved log space: %v", aerr)
+				}
+				return err
+			}
+			return nil
+		})
+		// The transaction committed: fold it into the reference model.
+		for op, obj := range objs {
+			model[obj] = pressureVal(round, op)
+		}
+		// Periodically crash mid-stream and recover; every committed
+		// update must still be there.
+		if round%30 == 17 {
+			cl.CrashClient(c.ID())
+			c, err = cl.RestartClient(c.ID())
+			if err != nil {
+				t.Fatalf("round %d: restart: %v", round, err)
+			}
+			verify("after crash-recovery")
+		}
+	}
+	verify("final")
+
+	if c.Metrics.LogReclaims.Load() == 0 {
+		t.Fatal("4KiB log over 90 txns but freeLogSpace never ran")
+	}
+	if c.Metrics.LogFullEvents.Load() == 0 {
+		t.Fatal("pressure run never filled the log")
+	}
+}
+
+// TestLogSpacePinnedTxnSurfacesError pins the log with a transaction
+// whose own records exceed the capacity: §3.6 has nothing to reclaim
+// below the transaction's first LSN, so the engine must return
+// ErrNoLogSpace — never lose an update silently — and the abort that
+// follows must succeed on the very space the undo reservation held
+// back, leaving the database exactly as before the transaction.
+func TestLogSpacePinnedTxnSurfacesError(t *testing.T) {
+	cfg := testConfig()
+	cfg.ClientLogCapacity = 2 * 1024
+	cl := NewCluster(cfg)
+	ids, err := cl.SeedPages(4, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cl.AddClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Snapshot the seeded values the oversized transaction will clobber.
+	before := make(map[page.ObjectID][]byte)
+	snap, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4*8; i++ {
+		obj := page.ObjectID{Page: ids[i/8], Slot: uint16(i % 8)}
+		v, err := snap.Read(obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[obj] = v
+	}
+	if err := snap.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// One transaction tries to write far more than the log can hold.
+	txn, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotErr error
+	for i := 0; i < 64; i++ {
+		obj := page.ObjectID{Page: ids[i%4], Slot: uint16(i % 8)}
+		if err := txn.Overwrite(obj, pressureVal(999, i)); err != nil {
+			gotErr = err
+			break
+		}
+	}
+	if gotErr == nil {
+		t.Fatal("64 updates fit a 2KiB log: the capacity check is not enforced")
+	}
+	if !errors.Is(gotErr, ErrNoLogSpace) {
+		t.Fatalf("oversized txn failed with %v, want ErrNoLogSpace", gotErr)
+	}
+	if c.Metrics.LogReclaimFails.Load() == 0 {
+		t.Fatal("ErrNoLogSpace surfaced but the reclaim-fail counter never moved")
+	}
+	// The abort must succeed: its CLRs and abort record spend the undo
+	// reservation every forward append left free.
+	if err := txn.Abort(); err != nil {
+		t.Fatalf("abort of the pinned txn must always have log space: %v", err)
+	}
+
+	// No silent loss, no partial application: everything reads as before.
+	check, err := c.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for obj, want := range before {
+		got, err := check.Read(obj)
+		if err != nil {
+			t.Fatalf("read %v after abort: %v", obj, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%v = %x after aborted txn, want the pre-txn %x", obj, got, want)
+		}
+	}
+	if err := check.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// And the client is not wedged: a reasonable transaction commits.
+	retryPressure(t, 10, func() error {
+		small, err := c.Begin()
+		if err != nil {
+			return err
+		}
+		obj := page.ObjectID{Page: ids[0], Slot: 0}
+		if err := small.Overwrite(obj, pressureVal(1000, 0)); err != nil {
+			_ = small.Abort()
+			return err
+		}
+		if err := small.Commit(); err != nil {
+			_ = small.Abort()
+			return err
+		}
+		return nil
+	})
 }

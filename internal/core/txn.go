@@ -79,13 +79,24 @@ func (t *Txn) Read(obj page.ObjectID) ([]byte, error) {
 // does the ship-at-commit buffering for the baseline modes.  Called
 // with c.mu held (from inside withPage).
 func (t *Txn) record(rec wal.Record, pid page.ID) (wal.LSN, error) {
-	lsn, err := t.c.appendLocked(rec)
+	// Grow the undo reservation with the record: the append must leave
+	// room for every active transaction's rollback plus the CLR this
+	// record may later require (and, on the first record, the abort
+	// record itself).
+	undo := uint64(len(wal.Encode(rec))) + 8 + clrSlack
+	headroom := t.c.undoReserveLocked(nil) + undo
+	if t.st.firstLSN == wal.NilLSN {
+		headroom += abortRecCost
+	}
+	lsn, err := t.c.appendLocked(rec, headroom)
 	if err != nil {
 		return wal.NilLSN, err
 	}
 	if t.st.firstLSN == wal.NilLSN {
 		t.st.firstLSN = lsn
+		t.st.undoNeed += abortRecCost
 	}
+	t.st.undoNeed += undo
 	t.st.lastLSN = lsn
 	if t.c.cfg.Logging != LogLocal {
 		t.st.buffered = append(t.st.buffered, wal.Encode(rec))
@@ -345,7 +356,9 @@ func (t *Txn) Commit() error {
 		}
 	}
 	c.mu.Lock()
-	lsn, err := c.appendLocked(&wal.Commit{TxnID: t.st.id, PrevLSN: t.st.lastLSN})
+	// The commit record may spend this transaction's own reservation:
+	// once it is durable, no undo will ever be needed.
+	lsn, err := c.appendLocked(&wal.Commit{TxnID: t.st.id, PrevLSN: t.st.lastLSN}, c.undoReserveLocked(t.st))
 	c.mu.Unlock()
 	if err != nil {
 		return err
@@ -386,11 +399,16 @@ func (t *Txn) Abort() error {
 	if err := c.undoChain(t.st, wal.NilLSN); err != nil {
 		return err
 	}
-	c.mu.Lock()
-	_, err := c.appendLocked(&wal.Abort{TxnID: t.st.id, PrevLSN: t.st.lastLSN})
-	c.mu.Unlock()
-	if err != nil {
-		return err
+	// A transaction that never logged has nothing to undo at restart;
+	// skip the abort record so failed-before-first-append transactions
+	// (common under §3.6 pressure) don't leak bytes from a full log.
+	if t.st.firstLSN != wal.NilLSN {
+		c.mu.Lock()
+		_, err := c.appendLocked(&wal.Abort{TxnID: t.st.id, PrevLSN: t.st.lastLSN}, c.undoReserveLocked(t.st))
+		c.mu.Unlock()
+		if err != nil {
+			return err
+		}
 	}
 	t.finish()
 	t.st.tr.Finish(false)
@@ -510,9 +528,17 @@ func (c *Client) undoLogical(st *txnState, r *wal.Logical) error {
 // recordCLR appends a compensation record and maintains the per-page
 // bookkeeping.  Called with c.mu held (inside withPage).
 func (c *Client) recordCLR(st *txnState, clr *wal.CLR) (wal.LSN, error) {
-	lsn, err := c.appendLocked(clr)
+	// A CLR spends the space its transaction reserved for it; only the
+	// other transactions' reservations must stay free.
+	lsn, err := c.appendLocked(clr, c.undoReserveLocked(st))
 	if err != nil {
 		return wal.NilLSN, err
+	}
+	cost := uint64(len(wal.Encode(clr))) + 8
+	if st.undoNeed > cost+abortRecCost {
+		st.undoNeed -= cost
+	} else {
+		st.undoNeed = abortRecCost
 	}
 	st.lastLSN = lsn
 	c.pool.MarkDirty(clr.Page)

@@ -112,7 +112,7 @@ func Chaos(cfg core.Config, opt ChaosOptions) (ChaosStats, error) {
 		return rc
 	}
 
-	cl := core.NewClusterIn(cfg, opt.Registry)
+	cl := core.NewClusterIn(opt.applyConfig(cfg), opt.Registry)
 	inj.RegisterObs(cl.Reg)
 	msg.RegisterObs(cl.Reg)
 	cl.WrapConns(

@@ -22,13 +22,21 @@ type Params struct {
 	Txns       int
 	MaxClients int
 	Seed       int64
+	// LiteClients is the population sweep for the lightweight-runner
+	// experiment (E13); nil falls back to {16, 256}.
+	LiteClients []int
 }
 
 // DefaultParams is the full-size run used by cmd/bench.
-func DefaultParams() Params { return Params{Txns: 200, MaxClients: 16, Seed: 1} }
+func DefaultParams() Params {
+	return Params{Txns: 200, MaxClients: 16, Seed: 1, LiteClients: []int{16, 1000, 5000}}
+}
 
-// QuickParams is the reduced size used by `go test -bench`.
-func QuickParams() Params { return Params{Txns: 40, MaxClients: 8, Seed: 1} }
+// QuickParams is the reduced size used by `go test -bench` and the CI
+// smoke job.
+func QuickParams() Params {
+	return Params{Txns: 40, MaxClients: 8, Seed: 1, LiteClients: []int{16, 256}}
+}
 
 // Experiment pairs an id with its table generator.
 type Experiment struct {
@@ -51,6 +59,7 @@ func All() []Experiment {
 		{"E9", "Independent fuzzy checkpoints: cost under concurrent load", E9Checkpoints},
 		{"E10", "Ablations: per-slot PSN merge cost and adaptive lock granularity", E10Ablations},
 		{"E12", "Server lock scaling: sharded subsystem locks vs the old big lock", E12LockScaling},
+		{"E13", "Scale sweep: 16→1k→5k clients across UNIFORM/ZIPF/HICON ± churn, §3.6 pressure", E13ScaleSweep},
 	}
 }
 

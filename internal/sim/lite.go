@@ -1,0 +1,415 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"clientlog/internal/core"
+	"clientlog/internal/ident"
+	"clientlog/internal/lock"
+)
+
+// Churn parameterizes seeded join/leave/crash storms layered on a lite
+// run: every Every, Crashes clients crash and restart (§3.3 client
+// restart recovery) and Leaves clients are flagged to depart cleanly
+// and rejoin as fresh clients.  Every == 0 disables churn.
+type Churn struct {
+	Every   time.Duration // storm interval (0 disables churn)
+	Crashes int           // crash+restart victims per storm
+	Leaves  int           // clean leave+rejoin victims per storm
+	Seed    int64         // storm victim selection seed
+}
+
+// Enabled reports whether the spec actually produces storms.
+func (ch Churn) Enabled() bool {
+	return ch.Every > 0 && (ch.Crashes > 0 || ch.Leaves > 0)
+}
+
+// DefaultChurn returns a storm spec aggressive enough to exercise every
+// churn path in a short test run.
+func DefaultChurn(seed int64) Churn {
+	return Churn{Every: 20 * time.Millisecond, Crashes: 2, Leaves: 1, Seed: seed}
+}
+
+// LiteOptions tunes the lightweight dispatcher runner.
+type LiteOptions struct {
+	// Workers is the dispatcher goroutine pool size; 0 picks
+	// min(nClients, max(8, 4×GOMAXPROCS)).  This bounds transaction
+	// concurrency regardless of client count — the fidelity trade-off
+	// vs goroutine-per-client is documented in DESIGN.md §11.
+	Workers int
+	// MaxWall stops the run after a wall-clock budget (0 = unbounded);
+	// fixed-time cells make cross-population throughput comparable.
+	MaxWall time.Duration
+	// Churn layers seeded join/leave/crash storms over the run.
+	Churn Churn
+}
+
+// liteSlot is the pooled per-client state: which engine currently backs
+// the logical client (churn swaps it), its generator (reused across
+// crash/leave incarnations so the access pattern persists), and its
+// progress.  One token per slot circulates through the dispatcher
+// queue; whoever holds the token owns gen and the engine interaction.
+type liteSlot struct {
+	mu        sync.Mutex
+	id        ident.ClientID
+	engine    *core.Client
+	gen       *Gen
+	committed int
+	backoff   time.Duration
+	noSpace   int // consecutive ErrNoLogSpace retries (livelock guard)
+	wantLeave bool
+	done      bool
+}
+
+// liteNoSpaceLimit bounds consecutive ErrNoLogSpace retries for one
+// client: sustained §3.6 pressure is retryable (the abort's CLRs free
+// space), but a log too small to ever fit a transaction must surface as
+// an error instead of livelocking.
+const liteNoSpaceLimit = 100
+
+// liteWorker accumulates metrics locally — the batched-flush part of
+// the lightweight mode: no shared atomics on the per-transaction path,
+// one merge per worker at the end of the run.
+type liteWorker struct {
+	commits     uint64
+	aborts      uint64
+	commitNanos atomic.Int64 // worker-local; atomic only to reuse runOneTxn
+	r           *rand.Rand
+}
+
+// RunLite executes the workload with a shared dispatcher goroutine pool
+// instead of a goroutine per client, so populations of 1k–10k clients
+// fit in one CI-scale process.  Each of nClients logical clients runs
+// txns transactions (or until opt.MaxWall); deadlock/timeout victims
+// retry with jittered backoff parked on a timer, never occupying a
+// worker.  With opt.Churn enabled, a seeded churner crashes/restarts
+// and departs/rejoins clients while the run is in flight.
+func RunLite(cfg core.Config, w Workload, nClients, txns int, seed int64, opt LiteOptions) (Result, error) {
+	cl := core.NewCluster(cfg)
+	ids, err := cl.SeedPages(w.Pages, w.ObjsPerPage, w.ObjSize)
+	if err != nil {
+		return Result{}, err
+	}
+	slots := make([]*liteSlot, nClients)
+	for i := range slots {
+		var c *core.Client
+		if w.Diskless {
+			c, err = cl.AddDisklessClient()
+		} else {
+			c, err = cl.AddClient()
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		slots[i] = &liteSlot{
+			id:      c.ID(),
+			engine:  c,
+			gen:     NewGen(w, i, nClients, ids, seed),
+			backoff: time.Millisecond,
+		}
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = 4 * runtime.GOMAXPROCS(0)
+		if workers < 8 {
+			workers = 8
+		}
+	}
+	if workers > nClients {
+		workers = nClients
+	}
+
+	// One token per live client circulates through the queue; a token is
+	// either queued, held by a worker, or parked on a backoff timer, so
+	// the buffer can never overflow and the channel is never closed
+	// (late timers may still send after the run winds down).
+	queue := make(chan int, nClients)
+	stopCh := make(chan struct{})
+	fatalCh := make(chan struct{})
+	var stopped atomic.Bool
+	var fatalOnce sync.Once
+	var fatalErr error
+	fatal := func(err error) {
+		fatalOnce.Do(func() {
+			fatalErr = err
+			close(fatalCh)
+		})
+	}
+
+	var live sync.WaitGroup
+	live.Add(nClients)
+	var churnLeaves, churnJoins, churnCrashes atomic.Uint64
+
+	start := time.Now()
+	deadline := time.Time{}
+	if opt.MaxWall > 0 {
+		deadline = start.Add(opt.MaxWall)
+	}
+
+	// finish marks a slot complete exactly once.
+	finish := func(s *liteSlot) {
+		if !s.done {
+			s.done = true
+			live.Done()
+		}
+	}
+	requeueAfter := func(i int, d time.Duration) {
+		time.AfterFunc(d, func() {
+			if !stopped.Load() {
+				queue <- i
+			}
+		})
+	}
+
+	step := func(wk *liteWorker, i int) {
+		s := slots[i]
+		s.mu.Lock()
+		if s.done {
+			s.mu.Unlock()
+			return
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			finish(s)
+			s.mu.Unlock()
+			return
+		}
+		if s.wantLeave {
+			s.wantLeave = false
+			id := s.id
+			s.mu.Unlock()
+			// Clean departure between transactions, then rejoin as a
+			// fresh client.  ErrCrashed/ErrUnknownClient mean a
+			// concurrent crash storm got there first; the crash/restart
+			// path owns the slot then.
+			if err := cl.RemoveClient(id); err == nil {
+				churnLeaves.Add(1)
+				var c *core.Client
+				var jerr error
+				if w.Diskless {
+					c, jerr = cl.AddDisklessClient()
+				} else {
+					c, jerr = cl.AddClient()
+				}
+				if jerr != nil {
+					fatal(fmt.Errorf("lite: rejoin after leave: %w", jerr))
+					return
+				}
+				churnJoins.Add(1)
+				s.mu.Lock()
+				s.id = c.ID()
+				s.engine = c
+				s.mu.Unlock()
+			} else if !errors.Is(err, core.ErrCrashed) && !errors.Is(err, core.ErrUnknownClient) {
+				fatal(fmt.Errorf("lite: leave: %w", err))
+				return
+			}
+			queue <- i
+			return
+		}
+		c := s.engine
+		gen := s.gen
+		s.mu.Unlock()
+
+		err := runOneTxn(c, gen, &wk.commitNanos)
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		switch {
+		case err == nil:
+			wk.commits++
+			s.committed++
+			s.backoff = time.Millisecond
+			s.noSpace = 0
+			if s.committed >= txns {
+				finish(s)
+				return
+			}
+			queue <- i
+		case errors.Is(err, core.ErrNoLogSpace):
+			// §3.6 pressure: the transaction aborted (its CLRs fit in the
+			// undo reservation) and freed its log pin; retry after
+			// backoff.  A client that can never fit a transaction is a
+			// configuration error, not pressure — cap the retries.
+			s.noSpace++
+			if s.noSpace > liteNoSpaceLimit {
+				fatal(fmt.Errorf("lite: client %d: log too small for any transaction: %w", i, err))
+				return
+			}
+			wk.aborts++
+			d := s.backoff + time.Duration(wk.r.Int63n(int64(s.backoff)))
+			if s.backoff < 64*time.Millisecond {
+				s.backoff *= 2
+			}
+			requeueAfter(i, d)
+		case errors.Is(err, lock.ErrDeadlock), errors.Is(err, lock.ErrTimeout), errors.Is(err, core.ErrCrashed):
+			// Victims (and clients caught mid-crash by a churn storm)
+			// park on a timer with jittered exponential backoff; the
+			// worker moves on to another client's token immediately.
+			wk.aborts++
+			d := s.backoff + time.Duration(wk.r.Int63n(int64(s.backoff)))
+			if s.backoff < 64*time.Millisecond {
+				s.backoff *= 2
+			}
+			requeueAfter(i, d)
+		default:
+			fatal(fmt.Errorf("lite: client %d: %w", i, err))
+		}
+	}
+
+	var workersWG sync.WaitGroup
+	workerStates := make([]*liteWorker, workers)
+	for wi := 0; wi < workers; wi++ {
+		wk := &liteWorker{r: rand.New(rand.NewSource(seed ^ int64(0x9E3779B9*uint32(wi+1))))}
+		workerStates[wi] = wk
+		workersWG.Add(1)
+		go func() {
+			defer workersWG.Done()
+			for {
+				select {
+				case <-stopCh:
+					return
+				case i := <-queue:
+					step(wk, i)
+				}
+			}
+		}()
+	}
+	for i := range slots {
+		queue <- i
+	}
+
+	// Churner: one goroutine, seeded, sequential storms.
+	if opt.Churn.Enabled() {
+		workersWG.Add(1)
+		go func() {
+			defer workersWG.Done()
+			r := rand.New(rand.NewSource(opt.Churn.Seed ^ 0x5bd1e995))
+			tick := time.NewTimer(opt.Churn.Every)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopCh:
+					return
+				case <-tick.C:
+				}
+				for k := 0; k < opt.Churn.Crashes; k++ {
+					i := r.Intn(nClients)
+					s := slots[i]
+					s.mu.Lock()
+					if s.done {
+						s.mu.Unlock()
+						continue
+					}
+					id := s.id
+					s.mu.Unlock()
+					cl.CrashClient(id)
+					churnCrashes.Add(1)
+					c, err := cl.RestartClient(id)
+					if err != nil {
+						if errors.Is(err, core.ErrUnknownClient) {
+							continue // departed concurrently
+						}
+						fatal(fmt.Errorf("lite: restart after churn crash: %w", err))
+						return
+					}
+					s.mu.Lock()
+					if s.id == id {
+						s.engine = c
+					}
+					s.mu.Unlock()
+				}
+				for k := 0; k < opt.Churn.Leaves; k++ {
+					i := r.Intn(nClients)
+					s := slots[i]
+					s.mu.Lock()
+					if !s.done {
+						s.wantLeave = true
+					}
+					s.mu.Unlock()
+				}
+				tick.Reset(opt.Churn.Every)
+			}
+		}()
+	}
+
+	allDone := make(chan struct{})
+	go func() {
+		live.Wait()
+		close(allDone)
+	}()
+	select {
+	case <-allDone:
+	case <-fatalCh:
+	}
+	stopped.Store(true)
+	close(stopCh)
+	workersWG.Wait()
+	if fatalErr != nil {
+		return Result{}, fatalErr
+	}
+	elapsed := time.Since(start)
+
+	res := Result{
+		Scheme:   SchemeName(cfg),
+		Workload: w.Kind.String(),
+		Clients:  nClients,
+		Elapsed:  elapsed,
+		Msgs:     cl.Stats.Messages(),
+		Bytes:    cl.Stats.Bytes(),
+	}
+	srv := cl.Server()
+	res.ServerMutexWaitNanos = srv.MutexWaitNanos()
+	res.ServerForcesCoalesced = srv.Log().ForcesCoalesced()
+	res.ServerLogBytes = srv.Log().BytesAppended()
+	st := srv.Store().Stats()
+	res.DiskReads, res.DiskWrites = st.Reads, st.Writes
+	res.Merges = srv.Metrics.Merges.Load()
+	res.TokenMoves = srv.Metrics.TokenTransfers.Load()
+	res.Callbacks = srv.Metrics.CallbacksSent.Load()
+	res.Deescalations = srv.Metrics.Deescalations.Load()
+
+	// Engines die and are reborn under churn, so per-engine counters are
+	// useless here; the registry keeps every family monotone across
+	// restarts and is the source of truth for client-side totals.
+	snap := cl.Reg.Snapshot()
+	res.Commits = snap.Total("client_commits_total")
+	res.Aborts = snap.Total("client_aborts_total")
+	res.ForceRequests = snap.Total("client_force_requests_total")
+	res.LogFullEvents = snap.Total("client_log_full_total")
+	res.PagesShipped = snap.Total("client_pages_shipped_total")
+	res.PagesFetched = snap.Total("client_pages_fetched_total")
+	res.LogReclaims = snap.Total("client_log_reclaim_total")
+	res.LogReclaimFails = snap.Total("client_log_reclaim_fail_total")
+	res.ForcedShips = snap.Total("client_forced_ships_total")
+	if walBytes := snap.Total("wal_bytes_total"); walBytes > res.ServerLogBytes {
+		res.ClientLogBytes = walBytes - res.ServerLogBytes
+	}
+	var commitNanos int64
+	for _, wk := range workerStates {
+		res.AckedCommits += wk.commits
+		res.Aborts += wk.aborts
+		commitNanos += wk.commitNanos.Load()
+	}
+	if res.Commits > 0 {
+		res.CommitLat = time.Duration(commitNanos / int64(res.Commits))
+	}
+	if lat := snap.Hist("client_commit_nanos"); lat.Count > 0 {
+		res.LatP50 = time.Duration(lat.Quantile(0.50))
+		res.LatP95 = time.Duration(lat.Quantile(0.95))
+		res.LatP99 = time.Duration(lat.Quantile(0.99))
+	}
+	res.ChurnCrashes = churnCrashes.Load()
+	res.ChurnLeaves = churnLeaves.Load()
+	res.ChurnJoins = churnJoins.Load()
+	res.Breakdown = cfg.Spans.Breakdown()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	res.HeapAllocBytes = ms.HeapAlloc
+	return res, nil
+}

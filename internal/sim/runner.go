@@ -56,6 +56,27 @@ type Result struct {
 	LogFullEvents  uint64
 	PagesShipped   uint64
 	PagesFetched   uint64
+
+	// §3.6 log-space pressure counters (summed over clients, including
+	// pre-restart incarnations in lite/churn runs).
+	LogReclaims     uint64 // freeLogSpace attempts
+	LogReclaimFails uint64 // attempts that freed nothing (ErrNoLogSpace)
+	ForcedShips     uint64 // dirty pages shipped by the replace-and-force path
+
+	// Churn accounting (lite runner only).
+	ChurnCrashes uint64
+	ChurnLeaves  uint64
+	ChurnJoins   uint64
+
+	// AckedCommits is the number of Commit() calls the lite dispatcher
+	// saw return success.  The race tests assert it never exceeds the
+	// engines' own Commits total: a successful acknowledgment whose
+	// transaction the engine did not register would be a lost commit.
+	AckedCommits uint64
+
+	// HeapAllocBytes is runtime.MemStats.HeapAlloc sampled at the end of
+	// the run (lite runner only) — the E13 memory-footprint evidence.
+	HeapAllocBytes uint64
 }
 
 // Throughput returns committed transactions per second.
@@ -190,6 +211,9 @@ func RunFor(cfg core.Config, w Workload, nClients, txns int, seed int64, maxWall
 		res.LogFullEvents += c.Metrics.LogFullEvents.Load()
 		res.PagesShipped += c.Metrics.PagesShipped.Load()
 		res.PagesFetched += c.Metrics.PagesFetched.Load()
+		res.LogReclaims += c.Metrics.LogReclaims.Load()
+		res.LogReclaimFails += c.Metrics.LogReclaimFails.Load()
+		res.ForcedShips += c.Metrics.ForcedShips.Load()
 		lat = lat.Merge(c.Metrics.CommitNanos.View())
 	}
 	res.Aborts += aborts.Load()
@@ -206,16 +230,19 @@ func RunFor(cfg core.Config, w Workload, nClients, txns int, seed int64, maxWall
 }
 
 // runOneTxn executes one generated transaction; lock victims are
-// aborted and reported so the caller can retry.
+// aborted and reported so the caller can retry.  The generator decides
+// the op count (long readers scan more) and owns the write buffer (the
+// engine clones on both the page and the log path).
 func runOneTxn(c *core.Client, gen *Gen, commitNanos *atomic.Int64) error {
 	txn, err := c.Begin()
 	if err != nil {
 		return err
 	}
-	for op := 0; op < gen.w.OpsPerTxn; op++ {
+	ops := gen.Ops()
+	for op := 0; op < ops; op++ {
 		obj, write := gen.Next()
 		if write {
-			err = txn.Overwrite(obj, gen.Value())
+			err = txn.Overwrite(obj, gen.ValueReuse())
 		} else {
 			_, err = txn.Read(obj)
 		}
@@ -226,6 +253,7 @@ func runOneTxn(c *core.Client, gen *Gen, commitNanos *atomic.Int64) error {
 	}
 	t0 := time.Now()
 	if err := txn.Commit(); err != nil {
+		_ = txn.Abort() // a failed commit leaves the txn active; don't let it pin the log
 		return err
 	}
 	commitNanos.Add(time.Since(t0).Nanoseconds())

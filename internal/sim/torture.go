@@ -25,9 +25,32 @@ type TortureOptions struct {
 	// (Section 2's diskless option), covering that path in the torture
 	// matrix too.
 	Diskless bool
+	// Churn adds a membership-storm band to the schedule: clients other
+	// than the verify reader randomly depart cleanly (RemoveClient) and
+	// rejoin as fresh clients, or crash+restart in bursts.
+	Churn bool
+	// LogSlots, when positive, caps every client's private log at
+	// roughly LogSlots records (§3.6 sustained pressure: freeLogSpace
+	// and the replace-and-force path fire continuously).  0 leaves the
+	// log unbounded.
+	LogSlots int
 }
 
-// DefaultTortureOptions returns a moderate schedule.
+// tortureLogSlotBytes approximates one private-log record (update
+// record with a 16-byte value plus framing) when translating the
+// LogSlots knob into a byte capacity.
+const tortureLogSlotBytes = 128
+
+// applyConfig translates the option knobs that live in core.Config.
+func (opt TortureOptions) applyConfig(cfg core.Config) core.Config {
+	if opt.LogSlots > 0 {
+		cfg.ClientLogCapacity = uint64(opt.LogSlots) * tortureLogSlotBytes
+	}
+	return cfg
+}
+
+// DefaultTortureOptions returns a moderate schedule (no churn,
+// unbounded private logs — the historical matrix).
 func DefaultTortureOptions(seed int64) TortureOptions {
 	return TortureOptions{Seed: seed, Rounds: 150, Clients: 3, Pages: 4, Slots: 8, ServerCrashes: true}
 }
@@ -40,6 +63,9 @@ type TortureStats struct {
 	ServerCrashes int
 	Complex       int
 	Verifications int
+	// Churn accounting (zero unless TortureOptions.Churn).
+	Leaves int
+	Joins  int
 }
 
 // VerifyEveryRound makes Torture check the reference state after every
@@ -167,6 +193,46 @@ func (h *harness) run() error {
 	for round := 0; round < opt.Rounds; round++ {
 		h.ring.Record(trace.RecoveryStep, 0, 0, fmt.Sprintf("=== round %d", round))
 		switch action := r.Intn(100); {
+		case opt.Churn && opt.Clients > 1 && action < 8:
+			// Membership storm.  The verify reader (index 0, also the
+			// diskless slot) never churns; everyone else either departs
+			// cleanly and rejoins as a fresh client, or crash+restarts
+			// in a burst of up to two.
+			if r.Intn(2) == 0 {
+				idx := 1 + r.Intn(opt.Clients-1)
+				id := h.clients[idx]
+				h.ring.Record(trace.RecoveryStep, id, 0, "CLIENT LEAVE+REJOIN")
+				if err := h.cl.RemoveClient(id); err != nil {
+					return fmt.Errorf("churn leave (seed %d): %w", opt.Seed, err)
+				}
+				h.stats.Leaves++
+				c, err := h.cl.AddClient()
+				if err != nil {
+					return fmt.Errorf("churn rejoin (seed %d): %w", opt.Seed, err)
+				}
+				h.clients[idx] = c.ID()
+				h.stats.Joins++
+			} else {
+				burst := 1 + r.Intn(2)
+				seen := make(map[int]bool)
+				var down []int
+				for k := 0; k < burst; k++ {
+					idx := 1 + r.Intn(opt.Clients-1)
+					if seen[idx] {
+						continue
+					}
+					seen[idx] = true
+					down = append(down, idx)
+					h.ring.Record(trace.RecoveryStep, h.clients[idx], 0, "CHURN BURST CRASH")
+					h.cl.CrashClient(h.clients[idx])
+				}
+				for _, idx := range down {
+					if _, err := h.cl.RestartClient(h.clients[idx]); err != nil {
+						return fmt.Errorf("churn burst restart (seed %d): %w", opt.Seed, err)
+					}
+					h.stats.ClientCrashes++
+				}
+			}
 		case action < 70:
 			c := h.cl.Client(h.clients[r.Intn(opt.Clients)])
 			txn, err := c.Begin()
@@ -180,10 +246,16 @@ func (h *harness) run() error {
 				v := make([]byte, 16)
 				_, _ = r.Read(v)
 				if err := txn.Overwrite(obj, v); err != nil {
-					if !errors.Is(err, lock.ErrDeadlock) && !errors.Is(err, lock.ErrTimeout) {
+					// §3.6 log pressure (LogSlots) surfaces ErrNoLogSpace;
+					// like a deadlock it means abort and move on — the undo
+					// reservation guarantees the abort itself can log.
+					if !errors.Is(err, lock.ErrDeadlock) && !errors.Is(err, lock.ErrTimeout) &&
+						!errors.Is(err, core.ErrNoLogSpace) {
 						return err
 					}
-					_ = txn.Abort()
+					if aerr := txn.Abort(); aerr != nil {
+						return fmt.Errorf("abort after %v (seed %d): %w", err, opt.Seed, aerr)
+					}
 					h.stats.Aborts++
 					bad = true
 					break
@@ -201,7 +273,14 @@ func (h *harness) run() error {
 				continue
 			}
 			if err := txn.Commit(); err != nil {
-				return err
+				if !errors.Is(err, core.ErrNoLogSpace) {
+					return err
+				}
+				if aerr := txn.Abort(); aerr != nil {
+					return fmt.Errorf("abort after failed commit (seed %d): %w", opt.Seed, aerr)
+				}
+				h.stats.Aborts++
+				continue
 			}
 			h.stats.Commits++
 			for obj, v := range pending {
@@ -217,7 +296,7 @@ func (h *harness) run() error {
 			}
 		case action < 83:
 			c := h.cl.Client(h.clients[r.Intn(opt.Clients)])
-			if err := c.Checkpoint(); err != nil {
+			if err := c.Checkpoint(); err != nil && !errors.Is(err, core.ErrNoLogSpace) {
 				return err
 			}
 		case action < 93:
@@ -271,7 +350,7 @@ func (h *harness) run() error {
 // database ever diverges from a replay of exactly the committed
 // transactions.  This is the engine behind cmd/crashtest.
 func Torture(cfg core.Config, opt TortureOptions) (TortureStats, error) {
-	cl := core.NewCluster(cfg)
+	cl := core.NewCluster(opt.applyConfig(cfg))
 	h, err := newHarness(cl, trace.NewRing(8192), opt)
 	if err != nil {
 		return TortureStats{}, err

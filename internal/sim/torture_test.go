@@ -60,6 +60,77 @@ func TestTortureBoundedLogs(t *testing.T) {
 	}
 }
 
+// TestTortureOptionDefaults pins the historical matrix: churn and
+// bounded logs are strictly opt-in, and the LogSlots knob translates
+// into log capacity only when set.
+func TestTortureOptionDefaults(t *testing.T) {
+	opt := DefaultTortureOptions(seed(1))
+	if opt.Churn {
+		t.Fatal("churn must be opt-in")
+	}
+	if opt.LogSlots != 0 {
+		t.Fatalf("LogSlots defaults to %d, want 0 (unbounded)", opt.LogSlots)
+	}
+	cfg := core.DefaultConfig()
+	if got := opt.applyConfig(cfg).ClientLogCapacity; got != cfg.ClientLogCapacity {
+		t.Fatalf("LogSlots=0 changed ClientLogCapacity to %d", got)
+	}
+	opt.LogSlots = 48
+	if got := opt.applyConfig(cfg).ClientLogCapacity; got != 48*tortureLogSlotBytes {
+		t.Fatalf("LogSlots=48 -> capacity %d, want %d", got, 48*tortureLogSlotBytes)
+	}
+}
+
+// TestTortureChurn adds membership storms to the schedule: clean
+// leave+rejoin and crash bursts interleave with transactions, crashes
+// and checkpoints, and the recovered database must still replay exactly
+// the committed transactions.
+func TestTortureChurn(t *testing.T) {
+	for base := int64(41); base <= 43; base++ {
+		opt := DefaultTortureOptions(seed(base))
+		opt.Rounds = 120
+		opt.Clients = 4
+		opt.Churn = true
+		stats, err := Torture(core.DefaultConfig(), opt)
+		if err != nil {
+			t.Fatalf("seed %d: %v", opt.Seed, err)
+		}
+		if stats.Leaves == 0 && stats.ClientCrashes == 0 {
+			t.Fatalf("seed %d: churn enabled but no storms fired: %+v", opt.Seed, stats)
+		}
+		if stats.Joins != stats.Leaves {
+			t.Fatalf("seed %d: %d leaves but %d rejoins", opt.Seed, stats.Leaves, stats.Joins)
+		}
+		if stats.Commits == 0 {
+			t.Fatalf("seed %d: nothing committed under churn: %+v", opt.Seed, stats)
+		}
+	}
+}
+
+// TestTortureDisklessChurnBoundedLogs is the kitchen-sink cell: a
+// diskless client, membership storms, and private logs capped at
+// LogSlots records so §3.6 freeLogSpace fires throughout.  (The remote
+// log buffers appends at the client, so the undo reservation is not
+// enforced on the diskless path — the bound bites on the local-log
+// clients.)
+func TestTortureDisklessChurnBoundedLogs(t *testing.T) {
+	for base := int64(51); base <= 52; base++ {
+		opt := DefaultTortureOptions(seed(base))
+		opt.Rounds = 120
+		opt.Clients = 4
+		opt.Diskless = true
+		opt.Churn = true
+		opt.LogSlots = 64
+		stats, err := Torture(core.DefaultConfig(), opt)
+		if err != nil {
+			t.Fatalf("seed %d: %v", opt.Seed, err)
+		}
+		if stats.Commits == 0 || stats.Verifications == 0 {
+			t.Fatalf("seed %d: degenerate run %+v", opt.Seed, stats)
+		}
+	}
+}
+
 func TestTortureManySeeds(t *testing.T) {
 	if testing.Short() {
 		t.Skip("seed sweep")

@@ -30,6 +30,18 @@ const (
 	// Feed has client 1 write a region that all other clients read
 	// (producer/consumer, the classic FEED workload).
 	Feed
+	// Zipf draws pages from a YCSB-style zipfian distribution with
+	// tunable skew (Theta): a few hot pages absorb most of the traffic,
+	// the long tail the rest.  This is the hot-key regime the
+	// distributed-locking literature sweeps and none of the original
+	// workloads reach.
+	Zipf
+	// LongRead mixes long-running read-only transactions (every
+	// LongEvery-th client scans LongOps objects of the shared hot region
+	// under S locks) with ordinary update transactions against the same
+	// region, so writers' callbacks queue behind reader transactions
+	// that hold locks for a long time.
+	LongRead
 )
 
 func (k Kind) String() string {
@@ -44,6 +56,10 @@ func (k Kind) String() string {
 		return "HICON"
 	case Feed:
 		return "FEED"
+	case Zipf:
+		return "ZIPF"
+	case LongRead:
+		return "LONGREAD"
 	default:
 		return fmt.Sprintf("kind(%d)", int(k))
 	}
@@ -62,6 +78,10 @@ func ParseKind(s string) (Kind, error) {
 		return HiCon, nil
 	case "FEED", "feed":
 		return Feed, nil
+	case "ZIPF", "zipf":
+		return Zipf, nil
+	case "LONGREAD", "longread":
+		return LongRead, nil
 	default:
 		return 0, fmt.Errorf("sim: unknown workload %q", s)
 	}
@@ -78,8 +98,18 @@ type Workload struct {
 	// HotPages is the per-client hot region size (HotCold) or the
 	// shared region size (HiCon/Feed).
 	HotPages int
-	// HotFrac is the probability of hitting the hot region (HotCold).
+	// HotFrac is the probability of hitting the hot region (HotCold) or
+	// the shared hot region (LongRead's writers).
 	HotFrac float64
+	// Theta is the zipfian skew for the Zipf kind (YCSB's zipfian
+	// constant, in (0,1); larger is more skewed; 0 means the default).
+	Theta float64
+	// LongEvery makes every LongEvery-th client a long-running reader in
+	// the LongRead kind (0 disables long readers).
+	LongEvery int
+	// LongOps is the number of reads a long-running reader performs per
+	// transaction (LongRead kind).
+	LongOps int
 	// Diskless makes every client log to a server-hosted remote log
 	// (Section 2's diskless option) instead of a local one.
 	Diskless bool
@@ -105,6 +135,15 @@ func DefaultWorkload(kind Kind) Workload {
 		w.ReadFrac = 0.9
 	case Private:
 		w.ReadFrac = 0.3
+	case Zipf:
+		w.Theta = 0.9
+	case LongRead:
+		w.HotPages = 8
+		w.HotFrac = 0.7
+		w.ReadFrac = 0.3
+		w.OpsPerTxn = 4
+		w.LongEvery = 8
+		w.LongOps = 32
 	}
 	return w
 }
@@ -116,18 +155,40 @@ type Gen struct {
 	nclient int
 	r       *rand.Rand
 	ids     []page.ID
+	zipf    *Zipfian
+	long    bool // this client is a LongRead long-running reader
+	val     []byte
 }
 
 // NewGen builds the per-client access generator.  ids are the seeded
 // page ids (len == w.Pages).
 func NewGen(w Workload, client, nClients int, ids []page.ID, seed int64) *Gen {
-	return &Gen{
+	g := &Gen{
 		w:       w,
 		client:  client,
 		nclient: nClients,
 		r:       rand.New(rand.NewSource(seed ^ int64(uint64(client+1)*0x9E3779B97F4A7C15))),
 		ids:     ids,
 	}
+	if w.Kind == Zipf {
+		g.zipf = NewZipfian(g.r, len(ids), w.Theta)
+	}
+	g.long = w.Kind == LongRead && w.LongEvery > 0 && client%w.LongEvery == 0
+	return g
+}
+
+// Ops returns the number of operations the next transaction should
+// perform: LongRead's long readers scan LongOps objects, everyone else
+// uses OpsPerTxn.
+func (g *Gen) Ops() int {
+	n := g.w.OpsPerTxn
+	if g.long && g.w.LongOps > 0 {
+		n = g.w.LongOps
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // Next returns the next object to access and whether the access is a
@@ -166,6 +227,19 @@ func (g *Gen) Next() (obj page.ObjectID, write bool) {
 		} else {
 			write = true // the producer only writes
 		}
+	case Zipf:
+		pi = g.zipf.Next()
+	case LongRead:
+		if g.long {
+			// Long-running reader: scan the shared hot region under S
+			// locks for the whole (long) transaction.
+			pi = g.r.Intn(hot)
+			write = false
+		} else if g.r.Float64() < w.HotFrac {
+			pi = g.r.Intn(hot) // collide with the long readers
+		} else {
+			pi = g.r.Intn(n)
+		}
 	}
 	slot := uint16(g.r.Intn(w.ObjsPerPage))
 	if w.Kind == HiCon {
@@ -188,4 +262,17 @@ func (g *Gen) Value() []byte {
 	v := make([]byte, g.w.ObjSize)
 	_, _ = g.r.Read(v)
 	return v
+}
+
+// ValueReuse is Value over a generator-owned scratch buffer.  The
+// engine clones written bytes on both the page and the log path, so
+// the lite runner hands out one buffer per client instead of
+// allocating per write — at thousands of clients that is most of the
+// generator's allocation volume.
+func (g *Gen) ValueReuse() []byte {
+	if len(g.val) != g.w.ObjSize {
+		g.val = make([]byte, g.w.ObjSize)
+	}
+	_, _ = g.r.Read(g.val)
+	return g.val
 }

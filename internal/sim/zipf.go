@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Zipfian draws ranks in [0, n) with probability p(i) ∝ 1/(i+1)^theta,
+// the YCSB/Gray "zipfian constant" parameterization with theta in
+// (0, 1): rank 0 is the hottest item and theta tunes the skew (0.99 is
+// YCSB's default hot-key workload; theta→0 degenerates to uniform).
+// math/rand's Zipf wants an exponent s > 1 and so cannot express this
+// regime, which is exactly the one the contention sweeps care about.
+//
+// The sampler is the constant-time rejection-free transform from Gray
+// et al., "Quickly Generating Billion-Record Synthetic Databases"
+// (SIGMOD '94), precomputing the harmonic normalizer zeta(n, theta)
+// once per generator.
+type Zipfian struct {
+	r     *rand.Rand
+	n     int
+	theta float64
+
+	alpha, zetan, eta float64
+	half              float64 // 0.5^theta
+}
+
+// NewZipfian builds a generator over ranks [0, n) with skew theta.
+// theta must be in (0, 1); n must be positive.
+func NewZipfian(r *rand.Rand, n int, theta float64) *Zipfian {
+	if n < 1 {
+		n = 1
+	}
+	if theta <= 0 || theta >= 1 {
+		theta = 0.99
+	}
+	z := &Zipfian{r: r, n: n, theta: theta}
+	z.zetan = zeta(n, theta)
+	z.alpha = 1 / (1 - theta)
+	z.half = math.Pow(0.5, theta)
+	z.eta = (1 - math.Pow(2/float64(n), 1-theta)) / (1 - zeta(2, theta)/z.zetan)
+	return z
+}
+
+// zeta returns the generalized harmonic number sum_{i=1..n} 1/i^theta.
+func zeta(n int, theta float64) float64 {
+	var s float64
+	for i := 1; i <= n; i++ {
+		s += 1 / math.Pow(float64(i), theta)
+	}
+	return s
+}
+
+// Next returns the next rank; 0 is the hottest.
+func (z *Zipfian) Next() int {
+	u := z.r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+z.half {
+		return 1
+	}
+	k := int(float64(z.n) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+	if k >= z.n {
+		k = z.n - 1
+	}
+	return k
+}
+
+// Prob returns the exact probability of rank i under this generator's
+// distribution; the statistical tests compare observed frequencies
+// against it.
+func (z *Zipfian) Prob(i int) float64 {
+	return 1 / (math.Pow(float64(i+1), z.theta) * z.zetan)
+}

@@ -51,9 +51,25 @@ func (l *Log) Store() Store { return l.store }
 // Append encodes and appends a record, returning its LSN.  The record is
 // not durable until Force.
 func (l *Log) Append(r Record) (LSN, error) {
+	return l.AppendWithHeadroom(r, 0)
+}
+
+// AppendWithHeadroom appends like Append but, on stores that track
+// capacity, fails with ErrLogFull unless headroom bytes remain free
+// after the append.  The client's undo reservation rides on this: every
+// forward append leaves room for the CLRs and abort records of the
+// active transactions, so rollback can always log.  Stores without the
+// capability (and headroom 0) degrade to a plain Append.
+func (l *Log) AppendWithHeadroom(r Record, headroom uint64) (LSN, error) {
 	payload := Encode(r)
 	l.mu.Lock()
-	lsn, err := l.store.Append(payload)
+	var lsn LSN
+	var err error
+	if ha, ok := l.store.(HeadroomAppender); ok && headroom > 0 {
+		lsn, err = ha.AppendHeadroom(payload, headroom)
+	} else {
+		lsn, err = l.store.Append(payload)
+	}
 	l.mu.Unlock()
 	if err != nil {
 		return NilLSN, err

@@ -45,6 +45,16 @@ var (
 	ErrReclaimed  = errors.New("wal: LSN already reclaimed")
 )
 
+// HeadroomAppender is an optional Store capability backing the client's
+// undo reservation (§3.6 on bounded logs): the append is refused with
+// ErrLogFull unless headroom bytes of capacity remain free after it, so
+// a transaction can always log the CLRs and the abort record needed to
+// roll itself back even when forward appends are being refused.  Stores
+// that do not track capacity simply don't implement it.
+type HeadroomAppender interface {
+	AppendHeadroom(payload []byte, headroom uint64) (LSN, error)
+}
+
 // firstLSN is the LSN of the first real record.  Offset zero is reserved
 // so that NilLSN never collides with a record address.
 const firstLSN LSN = 16
@@ -82,10 +92,15 @@ func NewMemStore(capacity uint64) *MemStore {
 
 // Append implements Store.
 func (m *MemStore) Append(payload []byte) (LSN, error) {
+	return m.AppendHeadroom(payload, 0)
+}
+
+// AppendHeadroom implements HeadroomAppender.
+func (m *MemStore) AppendHeadroom(payload []byte, headroom uint64) (LSN, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	sz := uint64(len(payload)) + 8 // frame accounting
-	if m.capacity != 0 && uint64(m.end)+sz-uint64(m.reclaimed) > m.capacity {
+	if m.capacity != 0 && uint64(m.end)+sz+headroom-uint64(m.reclaimed) > m.capacity {
 		return NilLSN, ErrLogFull
 	}
 	lsn := m.end

@@ -66,6 +66,7 @@ func main() {
 	diskless := flag.Bool("diskless", false, "first client logs to a server-hosted remote log")
 	churn := flag.Bool("churn", false, "add membership storms: clean leave+rejoin and crash bursts")
 	logSlots := flag.Int("log-slots", 0, "cap private logs at ~N records so §3.6 freeLogSpace fires (0 = unbounded)")
+	fleetSize := flag.Int("partitions", 1, "server fleet size: hash-partition the page space across N servers (adds partition-scoped crash rounds; per-partition fault streams)")
 
 	drop := flag.Float64("drop", -1, "message drop probability (-1 = default plan)")
 	dup := flag.Float64("dup", -1, "message duplication probability")
@@ -140,6 +141,7 @@ func main() {
 		opt.Diskless = *diskless
 		opt.Churn = *churn
 		opt.LogSlots = *logSlots
+		opt.Partitions = *fleetSize
 		opt.Plan = plan
 		opt.Registry = reg
 		opt.Ring = ring
@@ -171,9 +173,9 @@ func main() {
 			os.Exit(1)
 		}
 		if *verbose {
-			fmt.Printf("seed %-5d ok: %4d commits %3d aborts %4d faults %3d dup-suppressed %2d client-crashes %2d server-crashes\n",
+			fmt.Printf("seed %-5d ok: %4d commits %3d aborts %4d faults %3d dup-suppressed %2d client-crashes %2d server-crashes %2d partition-crashes\n",
 				seed, stats.Commits, stats.Aborts, stats.Faults, stats.Suppressed,
-				stats.ClientCrashes, stats.ServerCrashes)
+				stats.ClientCrashes, stats.ServerCrashes, stats.PartitionCrashes)
 		}
 		if *schedule {
 			for _, line := range stats.Schedule {

@@ -42,11 +42,24 @@ func main() {
 	seedObjs := flag.Int("seed-objects", 16, "objects per seeded page")
 	seedSize := flag.Int("seed-objsize", 32, "bytes per seeded object")
 	mutexProfile := flag.Int("mutexprofile", 5, "with -admin, sample 1/N mutex contention events for /debug/pprof/mutex (0 disables)")
+	partitionSpec := flag.String("partition", "", "fleet membership as i/N: serve partition i of an N-way hash-partitioned page space (e.g. 0/3); this instance mints and owns only page ids congruent to i mod N, and tags its waits-for exports for the fleet deadlock detector")
 	flag.Parse()
+
+	partIdx, partN := 0, 1
+	if *partitionSpec != "" {
+		if _, err := fmt.Sscanf(*partitionSpec, "%d/%d", &partIdx, &partN); err != nil ||
+			partN < 1 || partIdx < 0 || partIdx >= partN {
+			log.Fatalf("bad -partition %q: want i/N with 0 <= i < N", *partitionSpec)
+		}
+	}
 
 	store, err := storage.OpenDiskStore(filepath.Join(*dir, "pages"), *pageSize)
 	if err != nil {
 		log.Fatalf("opening page store: %v", err)
+	}
+	if partN > 1 {
+		// Fresh allocations (seeding included) mint only owned ids.
+		store.SetAllocStride(partN, partIdx)
 	}
 	if *seedPages > 0 && len(store.Allocated()) == 0 {
 		for i := 0; i < *seedPages; i++ {
@@ -72,6 +85,8 @@ func main() {
 
 	cfg := core.DefaultConfig()
 	cfg.PageSize = *pageSize
+	cfg.Partitions = partN
+	cfg.PartitionIndex = partIdx
 	spans := span.NewDefaultStore()
 	cfg.Spans = spans
 	engine := core.NewServer(cfg, store, slog)
@@ -111,7 +126,12 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 	srv := netrpc.Serve(engine, ln)
-	log.Printf("clsrv serving on %s, data in %s (%d pages)", srv.Addr(), *dir, len(store.Allocated()))
+	if partN > 1 {
+		log.Printf("clsrv serving partition %d/%d on %s, data in %s (%d pages)",
+			partIdx, partN, srv.Addr(), *dir, len(store.Allocated()))
+	} else {
+		log.Printf("clsrv serving on %s, data in %s (%d pages)", srv.Addr(), *dir, len(store.Allocated()))
+	}
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)

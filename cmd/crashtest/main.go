@@ -24,6 +24,7 @@ func main() {
 	noServer := flag.Bool("no-server-crashes", false, "client crashes only")
 	churn := flag.Bool("churn", false, "add membership storms: clean leave+rejoin and crash bursts")
 	logSlots := flag.Int("log-slots", 0, "cap private logs at ~N records so §3.6 freeLogSpace fires (0 = unbounded)")
+	partitions := flag.Int("partitions", 1, "server fleet size: hash-partition the page space across N servers (adds partition-scoped crash rounds)")
 	flag.Parse()
 
 	var total sim.TortureStats
@@ -35,6 +36,7 @@ func main() {
 		opt.ServerCrashes = !*noServer
 		opt.Churn = *churn
 		opt.LogSlots = *logSlots
+		opt.Partitions = *partitions
 		stats, err := sim.Torture(core.DefaultConfig(), opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "FAIL seed %d: %v\n", seed, err)
@@ -44,13 +46,14 @@ func main() {
 		total.Aborts += stats.Aborts
 		total.ClientCrashes += stats.ClientCrashes
 		total.ServerCrashes += stats.ServerCrashes
+		total.PartitionCrashes += stats.PartitionCrashes
 		total.Complex += stats.Complex
 		total.Verifications += stats.Verifications
 		total.Leaves += stats.Leaves
 		total.Joins += stats.Joins
-		fmt.Printf("seed %-5d ok: %4d commits %3d aborts %2d client-crashes %2d server-crashes (%d complex) %2d leaves\n",
-			seed, stats.Commits, stats.Aborts, stats.ClientCrashes, stats.ServerCrashes, stats.Complex, stats.Leaves)
+		fmt.Printf("seed %-5d ok: %4d commits %3d aborts %2d client-crashes %2d server-crashes (%d complex) %2d partition-crashes %2d leaves\n",
+			seed, stats.Commits, stats.Aborts, stats.ClientCrashes, stats.ServerCrashes, stats.Complex, stats.PartitionCrashes, stats.Leaves)
 	}
-	fmt.Printf("\nALL PASS: %d commits, %d aborts, %d client crashes, %d server crashes (%d complex), %d leave/rejoins, %d verifications\n",
-		total.Commits, total.Aborts, total.ClientCrashes, total.ServerCrashes, total.Complex, total.Leaves, total.Verifications)
+	fmt.Printf("\nALL PASS: %d commits, %d aborts, %d client crashes, %d server crashes (%d complex), %d partition crashes, %d leave/rejoins, %d verifications\n",
+		total.Commits, total.Aborts, total.ClientCrashes, total.ServerCrashes, total.Complex, total.PartitionCrashes, total.Leaves, total.Verifications)
 }

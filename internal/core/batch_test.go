@@ -122,7 +122,7 @@ func TestBatchRPCsDuplicateRetries(t *testing.T) {
 	cfg := testConfig()
 	cl := NewCluster(cfg)
 	inj := fault.New(7, fault.Plan{DupProb: 0.3, ReplayProb: 0.2})
-	cl.WrapConns(func(n int, conn msg.Server) msg.Server {
+	cl.WrapConns(func(part, n int, conn msg.Server) msg.Server {
 		return msg.NewFaultyServer(conn, inj, NewReplyCache(0),
 			fmt.Sprintf("c%d->srv", n), msg.DefaultRetry())
 	}, nil)

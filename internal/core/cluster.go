@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync"
 
+	"clientlog/internal/fleet"
 	"clientlog/internal/ident"
 	"clientlog/internal/lock"
 	"clientlog/internal/msg"
@@ -107,10 +108,26 @@ func (cl *Cluster) stillTracked(id ident.ClientID, slot *clientSlot) bool {
 	return cl.clients[id] == slot
 }
 
-// Cluster assembles a server and a set of clients over the in-process
-// loopback transport, with crash/restart orchestration.  It is the
-// substrate of the integration tests, the simulator, the benchmarks and
-// the public API.
+// fleetPart is one server partition: its stable storage, server log
+// device and handle are fixed for the cluster's lifetime; the engine is
+// replaced on restart (guarded by Cluster.mu).
+type fleetPart struct {
+	store  storage.Store
+	slog   wal.Store
+	handle *serverHandle
+	server *Server // guarded by Cluster.mu
+}
+
+// Cluster assembles a server fleet (one partition by default) and a set
+// of clients over the in-process loopback transport, with crash/restart
+// orchestration.  It is the substrate of the integration tests, the
+// simulator, the benchmarks and the public API.
+//
+// With cfg.Partitions > 1 the page space is hash-partitioned across
+// that many server engines: each client's conn is a fleet.Router over
+// one loopback conn per partition, and a fleet.Detector resolves
+// cross-partition deadlocks in the background (call Close when done
+// with a fleet cluster to stop it).
 type Cluster struct {
 	cfg   Config
 	Stats *msg.Stats
@@ -118,19 +135,17 @@ type Cluster struct {
 	// post-restart incarnations) binds its counters here, and Stats is a
 	// façade over the msg_* families in it.
 	Reg        *obs.Registry
-	store      storage.Store
-	slog       wal.Store
 	remoteLogs *RemoteLogHost
-	handle     *serverHandle
+	parts      []*fleetPart // immutable slice; .server under mu
+	detector   *fleet.Detector
 
 	mu      sync.Mutex
-	server  *Server
 	clients map[ident.ClientID]*clientSlot
 	tracer  trace.Recorder
 
 	// wrapServer/wrapClient intercept the loopback conns (fault
 	// injection); see WrapConns.
-	wrapServer func(n int, conn msg.Server) msg.Server
+	wrapServer func(part, n int, conn msg.Server) msg.Server
 	wrapClient func(id ident.ClientID, conn msg.Client) msg.Client
 	connSeq    int
 }
@@ -171,7 +186,10 @@ func NewClusterWithStores(cfg Config, store storage.Store, slog wal.Store) *Clus
 }
 
 // NewClusterWithStoresIn is NewClusterWithStores with an explicit
-// registry (nil means a private one).
+// registry (nil means a private one).  The supplied store/slog back
+// partition 0; with cfg.Partitions > 1 the remaining fleet members get
+// their own memory-backed devices, and every partition's store is
+// stride-restricted so it only mints page ids it owns.
 func NewClusterWithStoresIn(cfg Config, store storage.Store, slog wal.Store, reg *obs.Registry) *Cluster {
 	if reg == nil {
 		reg = obs.NewRegistry()
@@ -180,71 +198,179 @@ func NewClusterWithStoresIn(cfg Config, store storage.Store, slog wal.Store, reg
 		cfg:     cfg,
 		Reg:     reg,
 		Stats:   msg.NewStatsIn(reg),
-		store:   store,
-		slog:    slog,
-		handle:  &serverHandle{},
 		clients: make(map[ident.ClientID]*clientSlot),
 	}
 	cl.remoteLogs = NewRemoteLogHost(cfg.ClientLogCapacity)
-	cl.server = NewServer(cfg, store, slog)
-	cl.server.HostRemoteLogs(cl.remoteLogs)
-	srv := cl.server
-	reg.Lazy(func() { srv.RegisterObs(reg) })
-	cl.handle.set(cl.server)
+	n := cfg.partitions()
+	for i := 0; i < n; i++ {
+		pst, plog := store, slog
+		if i > 0 {
+			pst, plog = memPageStore(cfg), memLogStore(cfg, 0)
+		}
+		if n > 1 {
+			if s, ok := pst.(interface{ SetAllocStride(int, int) }); ok {
+				s.SetAllocStride(n, i)
+			}
+		}
+		pcfg := cfg
+		pcfg.PartitionIndex = i
+		part := &fleetPart{store: pst, slog: plog, handle: &serverHandle{}}
+		part.server = NewServer(pcfg, pst, plog)
+		if i == 0 {
+			// The home partition hosts diskless clients' private logs and
+			// assigns fleet-wide client ids (fleet.Router routes both).
+			part.server.HostRemoteLogs(cl.remoteLogs)
+		}
+		srv := part.server
+		reg.Lazy(func() { srv.RegisterObs(reg) })
+		part.handle.set(part.server)
+		cl.parts = append(cl.parts, part)
+	}
+	if n > 1 {
+		cl.detector = fleet.NewDetector(cl.fleetMembers)
+		cl.detector.RegisterObs(reg)
+		cl.detector.Start(0)
+	}
 	return cl
+}
+
+// fleetMembers snapshots the current server engines for the detector.
+func (cl *Cluster) fleetMembers() []fleet.Member {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	ms := make([]fleet.Member, 0, len(cl.parts))
+	for _, p := range cl.parts {
+		ms = append(ms, p.server)
+	}
+	return ms
+}
+
+// Close stops the cluster's background machinery (the fleet's
+// distributed deadlock detector).  Engines, stores and clients are
+// untouched; single-partition clusters have nothing to stop.
+func (cl *Cluster) Close() {
+	if cl.detector != nil {
+		cl.detector.Stop()
+	}
 }
 
 // Registry returns the cluster-wide metrics registry.
 func (cl *Cluster) Registry() *obs.Registry { return cl.Reg }
 
 // SetTracer installs a protocol-event recorder on the current server
-// engine (and future incarnations after RestartServer).
+// engines (and future incarnations after RestartServer).
 func (cl *Cluster) SetTracer(r trace.Recorder) {
 	cl.mu.Lock()
 	cl.tracer = r
-	server := cl.server
+	servers := make([]*Server, 0, len(cl.parts))
+	for _, p := range cl.parts {
+		servers = append(servers, p.server)
+	}
 	cl.mu.Unlock()
-	server.SetTracer(r)
+	for _, s := range servers {
+		s.SetTracer(r)
+	}
 }
 
-// Server returns the current server engine.
-func (cl *Cluster) Server() *Server {
+// Server returns the current home-partition (index 0) server engine.
+// Single-partition callers see the only server; fleet-aware callers use
+// PartServer/Servers.
+func (cl *Cluster) Server() *Server { return cl.PartServer(0) }
+
+// PartServer returns partition i's current server engine.
+func (cl *Cluster) PartServer(i int) *Server {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
-	return cl.server
+	return cl.parts[i].server
+}
+
+// Servers returns every partition's current server engine, in
+// partition order.
+func (cl *Cluster) Servers() []*Server {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	out := make([]*Server, 0, len(cl.parts))
+	for _, p := range cl.parts {
+		out = append(out, p.server)
+	}
+	return out
+}
+
+// Partitions returns the fleet size (1 for a classic single server).
+func (cl *Cluster) Partitions() int { return len(cl.parts) }
+
+// Owner returns the partition owning a page.
+func (cl *Cluster) Owner(pid page.ID) int { return fleet.Owner(pid, len(cl.parts)) }
+
+// Detector returns the fleet's distributed deadlock detector (nil for
+// a single-partition cluster).  Tests call its Sweep directly for
+// deterministic resolution.
+func (cl *Cluster) Detector() *fleet.Detector { return cl.detector }
+
+// WaitsFor returns the fleet-wide waits-for snapshot: the partitions'
+// views merged, every entry tagged with its partition of origin.
+func (cl *Cluster) WaitsFor() lock.WaitsForSnapshot {
+	servers := cl.Servers()
+	snaps := make([]lock.WaitsForSnapshot, 0, len(servers))
+	for _, s := range servers {
+		snaps = append(snaps, s.WaitsFor())
+	}
+	return fleet.MergeSnapshots(snaps)
+}
+
+// CheckInvariants runs every partition's cross-table consistency check
+// and returns the first violation.
+func (cl *Cluster) CheckInvariants() error {
+	for i, s := range cl.Servers() {
+		if err := s.CheckInvariants(); err != nil {
+			return fmt.Errorf("partition %d: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // Config returns the cluster configuration.
 func (cl *Cluster) Config() Config { return cl.cfg }
 
 // WrapConns installs interceptors around every loopback conn built
-// from now on: sw around each client's view of the server (one call per
-// client join/restart, n increasing), cw around the server's view of
-// each client.  The chaos harness uses them to splice the
-// fault-injection transports (msg.FaultyServer / msg.FaultyClient)
+// from now on: sw around each client's view of each partition server
+// (one call per client join/restart and partition; part is the
+// partition index, n increases per client conn), cw around the server
+// side's view of each client.  The chaos harness uses them to splice
+// the fault-injection transports (msg.FaultyServer / msg.FaultyClient)
 // into a cluster.  Either may be nil.
-func (cl *Cluster) WrapConns(sw func(n int, conn msg.Server) msg.Server, cw func(id ident.ClientID, conn msg.Client) msg.Client) {
+func (cl *Cluster) WrapConns(sw func(part, n int, conn msg.Server) msg.Server, cw func(id ident.ClientID, conn msg.Client) msg.Client) {
 	cl.mu.Lock()
 	cl.wrapServer = sw
 	cl.wrapClient = cw
 	cl.mu.Unlock()
 }
 
-// serverConn builds the client's view of the server.
+// serverConn builds the client's view of the server tier: a single
+// loopback conn for one partition, a fleet.Router over per-partition
+// conns otherwise.
 func (cl *Cluster) serverConn() msg.Server {
-	var conn msg.Server = &msg.LoopbackServer{Inner: cl.handle, Latency: cl.cfg.Latency, Stats: cl.Stats}
 	cl.mu.Lock()
 	wrap := cl.wrapServer
 	cl.connSeq++
 	n := cl.connSeq
 	cl.mu.Unlock()
-	if wrap != nil {
-		conn = wrap(n, conn)
+	conns := make([]msg.Server, len(cl.parts))
+	for i, part := range cl.parts {
+		var conn msg.Server = &msg.LoopbackServer{Inner: part.handle, Latency: cl.cfg.Latency, Stats: cl.Stats}
+		if wrap != nil {
+			conn = wrap(i, n, conn)
+		}
+		conns[i] = conn
 	}
-	return conn
+	if len(conns) == 1 {
+		return conns[0]
+	}
+	return fleet.NewRouter(conns)
 }
 
-// clientConn builds the server's view of a client.
+// clientConn builds the server side's view of a client; in a fleet the
+// same conn is attached to every partition.
 func (cl *Cluster) clientConn(id ident.ClientID, c *Client) msg.Client {
 	var conn msg.Client = &msg.LoopbackClient{Inner: c, Latency: cl.cfg.Latency, Stats: cl.Stats}
 	cl.mu.Lock()
@@ -256,14 +382,21 @@ func (cl *Cluster) clientConn(id ident.ClientID, c *Client) msg.Client {
 	return conn
 }
 
+// attachAll attaches a client conn to every partition server.
+func (cl *Cluster) attachAll(id ident.ClientID, conn msg.Client) {
+	for _, s := range cl.Servers() {
+		s.Attach(id, conn)
+	}
+}
+
 // AddClient joins a new client with a memory-backed private log.
 func (cl *Cluster) AddClient() (*Client, error) {
 	return cl.AddClientWithLog(memLogStore(cl.cfg, cl.cfg.ClientLogCapacity))
 }
 
 // AddDisklessClient joins a client without a local log disk: its
-// private log lives at the server (Section 2's remote-log option) and
-// every append/force is a protocol round trip.
+// private log lives at the home partition (Section 2's remote-log
+// option) and every append/force is a protocol round trip.
 func (cl *Cluster) AddDisklessClient() (*Client, error) {
 	srv := cl.serverConn()
 	reply, err := srv.Register(msg.RegisterReq{})
@@ -278,10 +411,9 @@ func (cl *Cluster) AddDisklessClient() (*Client, error) {
 	cl.Reg.Lazy(func() { c.RegisterObs(cl.Reg) })
 	conn := cl.clientConn(c.ID(), c)
 	cl.mu.Lock()
-	server := cl.server
 	cl.clients[c.ID()] = &clientSlot{engine: c, logStore: logStore}
 	cl.mu.Unlock()
-	server.Attach(c.ID(), conn)
+	cl.attachAll(c.ID(), conn)
 	return c, nil
 }
 
@@ -294,10 +426,9 @@ func (cl *Cluster) AddClientWithLog(logStore wal.Store) (*Client, error) {
 	cl.Reg.Lazy(func() { c.RegisterObs(cl.Reg) })
 	conn := cl.clientConn(c.ID(), c)
 	cl.mu.Lock()
-	server := cl.server
 	cl.clients[c.ID()] = &clientSlot{engine: c, logStore: logStore}
 	cl.mu.Unlock()
-	server.Attach(c.ID(), conn)
+	cl.attachAll(c.ID(), conn)
 	return c, nil
 }
 
@@ -312,7 +443,7 @@ func (cl *Cluster) Client(id ident.ClientID) *Client {
 }
 
 // CrashClient simulates a client crash: the engine loses its volatile
-// state and the server reacts per §3.3.
+// state and every partition server reacts per §3.3.
 func (cl *Cluster) CrashClient(id ident.ClientID) {
 	slot := cl.slotFor(id)
 	if slot == nil {
@@ -324,12 +455,13 @@ func (cl *Cluster) CrashClient(id ident.ClientID) {
 		return // departed while we waited
 	}
 	cl.mu.Lock()
-	server := cl.server
 	engine := slot.engine
 	slot.crashed = true
 	cl.mu.Unlock()
 	engine.Crash()
-	server.ClientCrashed(id)
+	for _, s := range cl.Servers() {
+		s.ClientCrashed(id)
+	}
 }
 
 // RestartClient runs §3.3 restart recovery for a crashed client and
@@ -344,16 +476,13 @@ func (cl *Cluster) RestartClient(id ident.ClientID) (*Client, error) {
 	if !cl.stillTracked(id, slot) {
 		return nil, fmt.Errorf("%w %s", ErrUnknownClient, id)
 	}
-	cl.mu.Lock()
-	server := cl.server
-	cl.mu.Unlock()
 	c, err := RecoverClient(cl.cfg, cl.serverConn(), slot.logStore, id)
 	if err != nil {
 		return nil, err
 	}
 	cl.Reg.Lazy(func() { c.RegisterObs(cl.Reg) })
 	conn := cl.clientConn(id, c)
-	server.Attach(id, conn)
+	cl.attachAll(id, conn)
 	cl.mu.Lock()
 	slot.engine = c
 	slot.crashed = false
@@ -422,11 +551,15 @@ func (cl *Cluster) SurrogateRecover(id ident.ClientID) error {
 	return nil
 }
 
-// CrashServer simulates a server crash, optionally taking clients down
-// with it (§3.5 complex crash).  RestartServer must follow.
+// CrashServer simulates a crash of the whole server tier (every
+// partition), optionally taking clients down with it (§3.5 complex
+// crash).  RestartServer must follow.
 func (cl *Cluster) CrashServer(alsoClients ...ident.ClientID) {
 	cl.mu.Lock()
-	server := cl.server
+	servers := make([]*Server, 0, len(cl.parts))
+	for _, p := range cl.parts {
+		servers = append(servers, p.server)
+	}
 	var engines []*Client
 	for _, id := range alsoClients {
 		if slot := cl.clients[id]; slot != nil {
@@ -435,7 +568,9 @@ func (cl *Cluster) CrashServer(alsoClients ...ident.ClientID) {
 		}
 	}
 	cl.mu.Unlock()
-	server.Crash()
+	for _, s := range servers {
+		s.Crash()
+	}
 	// The hosted remote logs lose their unflushed tails with the server.
 	cl.remoteLogs.Crash()
 	for _, engine := range engines {
@@ -443,19 +578,54 @@ func (cl *Cluster) CrashServer(alsoClients ...ident.ClientID) {
 	}
 }
 
-// RestartServer constructs a fresh server over the surviving store and
-// log and runs §3.4 restart recovery with the operational clients.
-// Clients that crashed along with the server recover afterwards via
-// RestartClient (§3.5).
+// RestartServer reconstructs every partition over its surviving store
+// and log and runs §3.4 restart recovery with the operational clients,
+// partition by partition in ascending order.  Clients that crashed
+// along with the server recover afterwards via RestartClient (§3.5).
 func (cl *Cluster) RestartServer() error {
+	for i := range cl.parts {
+		if err := cl.RestartPartition(i); err != nil {
+			return fmt.Errorf("partition %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CrashPartition crashes one fleet member; the other partitions and
+// the clients keep running.  RestartPartition must follow.  Crashing
+// the home partition (0) also loses the hosted remote logs' unflushed
+// tails, exactly as a whole-tier crash would.
+func (cl *Cluster) CrashPartition(i int) {
 	cl.mu.Lock()
-	server := NewServer(cl.cfg, cl.store, cl.slog)
-	server.HostRemoteLogs(cl.remoteLogs)
+	server := cl.parts[i].server
+	cl.mu.Unlock()
+	server.Crash()
+	if i == 0 {
+		cl.remoteLogs.Crash()
+	}
+}
+
+// RestartPartition reconstructs partition i over its surviving store
+// and log and runs §3.4 restart recovery against the operational
+// clients.  Clients currently crashed are reported as §3.5 complex
+// crashes to the new engine; harnesses avoid pairing an independent
+// partition crash with a client crash (see DESIGN.md §12) because the
+// client-side lock test cannot distinguish which partition's state was
+// lost.
+func (cl *Cluster) RestartPartition(i int) error {
+	pcfg := cl.cfg
+	pcfg.PartitionIndex = i
+	cl.mu.Lock()
+	part := cl.parts[i]
+	server := NewServer(pcfg, part.store, part.slog)
+	if i == 0 {
+		server.HostRemoteLogs(cl.remoteLogs)
+	}
 	cl.Reg.Lazy(func() { server.RegisterObs(cl.Reg) })
 	if cl.tracer != nil {
 		server.SetTracer(cl.tracer)
 	}
-	cl.server = server
+	part.server = server
 	type survivor struct {
 		id     ident.ClientID
 		engine *Client
@@ -476,18 +646,21 @@ func (cl *Cluster) RestartServer() error {
 	}
 	// Reconnect the transports first: the recovery protocol itself makes
 	// the clients ship pages back to the new engine.
-	cl.handle.set(server)
+	part.handle.set(server)
 	return server.RecoverServer(operational, crashed)
 }
 
 // SeedPages creates n pages with objsPerPage objects of objSize bytes
 // directly in stable storage, before any client joins; it returns the
-// page ids.  The initial object bytes are deterministic
-// (pageID/slot-derived) so tests can predict them.
+// page ids.  In a fleet the allocations round-robin across the
+// partitions' stores (each minting only ids it owns).  The initial
+// object bytes are deterministic (pageID/slot-derived) so tests can
+// predict them.
 func (cl *Cluster) SeedPages(n, objsPerPage, objSize int) ([]page.ID, error) {
 	ids := make([]page.ID, 0, n)
 	for i := 0; i < n; i++ {
-		p, err := cl.store.Allocate()
+		st := cl.parts[i%len(cl.parts)].store
+		p, err := st.Allocate()
 		if err != nil {
 			return nil, err
 		}
@@ -500,7 +673,7 @@ func (cl *Cluster) SeedPages(n, objsPerPage, objSize int) ([]page.ID, error) {
 				return nil, fmt.Errorf("core: seeding page %d: %w", p.ID(), err)
 			}
 		}
-		if err := cl.store.Write(p); err != nil {
+		if err := st.Write(p); err != nil {
 			return nil, err
 		}
 		ids = append(ids, p.ID())
@@ -508,14 +681,21 @@ func (cl *Cluster) SeedPages(n, objsPerPage, objSize int) ([]page.ID, error) {
 	return ids, nil
 }
 
-// PagePSNs returns the page's PSN on disk and the server's current
-// (cached-or-disk) PSN.  Disk PSNs only ever advance (in-place writes
-// are guarded by replacement records); the chaos harness asserts that.
+// ownerPart returns the partition owning a page.
+func (cl *Cluster) ownerPart(pid page.ID) *fleetPart {
+	return cl.parts[fleet.Owner(pid, len(cl.parts))]
+}
+
+// PagePSNs returns the page's PSN on disk and the owning server's
+// current (cached-or-disk) PSN.  Disk PSNs only ever advance (in-place
+// writes are guarded by replacement records); the chaos harness asserts
+// that.
 func (cl *Cluster) PagePSNs(pid page.ID) (disk, current page.PSN) {
+	part := cl.ownerPart(pid)
 	cl.mu.Lock()
-	server := cl.server
+	server := part.server
 	cl.mu.Unlock()
-	if p, err := cl.store.Read(pid); err == nil {
+	if p, err := part.store.Read(pid); err == nil {
 		disk = p.PSN()
 	}
 	return disk, server.PagePSN(pid)
@@ -523,15 +703,16 @@ func (cl *Cluster) PagePSNs(pid page.ID) (disk, current page.PSN) {
 
 // DebugPage renders every tier's view of a page (debug tooling).
 func (cl *Cluster) DebugPage(pid page.ID) string {
+	part := cl.ownerPart(pid)
 	cl.mu.Lock()
-	server := cl.server
+	server := part.server
 	var clientIDs []ident.ClientID
 	for id := range cl.clients {
 		clientIDs = append(clientIDs, id)
 	}
 	cl.mu.Unlock()
 	out := server.DebugPage(pid)
-	if disk, err := cl.store.Read(pid); err == nil {
+	if disk, err := part.store.Read(pid); err == nil {
 		out += fmt.Sprintf("disk: psn=%d slots:", disk.PSN())
 		for _, sl := range disk.UsedSlotIDs() {
 			d, _ := disk.Read(sl)
@@ -548,10 +729,11 @@ func (cl *Cluster) DebugPage(pid page.ID) string {
 }
 
 // ReadObject reads an object's current durable-or-cached state through
-// the server (test/verification helper; it does not take locks).
+// the owning server (test/verification helper; it does not take locks).
 func (cl *Cluster) ReadObject(obj page.ObjectID) ([]byte, error) {
+	part := cl.ownerPart(obj.Page)
 	cl.mu.Lock()
-	server := cl.server
+	server := part.server
 	cl.mu.Unlock()
 	reply, err := server.Fetch(msg.FetchReq{Page: obj.Page})
 	if err != nil {

@@ -156,6 +156,24 @@ type Config struct {
 	// PageShards overrides the server's page-state shard count (0 = the
 	// server default); ignored when BigLock is set.
 	PageShards int
+	// Partitions is the fleet size: the page space is hash-partitioned
+	// across this many server instances and clients route each
+	// page-addressed RPC to the owning partition.  0 or 1 means the
+	// classic single server.
+	Partitions int
+	// PartitionIndex is this server instance's partition id in a fleet
+	// of Partitions servers; it scopes the instance to the pages it owns
+	// and tags its waits-for exports.  Only meaningful on the server
+	// side (cmd/clsrv -partition i/N; core.Cluster sets it internally).
+	PartitionIndex int
+}
+
+// partitions resolves the fleet size (always >= 1).
+func (c Config) partitions() int {
+	if c.Partitions <= 1 {
+		return 1
+	}
+	return c.Partitions
 }
 
 // lockShards resolves the GLM/LLM shard count for this configuration.

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"clientlog/internal/buffer"
+	"clientlog/internal/fleet"
 	"clientlog/internal/ident"
 	"clientlog/internal/lock"
 	"clientlog/internal/msg"
@@ -247,9 +248,31 @@ func NewServer(cfg Config, store storage.Store, logStore wal.Store) *Server {
 	s.inflightMu.SetWaitCounter(&s.lockWait.inflight)
 	s.complexMu.SetWaitCounter(&s.lockWait.complex)
 	s.glm = lock.NewGLMSharded(nil, cfg.LockTimeout, cfg.lockShards())
+	s.glm.SetOrigin(cfg.PartitionIndex)
 	s.glm.SetCallbacker(serverCallbacker{s})
 	s.tracer = trace.Nop{}
 	return s
+}
+
+// owns reports whether this server instance owns the page under the
+// fleet's hash partitioning (always true for a single server).  Routed
+// traffic only ever carries owned pages; recovery filters client
+// reports with it because clients report fleet-wide state.
+func (s *Server) owns(pid page.ID) bool {
+	return fleet.Owner(pid, s.cfg.partitions()) == s.cfg.PartitionIndex
+}
+
+// Partition returns this instance's partition id (fleet.Member).
+func (s *Server) Partition() int { return s.cfg.PartitionIndex }
+
+// WaitsFor exposes the GLM's waits-for snapshot, partition-tagged
+// (fleet.Member and the admin /waitsfor endpoint).
+func (s *Server) WaitsFor() lock.WaitsForSnapshot { return s.glm.WaitsFor() }
+
+// KillWaiter forwards a distributed-deadlock kill to the GLM
+// (fleet.Member).
+func (s *Server) KillWaiter(c ident.ClientID, cycle []ident.ClientID) bool {
+	return s.glm.KillWaiter(c, cycle)
 }
 
 // shardOf maps a page to its page-state shard.

@@ -65,7 +65,9 @@ func (s *Server) RecoverServer(operational map[ident.ClientID]msg.Client, crashe
 	}
 
 	// Solicit each operational client's DPT, cache list and LLM table;
-	// the GLM is rebuilt from the latter.
+	// the GLM is rebuilt from the latter.  Clients report fleet-wide
+	// state (their caches span every partition), so a fleet member keeps
+	// only the pages it owns — the rest are another partition's problem.
 	infos := make(map[ident.ClientID]msg.RecoveryInfoReply)
 	for id, conn := range operational {
 		info, err := conn.RecoveryInfo()
@@ -74,6 +76,9 @@ func (s *Server) RecoverServer(operational map[ident.ClientID]msg.Client, crashe
 		}
 		infos[id] = info
 		for _, h := range info.Locks {
+			if !s.owns(h.Name.Page) {
+				continue
+			}
 			s.glm.Install(id, h.Name, h.Mode)
 		}
 	}
@@ -96,6 +101,9 @@ func (s *Server) RecoverServer(operational map[ident.ClientID]msg.Client, crashe
 	candidate := make(map[page.ID]bool)
 	for id, info := range infos {
 		for _, de := range info.DPT {
+			if !s.owns(de.Page) {
+				continue
+			}
 			if !cached[id][de.Page] {
 				involved = append(involved, involvedKey{pid: de.Page, c: id})
 				candidate[de.Page] = true
@@ -111,6 +119,9 @@ func (s *Server) RecoverServer(operational map[ident.ClientID]msg.Client, crashe
 	// client's DPT.
 	for id, info := range infos {
 		for _, de := range info.DPT {
+			if !s.owns(de.Page) {
+				continue
+			}
 			s.dctInsertIfAbsent(dctKey{pg: de.Page, c: id})
 		}
 	}
@@ -124,7 +135,7 @@ func (s *Server) RecoverServer(operational map[ident.ClientID]msg.Client, crashe
 	// torture sweep, seed 1173).
 	for id, info := range infos {
 		for _, h := range info.Locks {
-			if h.Mode != lock.X {
+			if h.Mode != lock.X || !s.owns(h.Name.Page) {
 				continue
 			}
 			s.dctInsertIfAbsent(dctKey{pg: h.Name.Page, c: id})
@@ -223,7 +234,7 @@ func (s *Server) RecoverServer(operational map[ident.ClientID]msg.Client, crashe
 	for id, conn := range operational {
 		var want []page.ID
 		for _, de := range infos[id].DPT {
-			if cached[id][de.Page] {
+			if s.owns(de.Page) && cached[id][de.Page] {
 				want = append(want, de.Page)
 			}
 		}

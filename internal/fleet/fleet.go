@@ -1,0 +1,55 @@
+// Package fleet splits the page space across N server instances by
+// hash partitioning and gives clients a partition router so every
+// page-addressed RPC goes to the owning partition.
+//
+// The design leans on the paper's client-based logging: commit forces
+// only the client's private log and never ships data to any server, so
+// the server tier is pure lock/fetch/metadata traffic — the shape that
+// partitions cleanly.  A cross-partition transaction therefore needs no
+// two-phase commit: its durability point is still the single local log
+// force, and each involved partition merely carries its share of the
+// DCT and replacement-record state (§3.1/§3.2 per partition).
+//
+// Lock acquisition stays two-phase.  Batched acquisitions extend the
+// server's canonical ascending-(page, level, slot) order to ascending
+// (partition, page, level, slot): the Router issues per-partition
+// sub-batches in ascending partition index, and each partition then
+// applies its own canonical order, so overlapping batches from two
+// clients cannot deadlock on batch-internal ordering.  Single-lock
+// acquisitions issued in transaction order can still deadlock across
+// partitions; those cycles are invisible to any one partition's
+// waits-for graph and are resolved by the Detector, which unions the
+// partition-tagged graphs and kills a victim through the owning GLM.
+package fleet
+
+import (
+	"clientlog/internal/lock"
+	"clientlog/internal/page"
+)
+
+// Owner maps a page to its owning partition among n: hash partitioning
+// by page ID.  Every component that needs the page→partition map (the
+// Router, the storage allocation stride, the simulators' workload
+// generators) uses this one function so they can never disagree.
+func Owner(pid page.ID, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(uint64(pid) % uint64(n))
+}
+
+// MergeSnapshots unions per-partition waits-for snapshots into one
+// fleet-wide view.  Waiters and edges concatenate in ascending
+// partition order (each entry already carries its partition
+// provenance); victims likewise.  Client IDs are fleet-global — one
+// registry partition assigns them — so a client appearing in two
+// partitions' graphs is the same node.
+func MergeSnapshots(snaps []lock.WaitsForSnapshot) lock.WaitsForSnapshot {
+	var out lock.WaitsForSnapshot
+	for _, s := range snaps {
+		out.Waiters = append(out.Waiters, s.Waiters...)
+		out.Edges = append(out.Edges, s.Edges...)
+		out.Victims = append(out.Victims, s.Victims...)
+	}
+	return out
+}

@@ -162,13 +162,23 @@ type GLM struct {
 	crashedMu sync.RWMutex
 	crashed   map[ident.ClientID]bool
 
-	// graphMu guards the conservative client-level waits-for graph and
-	// the deadlock-victim ring.  The graph is global (a client can wait
-	// in one shard on locks whose holders wait in another), which is
-	// what lets cycle detection see cross-shard deadlocks.
+	// graphMu guards the conservative client-level waits-for graph, the
+	// deadlock-victim ring, and the doomed set.  The graph is global (a
+	// client can wait in one shard on locks whose holders wait in
+	// another), which is what lets cycle detection see cross-shard
+	// deadlocks.
 	graphMu sync.Mutex
 	waits   map[ident.ClientID]map[ident.ClientID]int
 	victims []DeadlockVictim
+	// doomed holds clients sentenced by the fleet's distributed
+	// deadlock detector (KillWaiter): their blocked Acquire aborts with
+	// ErrDeadlock at the next wakeup, carrying the recorded cycle.
+	doomed map[ident.ClientID][]ident.ClientID
+
+	// origin is this GLM's partition id in a fleet (SetOrigin); it tags
+	// every exported waits-for edge and victim so merged graphs stay
+	// unambiguous.  0 for a single server.
+	origin int
 
 	cbMu    sync.RWMutex
 	cb      Callbacker
@@ -220,6 +230,7 @@ func NewGLMSharded(cb Callbacker, timeout time.Duration, shards int) *GLM {
 		shards:  make([]glmShard, shards),
 		crashed: make(map[ident.ClientID]bool),
 		waits:   make(map[ident.ClientID]map[ident.ClientID]int),
+		doomed:  make(map[ident.ClientID][]ident.ClientID),
 		cb:      cb,
 		timeout: timeout,
 	}
@@ -233,6 +244,53 @@ func NewGLMSharded(cb Callbacker, timeout time.Duration, shards int) *GLM {
 
 // Shards returns the shard count (tests and the E12 report read it).
 func (g *GLM) Shards() int { return len(g.shards) }
+
+// SetOrigin records this GLM's partition id; exported waits-for edges,
+// waiters and victims carry it as provenance.  Call before serving.
+func (g *GLM) SetOrigin(p int) { g.origin = p }
+
+// KillWaiter dooms a currently blocked Acquire of client c: its next
+// wakeup aborts with ErrDeadlock, recording cycle in the victim history
+// tagged as a distributed deadlock.  The fleet's merged-graph detector
+// calls it for cycles no single partition can see.  It reports false
+// when c has no live wait edges here — the cycle resolved itself between
+// the detector's snapshot and the kill — which suppresses most phantom
+// kills from the detector's non-atomic union.
+func (g *GLM) KillWaiter(c ident.ClientID, cycle []ident.ClientID) bool {
+	g.graphMu.Lock()
+	if len(g.waits[c]) == 0 {
+		g.graphMu.Unlock()
+		return false
+	}
+	g.doomed[c] = append([]ident.ClientID(nil), cycle...)
+	g.graphMu.Unlock()
+	// Wake the shards so the doomed waiter re-examines its state; its
+	// Acquire loop checks the doom before anything else.
+	for i := range g.shards {
+		sh := &g.shards[i]
+		sh.mu.Lock()
+		sh.notifyAll()
+		sh.mu.Unlock()
+	}
+	return true
+}
+
+// takeDoom consumes a pending doom for c, returning the recorded cycle
+// (nil if none).  The wait edges are cleared along with it.
+func (g *GLM) takeDoom(c ident.ClientID) []ident.ClientID {
+	g.graphMu.Lock()
+	defer g.graphMu.Unlock()
+	cycle, ok := g.doomed[c]
+	if !ok {
+		return nil
+	}
+	delete(g.doomed, c)
+	delete(g.waits, c)
+	if cycle == nil {
+		cycle = []ident.ClientID{}
+	}
+	return cycle
+}
 
 // shard maps a page to its shard.
 func (g *GLM) shard(p page.ID) *glmShard {
@@ -402,6 +460,15 @@ func (g *GLM) Acquire(req Request) (Grant, error) {
 		if g.stopped.Load() {
 			return Grant{}, ErrStopped
 		}
+		// A registered waiter may have been sentenced by the fleet's
+		// distributed deadlock detector while it slept.
+		if registered {
+			if cycle := g.takeDoom(req.Client); cycle != nil {
+				g.Metrics.Deadlocks.Inc()
+				g.recordVictimTagged(req, cycle, true)
+				return Grant{}, ErrDeadlock
+			}
+		}
 		// Already covered (e.g. re-acquire during recovery).
 		if sh.covered(req.Client, req.Name, req.Mode) {
 			g.clearWait(req.Client)
@@ -556,6 +623,9 @@ func (g *GLM) setWaitAndCheck(c ident.ClientID, blockers map[ident.ClientID]bool
 func (g *GLM) clearWait(c ident.ClientID) {
 	g.graphMu.Lock()
 	delete(g.waits, c)
+	// A pending doom that lost the race to a grant must not linger and
+	// kill an unrelated future wait.
+	delete(g.doomed, c)
 	g.graphMu.Unlock()
 }
 

@@ -17,6 +17,9 @@ type WaiterInfo struct {
 	Mode   Mode
 	// Age is how long the request has been blocked.
 	Age time.Duration
+	// Partition is the provenance of this entry: the partition id of
+	// the GLM that exported it (SetOrigin).  0 for a single server.
+	Partition int
 }
 
 // WaitEdge is one live edge of the client-level waits-for graph:
@@ -24,6 +27,9 @@ type WaiterInfo struct {
 type WaitEdge struct {
 	Waiter  ident.ClientID
 	Blocker ident.ClientID
+	// Partition is where the waiter is blocked; merged fleet graphs
+	// stay unambiguous because every edge names its exporting GLM.
+	Partition int
 }
 
 // DeadlockVictim records one Acquire aborted with ErrDeadlock.
@@ -35,6 +41,13 @@ type DeadlockVictim struct {
 	// Cycle is the waits-for path that closed the cycle, starting at
 	// the victim.
 	Cycle []ident.ClientID
+	// Partition is the GLM that aborted the victim.  A distributed
+	// (cross-partition) cycle records the partition where the victim
+	// was blocked when the fleet detector doomed it.
+	Partition int
+	// Distributed marks victims killed by the fleet's merged-graph
+	// detector rather than the GLM's own edge-insertion check.
+	Distributed bool
 }
 
 // WaitsForSnapshot is a consistent point-in-time view of the GLM's
@@ -48,14 +61,20 @@ type WaitsForSnapshot struct {
 
 // recordVictim appends to the bounded victim history.
 func (g *GLM) recordVictim(req Request, cycle []ident.ClientID) {
+	g.recordVictimTagged(req, cycle, false)
+}
+
+func (g *GLM) recordVictimTagged(req Request, cycle []ident.ClientID, distributed bool) {
 	g.graphMu.Lock()
 	defer g.graphMu.Unlock()
 	g.victims = append(g.victims, DeadlockVictim{
-		Client: req.Client,
-		Name:   req.Name,
-		Mode:   req.Mode,
-		At:     time.Now(),
-		Cycle:  cycle,
+		Client:      req.Client,
+		Name:        req.Name,
+		Mode:        req.Mode,
+		At:          time.Now(),
+		Cycle:       cycle,
+		Partition:   g.origin,
+		Distributed: distributed,
 	})
 	if len(g.victims) > maxVictims {
 		g.victims = g.victims[len(g.victims)-maxVictims:]
@@ -77,10 +96,11 @@ func (g *GLM) WaitsFor() WaitsForSnapshot {
 		sh.mu.Lock()
 		for wr := range sh.waiting {
 			snap.Waiters = append(snap.Waiters, WaiterInfo{
-				Client: wr.client,
-				Name:   wr.name,
-				Mode:   wr.mode,
-				Age:    now.Sub(wr.since),
+				Client:    wr.client,
+				Name:      wr.name,
+				Mode:      wr.mode,
+				Age:       now.Sub(wr.since),
+				Partition: g.origin,
 			})
 		}
 		sh.mu.Unlock()
@@ -95,7 +115,7 @@ func (g *GLM) WaitsFor() WaitsForSnapshot {
 	defer g.graphMu.Unlock()
 	for w, blockers := range g.waits {
 		for b := range blockers {
-			snap.Edges = append(snap.Edges, WaitEdge{Waiter: w, Blocker: b})
+			snap.Edges = append(snap.Edges, WaitEdge{Waiter: w, Blocker: b, Partition: g.origin})
 		}
 	}
 	sort.Slice(snap.Edges, func(i, j int) bool {

@@ -1,0 +1,43 @@
+package span
+
+import (
+	"testing"
+
+	"clientlog/internal/ident"
+)
+
+// BenchmarkTracePerTxnUnpublished measures the per-transaction tracing
+// cost on the common path: a trace that is neither head-sampled nor
+// slow, so Finish drops it without publishing.  This runs once per
+// transaction on every engine, so its allocation count is the tracing
+// tax every commit pays.
+func BenchmarkTracePerTxnUnpublished(b *testing.B) {
+	// SampleEvery beyond b.N so no iteration head-samples; the huge slow
+	// cutoff keeps tail sampling off too.
+	s := NewStore(Options{SampleEvery: 1 << 30, SlowCutoff: 1 << 62})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := s.Begin(ident.TxnID(i + 1))
+		id := t.Start(CatLockWait, "lock")
+		_ = t.Context(id)
+		t.End(id)
+		id = t.Start(CatWALForce, "force")
+		t.End(id)
+		t.Finish(true)
+	}
+}
+
+// BenchmarkTracePerTxnPublished is the sampled path for contrast: the
+// trace escapes into the store, so its span slice cannot be recycled.
+func BenchmarkTracePerTxnPublished(b *testing.B) {
+	s := NewStore(Options{SampleEvery: 1, Capacity: 64})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := s.Begin(ident.TxnID(i + 1))
+		id := t.Start(CatLockWait, "lock")
+		t.End(id)
+		t.Finish(true)
+	}
+}

@@ -269,17 +269,29 @@ type TxnTrace struct {
 	spans   []Span
 }
 
+// tracePool recycles TxnTrace recorders.  Tracing runs on every
+// transaction but almost none publish (1-in-64 head sample plus the
+// rare slow tail), so without recycling every commit pays two heap
+// allocations (the recorder and its span buffer) just to throw them
+// away at Finish.  A recorder must not be touched after Finish — that
+// has always been the contract (the txn is done) and is now load
+// bearing.
+var tracePool = sync.Pool{New: func() any { return new(TxnTrace) }}
+
 // Begin opens the root span for txn and decides head sampling.
 func (s *Store) Begin(txn ident.TxnID) *TxnTrace {
 	if s == nil {
 		return nil
 	}
 	s.started.Inc()
-	t := &TxnTrace{
-		store:   s,
-		txn:     txn,
-		sampled: s.ctr.Add(1)%s.every == 0,
-		spans:   make([]Span, 1, 8),
+	t := tracePool.Get().(*TxnTrace)
+	t.store = s
+	t.txn = txn
+	t.sampled = s.ctr.Add(1)%s.every == 0
+	if cap(t.spans) == 0 {
+		t.spans = make([]Span, 1, 8)
+	} else {
+		t.spans = t.spans[:1]
 	}
 	t.spans[0] = Span{ID: 1, Cat: CatTxn, Start: time.Now()}
 	return t
@@ -326,9 +338,22 @@ func (t *TxnTrace) Finish(committed bool) {
 	t.spans[0].End = time.Now()
 	dur := t.spans[0].Duration()
 	if !t.sampled && dur < t.store.slow {
+		// Dropped, not published: the span buffer is still private, so
+		// the whole recorder goes back to the pool.  Labels are zeroed
+		// so a pooled buffer doesn't pin their strings.
+		for i := range t.spans {
+			t.spans[i] = Span{}
+		}
+		t.store = nil
+		tracePool.Put(t)
 		return
 	}
 	t.store.publish(&Trace{Txn: t.txn, Commit: committed, Spans: t.spans})
+	// Published: the span buffer escaped into the store, so only the
+	// recorder struct is recycled.
+	t.store = nil
+	t.spans = nil
+	tracePool.Put(t)
 }
 
 // ServerSpan is a server-side span handle: started against an incoming

@@ -27,19 +27,27 @@ type waiterJSON struct {
 	Name   string `json:"name"`
 	Mode   string `json:"mode"`
 	AgeNS  int64  `json:"age_ns"`
+	// Partition is the server instance the wait was observed on (always
+	// 0 outside a fleet).
+	Partition int `json:"partition"`
 }
 
 type edgeJSON struct {
-	Waiter  string `json:"waiter"`
-	Blocker string `json:"blocker"`
+	Waiter    string `json:"waiter"`
+	Blocker   string `json:"blocker"`
+	Partition int    `json:"partition"`
 }
 
 type victimJSON struct {
-	Client string   `json:"client"`
-	Name   string   `json:"name"`
-	Mode   string   `json:"mode"`
-	At     string   `json:"at"`
-	Cycle  []string `json:"cycle"`
+	Client    string   `json:"client"`
+	Name      string   `json:"name"`
+	Mode      string   `json:"mode"`
+	At        string   `json:"at"`
+	Cycle     []string `json:"cycle"`
+	Partition int      `json:"partition"`
+	// Distributed marks victims killed by the fleet detector (the cycle
+	// spanned partitions, invisible to any single local graph).
+	Distributed bool `json:"distributed"`
 }
 
 // LongestChains returns the longest simple paths in the waits-for
@@ -97,16 +105,37 @@ func LongestChains(edges []lock.WaitEdge, max int) [][]ident.ClientID {
 	return chains
 }
 
-// WaitsForDot renders the snapshot as a Graphviz digraph.
+// WaitsForDot renders the snapshot as a Graphviz digraph.  In a merged
+// fleet snapshot (any entry from a partition other than 0), nodes and
+// edges carry their partition of origin so cross-partition cycles are
+// visually attributable.
 func WaitsForDot(snap lock.WaitsForSnapshot) string {
+	fleet := false
+	for _, w := range snap.Waiters {
+		if w.Partition != 0 {
+			fleet = true
+		}
+	}
+	for _, e := range snap.Edges {
+		if e.Partition != 0 {
+			fleet = true
+		}
+	}
 	var sb strings.Builder
 	sb.WriteString("digraph waitsfor {\n  rankdir=LR;\n")
 	for _, w := range snap.Waiters {
-		fmt.Fprintf(&sb, "  %q [label=\"%v\\n%v %v (%v)\"];\n",
-			w.Client.String(), w.Client, w.Name, w.Mode, w.Age.Truncate(time.Microsecond))
+		label := fmt.Sprintf("%v\\n%v %v (%v)", w.Client, w.Name, w.Mode, w.Age.Truncate(time.Microsecond))
+		if fleet {
+			label += fmt.Sprintf("\\n@p%d", w.Partition)
+		}
+		fmt.Fprintf(&sb, "  %q [label=\"%s\"];\n", w.Client.String(), label)
 	}
 	for _, e := range snap.Edges {
-		fmt.Fprintf(&sb, "  %q -> %q;\n", e.Waiter.String(), e.Blocker.String())
+		if fleet {
+			fmt.Fprintf(&sb, "  %q -> %q [label=\"p%d\"];\n", e.Waiter.String(), e.Blocker.String(), e.Partition)
+		} else {
+			fmt.Fprintf(&sb, "  %q -> %q;\n", e.Waiter.String(), e.Blocker.String())
+		}
 	}
 	sb.WriteString("}\n")
 	return sb.String()
@@ -133,10 +162,14 @@ func WaitsForHandler(src func() lock.WaitsForSnapshot) http.Handler {
 			out.Waiters = append(out.Waiters, waiterJSON{
 				Client: wi.Client.String(), Name: wi.Name.String(),
 				Mode: wi.Mode.String(), AgeNS: int64(wi.Age),
+				Partition: wi.Partition,
 			})
 		}
 		for _, e := range snap.Edges {
-			out.Edges = append(out.Edges, edgeJSON{Waiter: e.Waiter.String(), Blocker: e.Blocker.String()})
+			out.Edges = append(out.Edges, edgeJSON{
+				Waiter: e.Waiter.String(), Blocker: e.Blocker.String(),
+				Partition: e.Partition,
+			})
 		}
 		for _, chain := range LongestChains(snap.Edges, 5) {
 			names := make([]string, len(chain))
@@ -153,6 +186,7 @@ func WaitsForHandler(src func() lock.WaitsForSnapshot) http.Handler {
 			out.Victims = append(out.Victims, victimJSON{
 				Client: v.Client.String(), Name: v.Name.String(), Mode: v.Mode.String(),
 				At: v.At.UTC().Format("2006-01-02T15:04:05.000Z"), Cycle: cycle,
+				Partition: v.Partition, Distributed: v.Distributed,
 			})
 		}
 		w.Header().Set("Content-Type", "application/json")

@@ -113,12 +113,17 @@ func Chaos(cfg core.Config, opt ChaosOptions) (ChaosStats, error) {
 	}
 
 	cl := core.NewClusterIn(opt.applyConfig(cfg), opt.Registry)
+	defer cl.Close()
 	inj.RegisterObs(cl.Reg)
 	msg.RegisterObs(cl.Reg)
+	fleetSize := cl.Partitions()
 	cl.WrapConns(
-		func(n int, conn msg.Server) msg.Server {
-			return msg.NewFaultyServer(conn, inj, newCache(),
-				fmt.Sprintf("c%d->srv", n), opt.Retry)
+		func(part, n int, conn msg.Server) msg.Server {
+			stream := fmt.Sprintf("c%d->srv", n)
+			if fleetSize > 1 {
+				stream = fmt.Sprintf("c%d->p%d", n, part)
+			}
+			return msg.NewFaultyServer(conn, inj, newCache(), stream, opt.Retry)
 		},
 		func(id ident.ClientID, conn msg.Client) msg.Client {
 			return msg.NewFaultyClient(conn, inj, newCache(),
@@ -148,7 +153,7 @@ func Chaos(cfg core.Config, opt ChaosOptions) (ChaosStats, error) {
 			stats.Suppressed += rc.Suppressed.Load()
 		}
 		cacheMu.Unlock()
-		stats.WaitsFor = cl.Server().GLM().WaitsFor()
+		stats.WaitsFor = cl.WaitsFor()
 		for _, tr := range opt.Spans.Slowest(5) {
 			stats.SlowestTraces = append(stats.SlowestTraces, tr.Txn)
 		}
@@ -176,7 +181,7 @@ func Chaos(cfg core.Config, opt ChaosOptions) (ChaosStats, error) {
 	if err := h.verify("post-chaos"); err != nil {
 		return finish(h, err)
 	}
-	if err := cl.Server().CheckInvariants(); err != nil {
+	if err := cl.CheckInvariants(); err != nil {
 		return finish(h, fmt.Errorf("post-chaos (seed %d): %w", opt.Seed, err))
 	}
 	return finish(h, nil)

@@ -1,0 +1,71 @@
+package sim
+
+import (
+	"testing"
+
+	"clientlog/internal/core"
+)
+
+// TestTortureFleet runs the torture schedule against a 3-partition
+// fleet: cross-partition transactions, whole-tier crashes and
+// partition-scoped crashes must all preserve exactly the committed
+// state.
+func TestTortureFleet(t *testing.T) {
+	partCrashes := 0
+	for base := int64(61); base <= 63; base++ {
+		opt := DefaultTortureOptions(seed(base))
+		opt.Rounds = 100
+		opt.Pages = 6
+		opt.Partitions = 3
+		stats, err := Torture(core.DefaultConfig(), opt)
+		if err != nil {
+			t.Fatalf("seed %d: %v", opt.Seed, err)
+		}
+		if stats.Commits == 0 || stats.Verifications == 0 {
+			t.Fatalf("seed %d: degenerate run %+v", opt.Seed, stats)
+		}
+		partCrashes += stats.PartitionCrashes
+	}
+	if partCrashes == 0 {
+		t.Fatal("no partition-scoped crashes across the sweep")
+	}
+}
+
+// TestTortureFleetChurn layers membership storms and bounded logs on a
+// fleet run.
+func TestTortureFleetChurn(t *testing.T) {
+	opt := DefaultTortureOptions(seed(64))
+	opt.Rounds = 120
+	opt.Clients = 4
+	opt.Pages = 6
+	opt.Churn = true
+	opt.LogSlots = 64
+	opt.Partitions = 3
+	stats, err := Torture(core.DefaultConfig(), opt)
+	if err != nil {
+		t.Fatalf("seed %d: %v", opt.Seed, err)
+	}
+	if stats.Commits == 0 {
+		t.Fatalf("seed %d: nothing committed: %+v", opt.Seed, stats)
+	}
+}
+
+// TestChaosFleet drives the fault-injected schedule over a 3-partition
+// fleet: every client<->partition stream gets its own deterministic
+// fault sequence (drop/delay/dup/replay), and the run must stay
+// exactly-once and lose nothing.
+func TestChaosFleet(t *testing.T) {
+	for base := int64(71); base <= 72; base++ {
+		opt := DefaultChaosOptions(seed(base))
+		opt.Rounds = 80
+		opt.Pages = 6
+		opt.Partitions = 3
+		stats, err := Chaos(core.DefaultConfig(), opt)
+		if err != nil {
+			t.Fatalf("seed %d: %v", opt.Seed, err)
+		}
+		if stats.Commits == 0 || stats.Faults == 0 {
+			t.Fatalf("seed %d: degenerate chaos run %+v", opt.Seed, stats)
+		}
+	}
+}

@@ -91,7 +91,11 @@ type liteWorker struct {
 // worker.  With opt.Churn enabled, a seeded churner crashes/restarts
 // and departs/rejoins clients while the run is in flight.
 func RunLite(cfg core.Config, w Workload, nClients, txns int, seed int64, opt LiteOptions) (Result, error) {
+	if w.Partitions > 1 {
+		cfg.Partitions = w.Partitions
+	}
 	cl := core.NewCluster(cfg)
+	defer cl.Close()
 	ids, err := cl.SeedPages(w.Pages, w.ObjsPerPage, w.ObjSize)
 	if err != nil {
 		return Result{}, err
@@ -146,6 +150,8 @@ func RunLite(cfg core.Config, w Workload, nClients, txns int, seed int64, opt Li
 	var live sync.WaitGroup
 	live.Add(nClients)
 	var churnLeaves, churnJoins, churnCrashes atomic.Uint64
+	var crossCommits atomic.Uint64
+	parts := cl.Partitions()
 
 	start := time.Now()
 	deadline := time.Time{}
@@ -217,7 +223,7 @@ func RunLite(cfg core.Config, w Workload, nClients, txns int, seed int64, opt Li
 		gen := s.gen
 		s.mu.Unlock()
 
-		err := runOneTxn(c, gen, &wk.commitNanos)
+		err := runOneTxn(c, gen, &wk.commitNanos, parts, &crossCommits)
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		switch {
@@ -363,16 +369,8 @@ func RunLite(cfg core.Config, w Workload, nClients, txns int, seed int64, opt Li
 		Msgs:     cl.Stats.Messages(),
 		Bytes:    cl.Stats.Bytes(),
 	}
-	srv := cl.Server()
-	res.ServerMutexWaitNanos = srv.MutexWaitNanos()
-	res.ServerForcesCoalesced = srv.Log().ForcesCoalesced()
-	res.ServerLogBytes = srv.Log().BytesAppended()
-	st := srv.Store().Stats()
-	res.DiskReads, res.DiskWrites = st.Reads, st.Writes
-	res.Merges = srv.Metrics.Merges.Load()
-	res.TokenMoves = srv.Metrics.TokenTransfers.Load()
-	res.Callbacks = srv.Metrics.CallbacksSent.Load()
-	res.Deescalations = srv.Metrics.Deescalations.Load()
+	collectServerSide(cl, &res)
+	res.CrossCommits = crossCommits.Load()
 
 	// Engines die and are reborn under churn, so per-engine counters are
 	// useless here; the registry keeps every family monotone across

@@ -3,11 +3,13 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"clientlog/internal/core"
+	"clientlog/internal/fleet"
 	"clientlog/internal/lock"
 	"clientlog/internal/obs"
 	"clientlog/internal/obs/span"
@@ -77,6 +79,11 @@ type Result struct {
 	// HeapAllocBytes is runtime.MemStats.HeapAlloc sampled at the end of
 	// the run (lite runner only) — the E13 memory-footprint evidence.
 	HeapAllocBytes uint64
+
+	// Fleet accounting (zero unless the run was partitioned).
+	Partitions        int    // server fleet size
+	CrossCommits      uint64 // committed transactions touching >1 partition
+	DistDeadlockKills uint64 // victims killed by the fleet deadlock detector
 }
 
 // Throughput returns committed transactions per second.
@@ -119,7 +126,11 @@ func Run(cfg core.Config, w Workload, nClients, txns int, seed int64) (Result, e
 // (page locking under fine-grained sharing deadlock-storms) from
 // stalling a whole experiment sweep.
 func RunFor(cfg core.Config, w Workload, nClients, txns int, seed int64, maxWall time.Duration) (Result, error) {
+	if w.Partitions > 1 {
+		cfg.Partitions = w.Partitions
+	}
 	cl := core.NewCluster(cfg)
+	defer cl.Close()
 	ids, err := cl.SeedPages(w.Pages, w.ObjsPerPage, w.ObjSize)
 	if err != nil {
 		return Result{}, err
@@ -139,6 +150,8 @@ func RunFor(cfg core.Config, w Workload, nClients, txns int, seed int64, maxWall
 	}
 	var aborts atomic.Uint64
 	var commitNanos atomic.Int64
+	var crossCommits atomic.Uint64
+	parts := cl.Partitions()
 	var wg sync.WaitGroup
 	errCh := make(chan error, nClients)
 	start := time.Now()
@@ -157,7 +170,7 @@ func RunFor(cfg core.Config, w Workload, nClients, txns int, seed int64, maxWall
 				if !deadline.IsZero() && time.Now().After(deadline) {
 					return
 				}
-				if err := runOneTxn(c, gen, &commitNanos); err != nil {
+				if err := runOneTxn(c, gen, &commitNanos, parts, &crossCommits); err != nil {
 					if errors.Is(err, lock.ErrDeadlock) || errors.Is(err, lock.ErrTimeout) {
 						// Deadlock victims back off with jitter before
 						// retrying; immediate retry recreates the same
@@ -192,16 +205,8 @@ func RunFor(cfg core.Config, w Workload, nClients, txns int, seed int64, maxWall
 		Msgs:     cl.Stats.Messages(),
 		Bytes:    cl.Stats.Bytes(),
 	}
-	srv := cl.Server()
-	res.ServerMutexWaitNanos = srv.MutexWaitNanos()
-	res.ServerForcesCoalesced = srv.Log().ForcesCoalesced()
-	res.ServerLogBytes = srv.Log().BytesAppended()
-	st := srv.Store().Stats()
-	res.DiskReads, res.DiskWrites = st.Reads, st.Writes
-	res.Merges = srv.Metrics.Merges.Load()
-	res.TokenMoves = srv.Metrics.TokenTransfers.Load()
-	res.Callbacks = srv.Metrics.CallbacksSent.Load()
-	res.Deescalations = srv.Metrics.Deescalations.Load()
+	collectServerSide(cl, &res)
+	res.CrossCommits = crossCommits.Load()
 	var lat obs.HistView
 	for _, c := range clients {
 		res.Commits += c.Metrics.Commits.Load()
@@ -229,18 +234,46 @@ func RunFor(cfg core.Config, w Workload, nClients, txns int, seed int64, maxWall
 	return res, nil
 }
 
+// collectServerSide sums the server-tier counters over every partition
+// into res, and records the fleet size plus the distributed deadlock
+// detector's kill count.
+func collectServerSide(cl *core.Cluster, res *Result) {
+	for _, srv := range cl.Servers() {
+		res.ServerMutexWaitNanos += srv.MutexWaitNanos()
+		res.ServerForcesCoalesced += srv.Log().ForcesCoalesced()
+		res.ServerLogBytes += srv.Log().BytesAppended()
+		st := srv.Store().Stats()
+		res.DiskReads += st.Reads
+		res.DiskWrites += st.Writes
+		res.Merges += srv.Metrics.Merges.Load()
+		res.TokenMoves += srv.Metrics.TokenTransfers.Load()
+		res.Callbacks += srv.Metrics.CallbacksSent.Load()
+		res.Deescalations += srv.Metrics.Deescalations.Load()
+	}
+	res.Partitions = cl.Partitions()
+	if d := cl.Detector(); d != nil {
+		res.DistDeadlockKills = d.Metrics.Kills.Load()
+	}
+}
+
 // runOneTxn executes one generated transaction; lock victims are
 // aborted and reported so the caller can retry.  The generator decides
 // the op count (long readers scan more) and owns the write buffer (the
-// engine clones on both the page and the log path).
-func runOneTxn(c *core.Client, gen *Gen, commitNanos *atomic.Int64) error {
+// engine clones on both the page and the log path).  With parts > 1 a
+// commit whose accesses spanned more than one partition bumps
+// crossCommits.
+func runOneTxn(c *core.Client, gen *Gen, commitNanos *atomic.Int64, parts int, crossCommits *atomic.Uint64) error {
 	txn, err := c.Begin()
 	if err != nil {
 		return err
 	}
 	ops := gen.Ops()
+	var owners uint64
 	for op := 0; op < ops; op++ {
 		obj, write := gen.Next()
+		if parts > 1 {
+			owners |= 1 << uint(fleet.Owner(obj.Page, parts)&63)
+		}
 		if write {
 			err = txn.Overwrite(obj, gen.ValueReuse())
 		} else {
@@ -257,6 +290,9 @@ func runOneTxn(c *core.Client, gen *Gen, commitNanos *atomic.Int64) error {
 		return err
 	}
 	commitNanos.Add(time.Since(t0).Nanoseconds())
+	if parts > 1 && crossCommits != nil && bits.OnesCount64(owners) > 1 {
+		crossCommits.Add(1)
+	}
 	return nil
 }
 
@@ -292,5 +328,5 @@ func Schemes(base core.Config) map[string]core.Config {
 // lock victims are aborted and the error returned.
 func RunOne(c *core.Client, gen *Gen) error {
 	var sink atomic.Int64
-	return runOneTxn(c, gen, &sink)
+	return runOneTxn(c, gen, &sink, 1, nil)
 }

@@ -34,6 +34,12 @@ type TortureOptions struct {
 	// and the replace-and-force path fire continuously).  0 leaves the
 	// log unbounded.
 	LogSlots int
+	// Partitions runs the schedule against a hash-partitioned server
+	// fleet of that size (0 or 1 = the classic single server).  With a
+	// fleet, half the server-crash rounds become partition-scoped: one
+	// member crashes and restarts while the rest of the fleet and every
+	// client keep running.
+	Partitions int
 }
 
 // tortureLogSlotBytes approximates one private-log record (update
@@ -45,6 +51,9 @@ const tortureLogSlotBytes = 128
 func (opt TortureOptions) applyConfig(cfg core.Config) core.Config {
 	if opt.LogSlots > 0 {
 		cfg.ClientLogCapacity = uint64(opt.LogSlots) * tortureLogSlotBytes
+	}
+	if opt.Partitions > 1 {
+		cfg.Partitions = opt.Partitions
 	}
 	return cfg
 }
@@ -61,8 +70,11 @@ type TortureStats struct {
 	Aborts        uint64
 	ClientCrashes int
 	ServerCrashes int
-	Complex       int
-	Verifications int
+	// PartitionCrashes counts partition-scoped crash+restart rounds
+	// (single fleet member down, clients stay up; fleet runs only).
+	PartitionCrashes int
+	Complex          int
+	Verifications    int
 	// Churn accounting (zero unless TortureOptions.Churn).
 	Leaves int
 	Joins  int
@@ -179,9 +191,13 @@ func (h *harness) verify(tag string) error {
 					hist += e.String() + "\n"
 				}
 			}
+			glms := ""
+			for p, s := range h.cl.Servers() {
+				glms += fmt.Sprintf("partition %d:\n%s", p, s.GLM().DumpState())
+			}
 			return fmt.Errorf("%s: object %v diverged (seed %d): got %x want %x writer=%s\n%s\nGLM:\n%s\nhistory:\n%s",
 				tag, obj, h.opt.Seed, got[:4], want[:4], h.writer[obj],
-				h.cl.DebugPage(obj.Page), h.cl.Server().GLM().DumpState(), hist)
+				h.cl.DebugPage(obj.Page), glms, hist)
 		}
 	}
 	return h.checkPSNs(tag)
@@ -311,6 +327,28 @@ func (h *harness) run() error {
 			if !opt.ServerCrashes {
 				continue
 			}
+			// In a fleet, half the crash rounds take down a single
+			// partition while the rest of the fleet and every client keep
+			// running; clients are never crashed alongside an independent
+			// partition crash (see DESIGN.md §12).  The extra randomness is
+			// drawn only when partitioned, so single-server schedules stay
+			// identical per seed.
+			if h.cl.Partitions() > 1 && r.Intn(2) == 0 {
+				p := r.Intn(h.cl.Partitions())
+				h.ring.Record(trace.RecoveryStep, 0, 0, fmt.Sprintf("PARTITION %d CRASH", p))
+				h.cl.CrashPartition(p)
+				// Only the crashed member's unforced pool copies died.
+				for pid := range h.maxCurPSN {
+					if h.cl.Owner(pid) == p {
+						delete(h.maxCurPSN, pid)
+					}
+				}
+				if err := h.cl.RestartPartition(p); err != nil {
+					return fmt.Errorf("partition %d restart (seed %d): %w", p, opt.Seed, err)
+				}
+				h.stats.PartitionCrashes++
+				break
+			}
 			var down []ident.ClientID
 			if r.Intn(2) == 0 {
 				down = append(down, h.clients[r.Intn(opt.Clients)])
@@ -351,6 +389,7 @@ func (h *harness) run() error {
 // transactions.  This is the engine behind cmd/crashtest.
 func Torture(cfg core.Config, opt TortureOptions) (TortureStats, error) {
 	cl := core.NewCluster(opt.applyConfig(cfg))
+	defer cl.Close()
 	h, err := newHarness(cl, trace.NewRing(8192), opt)
 	if err != nil {
 		return TortureStats{}, err

@@ -25,6 +25,8 @@ type DiskStore struct {
 	alloc    map[page.ID]bool
 	seeds    map[page.ID]page.PSN
 	nextID   page.ID
+	stride   int // fresh ids satisfy id % stride == offset (fleet)
+	offset   int
 
 	reads  atomic.Uint64
 	writes atomic.Uint64
@@ -135,8 +137,8 @@ func (s *DiskStore) Allocate() (*page.Page, error) {
 		id, seed = fid, s.seeds[fid]
 		delete(s.seeds, fid)
 	} else {
-		id = s.nextID
-		s.nextID++
+		id = alignStride(s.nextID, s.stride, s.offset)
+		s.nextID = id + 1
 	}
 	s.alloc[id] = true
 	if err := s.saveMeta(); err != nil {
@@ -151,6 +153,15 @@ func (s *DiskStore) Allocate() (*page.Page, error) {
 		return nil, err
 	}
 	return p, nil
+}
+
+// SetAllocStride restricts fresh allocations to page ids congruent to
+// offset modulo stride (see MemStore.SetAllocStride).  The data file
+// stays laid out at offset (id-1)*pageSize; unowned slots are holes.
+func (s *DiskStore) SetAllocStride(stride, offset int) {
+	s.mu.Lock()
+	s.stride, s.offset = stride, offset
+	s.mu.Unlock()
 }
 
 // Free implements Store.

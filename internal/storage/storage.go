@@ -66,6 +66,8 @@ type MemStore struct {
 	pages    map[page.ID][]byte
 	seeds    map[page.ID]page.PSN // PSN seeds for freed pages
 	nextID   page.ID
+	stride   int // fresh ids satisfy id % stride == offset (fleet)
+	offset   int
 
 	reads  atomic.Uint64
 	writes atomic.Uint64
@@ -98,8 +100,8 @@ func (s *MemStore) Allocate() (*page.Page, error) {
 		id, seed = fid, s.seeds[fid]
 		delete(s.seeds, fid)
 	} else {
-		id = s.nextID
-		s.nextID++
+		id = alignStride(s.nextID, s.stride, s.offset)
+		s.nextID = id + 1
 	}
 	s.mu.Unlock()
 
@@ -197,6 +199,33 @@ func (s *MemStore) Close() error { return nil }
 
 func sortIDs(ids []page.ID) {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// SetAllocStride restricts fresh allocations to page ids congruent to
+// offset modulo stride: a fleet partition mints only ids it owns, so a
+// page granted by Alloc is always served by the allocating partition.
+// Freed-id reuse is unaffected (only owned ids are ever freed here).
+func (s *MemStore) SetAllocStride(stride, offset int) {
+	s.mu.Lock()
+	s.stride, s.offset = stride, offset
+	s.mu.Unlock()
+}
+
+// alignStride returns the smallest id >= next with id % stride == offset
+// (stride <= 1 means no constraint).
+func alignStride(next page.ID, stride, offset int) page.ID {
+	if stride <= 1 {
+		return next
+	}
+	r := int(uint64(next) % uint64(stride))
+	if r == offset {
+		return next
+	}
+	d := offset - r
+	if d < 0 {
+		d += stride
+	}
+	return next + page.ID(d)
 }
 
 // smallestSeed returns the smallest freed page id awaiting reuse.

@@ -6,6 +6,11 @@
 //	bench -markdown             emit EXPERIMENTS.md-ready markdown
 //	bench -quick                reduced sizes (CI-friendly)
 //	bench -json                 also write BENCH_<ID>.json per experiment
+//
+// Most experiments run on the in-process loopback transport; E15 is the
+// exception — it measures the wire codec itself (gob v2 vs binary v3),
+// so it stands up a real TCP cluster per cell and -clients caps its
+// socket count rather than a simulated population.
 package main
 
 import (

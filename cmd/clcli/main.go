@@ -1,11 +1,16 @@
 // Command clcli is an interactive (or scripted) client for a clsrv
-// server.  All transactional facilities run locally: the private log
-// lives in -log, commit forces only that file, and crash recovery is
-// local (restart with the same -log and -id to recover).  Pass
-// -diskless to host the private log at the server instead (Section 2's
-// option for clients without local disks).
+// server — or, with a comma-separated -addr list, for a partitioned
+// fleet of them: each address gets its own netrpc conn (negotiating the
+// v3 binary codec per conn) and a fleet router forwards every
+// page-addressed call to the owning partition.  All transactional
+// facilities run locally: the private log lives in -log, commit forces
+// only that file, and crash recovery is local (restart with the same
+// -log and -id to recover).  Pass -diskless to host the private log at
+// the server instead (Section 2's option for clients without local
+// disks).
 //
 //	clcli -addr 127.0.0.1:7070 -log ./client.log
+//	clcli -addr 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072
 //
 // Type `help` for the command language (see internal/repl).
 package main
@@ -15,8 +20,10 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"strings"
 
 	"clientlog/internal/core"
+	"clientlog/internal/fleet"
 	"clientlog/internal/ident"
 	"clientlog/internal/msg"
 	"clientlog/internal/netrpc"
@@ -26,18 +33,22 @@ import (
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:7070", "server address")
+	addrs := flag.String("addr", "127.0.0.1:7070", "server address, or comma-separated fleet addresses in partition order")
 	logPath := flag.String("log", "./client.log", "private log file")
 	id := flag.Uint("id", 0, "recover as this previously crashed client id")
 	objSize := flag.Int("objsize", 32, "object size for write padding")
 	diskless := flag.Bool("diskless", false, "host the private log at the server")
 	flag.Parse()
 
-	tr, err := netrpc.Dial(*addr)
+	srv, transports, err := dialFleet(strings.Split(*addrs, ","))
 	if err != nil {
 		log.Fatalf("dial: %v", err)
 	}
-	defer tr.Close()
+	defer func() {
+		for _, tr := range transports {
+			tr.Close()
+		}
+	}()
 
 	cfg := core.DefaultConfig()
 	// Trace every interactive transaction: the sampled context travels
@@ -45,13 +56,17 @@ func main() {
 	// attribute its side of the work (GLM waits, callbacks) to the
 	// transactions typed here.  Interactive rates make sampling moot.
 	cfg.Spans = span.NewStore(span.Options{SampleEvery: 1})
-	client, err := connect(cfg, tr, *logPath, ident.ClientID(*id), *diskless)
+	client, err := connect(cfg, srv, *logPath, ident.ClientID(*id), *diskless)
 	if err != nil {
 		log.Fatal(err)
 	}
-	tr.SetLocal(client)
-	fmt.Printf("connected as client %v (recover later with -id %d)\n",
-		client.ID(), uint32(client.ID()))
+	// Callbacks (lock revokes, page recalls) can arrive on any
+	// partition's conn.
+	for _, tr := range transports {
+		tr.SetLocal(client)
+	}
+	fmt.Printf("connected as client %v over %d conn(s) (recover later with -id %d)\n",
+		client.ID(), len(transports), uint32(client.ID()))
 
 	sess := repl.NewSession(client, *objSize)
 	defer sess.Close()
@@ -63,20 +78,44 @@ func main() {
 	}
 }
 
+// dialFleet opens one netrpc conn per address.  A single address is
+// plain forwarding; several become a partition router over the
+// per-partition conns, in the order given (which must match the fleet's
+// partition order on every client).
+func dialFleet(addrs []string) (msg.Server, []*netrpc.Transport, error) {
+	transports := make([]*netrpc.Transport, 0, len(addrs))
+	parts := make([]msg.Server, 0, len(addrs))
+	for _, a := range addrs {
+		tr, err := netrpc.Dial(strings.TrimSpace(a))
+		if err != nil {
+			for _, open := range transports {
+				open.Close()
+			}
+			return nil, nil, fmt.Errorf("%s: %w", a, err)
+		}
+		transports = append(transports, tr)
+		parts = append(parts, tr)
+	}
+	if len(parts) == 1 {
+		return parts[0], transports, nil
+	}
+	return fleet.NewRouter(parts), transports, nil
+}
+
 // connect builds the client engine: fresh or recovering, local-disk or
 // diskless.
-func connect(cfg core.Config, tr *netrpc.Transport, logPath string, id ident.ClientID, diskless bool) (*core.Client, error) {
+func connect(cfg core.Config, srv msg.Server, logPath string, id ident.ClientID, diskless bool) (*core.Client, error) {
 	var logStore wal.Store
 	if diskless {
 		if id == 0 {
 			// Register first: the remote log device needs the id.
-			reply, err := tr.Register(msg.RegisterReq{})
+			reply, err := srv.Register(msg.RegisterReq{})
 			if err != nil {
 				return nil, err
 			}
-			return core.NewClientWithID(cfg, tr, core.NewRemoteLogStore(tr, reply.ID), reply.ID)
+			return core.NewClientWithID(cfg, srv, core.NewRemoteLogStore(srv, reply.ID), reply.ID)
 		}
-		logStore = core.NewRemoteLogStore(tr, id)
+		logStore = core.NewRemoteLogStore(srv, id)
 	} else {
 		fs, err := wal.OpenFileStore(logPath, 0)
 		if err != nil {
@@ -85,12 +124,12 @@ func connect(cfg core.Config, tr *netrpc.Transport, logPath string, id ident.Cli
 		logStore = fs
 	}
 	if id != 0 {
-		c, err := core.RecoverClient(cfg, tr, logStore, id)
+		c, err := core.RecoverClient(cfg, srv, logStore, id)
 		if err != nil {
 			return nil, fmt.Errorf("restart recovery: %w", err)
 		}
 		fmt.Printf("recovered as client %v\n", c.ID())
 		return c, nil
 	}
-	return core.NewClient(cfg, tr, logStore)
+	return core.NewClient(cfg, srv, logStore)
 }

@@ -49,6 +49,10 @@ const (
 	// Partition opens a window during which every message of the
 	// stream is dropped.
 	Partition
+	// Corrupt flips bytes in the reply frame of an RPC: the payload
+	// arrives but fails its checksum.  Only frame-based transports
+	// (netrpc) can express this; the loopback transport ignores it.
+	Corrupt
 )
 
 func (k Kind) String() string {
@@ -67,6 +71,8 @@ func (k Kind) String() string {
 		return "disconnect"
 	case Partition:
 		return "partition"
+	case Corrupt:
+		return "corrupt"
 	default:
 		return fmt.Sprintf("fault(%d)", uint8(k))
 	}
@@ -92,12 +98,17 @@ type Plan struct {
 	// messages of the stream (including retries) are dropped.
 	PartitionProb float64
 	PartitionLen  int
+	// CorruptProb is the chance of corrupting the reply frame of an
+	// RPC (bytes flipped on the wire, caught by the frame checksum).
+	// Only frame-based transports (netrpc) can express it.
+	CorruptProb float64
 }
 
 // Enabled reports whether the plan can inject anything at all.
 func (p Plan) Enabled() bool {
 	return p.DropProb > 0 || p.DupProb > 0 || p.ReplayProb > 0 ||
-		p.DelayProb > 0 || p.DisconnectProb > 0 || p.PartitionProb > 0
+		p.DelayProb > 0 || p.DisconnectProb > 0 || p.PartitionProb > 0 ||
+		p.CorruptProb > 0
 }
 
 // DefaultPlan returns a moderate mix of every fault kind, tuned so the
@@ -123,11 +134,15 @@ type Decision struct {
 	Replay      bool
 	Disconnect  bool
 	Delay       time.Duration
+	// CorruptReply asks the transport to flip bytes in the next reply
+	// frame so it fails its checksum (netrpc only).
+	CorruptReply bool
 }
 
 // Faulty reports whether the decision injects anything.
 func (d Decision) Faulty() bool {
-	return d.DropRequest || d.DropReply || d.Duplicate || d.Replay || d.Disconnect || d.Delay > 0
+	return d.DropRequest || d.DropReply || d.Duplicate || d.Replay ||
+		d.Disconnect || d.Delay > 0 || d.CorruptReply
 }
 
 // stream is one deterministic decision sequence.
@@ -144,7 +159,7 @@ type Injector struct {
 	seed    int64
 	plan    Plan
 	faults  atomic.Uint64
-	byKind  [Partition + 1]obs.Counter
+	byKind  [Corrupt + 1]obs.Counter
 	enabled atomic.Bool
 
 	mu       sync.Mutex
@@ -178,7 +193,7 @@ func (in *Injector) Faults() uint64 { return in.faults.Load() }
 // that fired appear).
 func (in *Injector) KindCounts() map[Kind]uint64 {
 	out := make(map[Kind]uint64)
-	for k := Kind(1); k <= Partition; k++ {
+	for k := Kind(1); k <= Corrupt; k++ {
 		if n := in.byKind[k].Load(); n > 0 {
 			out[k] = n
 		}
@@ -192,7 +207,7 @@ func (in *Injector) RegisterObs(reg *obs.Registry, tags ...obs.Tag) {
 	if reg == nil {
 		return
 	}
-	for k := Kind(1); k <= Partition; k++ {
+	for k := Kind(1); k <= Corrupt; k++ {
 		kt := append(append([]obs.Tag{}, tags...), obs.T("kind", k.String()))
 		reg.BindCounter(&in.byKind[k], "faults_total", kt...)
 	}
@@ -295,6 +310,12 @@ func (in *Injector) Next(name string) Decision {
 	if s.r.Float64() < p.DisconnectProb {
 		d.Disconnect = true
 		kinds = append(kinds, Disconnect)
+	}
+	// Drawn only when the plan enables corruption, so existing seeded
+	// plans keep their exact decision sequences.
+	if p.CorruptProb > 0 && s.r.Float64() < p.CorruptProb {
+		d.CorruptReply = true
+		kinds = append(kinds, Corrupt)
 	}
 	in.mu.Unlock()
 	for _, k := range kinds {

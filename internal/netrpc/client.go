@@ -43,6 +43,7 @@ type Transport struct {
 	addr        string
 	retry       msg.RetryPolicy
 	callTimeout time.Duration
+	maxVersion  uint32
 
 	seq       atomic.Uint64    // session-scoped request numbers
 	cbReplies *core.ReplyCache // server->client duplicate suppression
@@ -62,10 +63,21 @@ type Transport struct {
 
 // Dial connects to a server started with Serve and opens a session.
 func Dial(addr string) (*Transport, error) {
+	return DialVersion(addr, ProtocolVersion)
+}
+
+// DialVersion is Dial with an explicit protocol-version ceiling, for
+// interop with (or testing against) peers pinned below
+// ProtocolVersion.  Versions below 2 are clamped to 2.
+func DialVersion(addr string, version uint32) (*Transport, error) {
+	if version < 2 {
+		version = 2
+	}
 	t := &Transport{
 		addr:        addr,
 		retry:       DefaultTCPRetry(),
 		callTimeout: DefaultCallTimeout,
+		maxVersion:  version,
 		cbReplies:   core.NewReplyCache(0),
 		localReady:  make(chan struct{}),
 	}
@@ -73,6 +85,17 @@ func Dial(addr string) (*Transport, error) {
 		return nil, err
 	}
 	return t, nil
+}
+
+// NegotiatedVersion reports the protocol version agreed with the
+// server on the current connection (2 before any hello completes).
+func (t *Transport) NegotiatedVersion() uint32 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.conn == nil {
+		return 2
+	}
+	return t.conn.version()
 }
 
 // SetRetry replaces the retry budget (before issuing calls).
@@ -129,10 +152,10 @@ func (t *Transport) getConn() (*rpcConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	rc := newRPCConn(c)
+	rc := newRPCConn(c, t.maxVersion)
 	rc.setHandler(t.dispatch)
 	go rc.serve()
-	body, err := rc.call("hello", 0, helloBody{Token: t.token, Version: ProtocolVersion}, t.callTimeout)
+	body, err := rc.call("hello", 0, helloBody{Token: t.token, Version: t.maxVersion}, t.callTimeout)
 	if err != nil {
 		rc.Close()
 		if isRemote(err) {
@@ -201,6 +224,11 @@ func (t *Transport) call(method string, body interface{}) (interface{}, error) {
 			}
 			last = err
 			continue
+		}
+		if d.CorruptReply {
+			// The next frame this connection reads — normally our reply
+			// — arrives with flipped bytes and fails its checksum.
+			rc.armCorrupt()
 		}
 		if d.Duplicate || d.Replay {
 			// Retransmit the same seq out of band; the server's reply

@@ -1,10 +1,13 @@
 package netrpc
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -16,6 +19,13 @@ var ErrClosed = errors.New("netrpc: connection closed")
 // may or may not have executed, so callers retry it under the same
 // sequence number and let the peer's reply cache disambiguate.
 var ErrDeadline = errors.New("netrpc: request deadline exceeded")
+
+// ErrCorruptReply reports a reply frame that failed its integrity
+// check.  Like ErrDeadline it is transport-level: the request executed
+// (an answer came back, just unreadable), so callers retransmit under
+// the same sequence number and the peer's reply cache returns the
+// original answer.
+var ErrCorruptReply = errors.New("netrpc: corrupt reply frame")
 
 // remoteError carries an application-level error string returned by the
 // peer.  It is the only error kind a call returns that must NOT be
@@ -35,15 +45,43 @@ func isRemote(err error) bool {
 // its socket for this long is dead.
 const writeTimeout = 30 * time.Second
 
+// maxCoalesce bounds how many queued frames the write loop folds into
+// one writev call.
+const maxCoalesce = 32
+
+// sendQueueLen is the outbound frame queue depth; senders block (with
+// shutdown wakeup) when the writer falls this far behind.
+const sendQueueLen = 256
+
 // handlerFunc serves one incoming request.
 type handlerFunc func(method string, seq uint64, body interface{}) (interface{}, error)
 
 // rpcConn is a duplex RPC endpoint over one TCP connection: both sides
 // issue requests and serve the peer's.
+//
+// Writes are pipelined: senders encode into pooled buffers and enqueue;
+// a per-connection write loop coalesces whatever is queued into a
+// single vectored write.  The first write error marks the connection
+// dead — after a short or failed write the byte stream is desynced and
+// no further frame may be attempted on it.
+//
+// Protocol version is per-connection state.  Every connection starts at
+// v2 (gob frames): the hello exchange always travels v2, and each
+// direction flips to v3 framing at a fixed stream position — the client
+// right after the hello reply, the server right after sending it — so
+// there is never a frame whose version the receiver must guess.
 type rpcConn struct {
-	c net.Conn
+	c  net.Conn
+	br *bufio.Reader
 
-	wmu sync.Mutex // serializes writes
+	maxVersion  uint32        // highest version this side speaks
+	negotiated  atomic.Uint32 // version agreed in the hello (0 until then)
+	rxV3        atomic.Bool   // decode incoming frames as v3
+	txV3        atomic.Bool   // encode outgoing frames as v3
+	corruptNext atomic.Bool   // fault hook: corrupt the next incoming frame
+
+	wq    chan *wbuf    // encoded frames awaiting the write loop
+	wquit chan struct{} // closed on shutdown; unblocks senders and writer
 
 	mu      sync.Mutex
 	nextID  uint64
@@ -55,15 +93,40 @@ type rpcConn struct {
 	hset   chan struct{} // closed once a handler is installed
 	hsetMu sync.Mutex
 	hdone  bool
+
+	rbuf []byte // reusable frame payload buffer (reader goroutine only)
 }
 
-func newRPCConn(c net.Conn) *rpcConn {
-	return &rpcConn{
-		c:       c,
-		pending: make(map[uint64]chan envelope),
-		hset:    make(chan struct{}),
+func newRPCConn(c net.Conn, maxVersion uint32) *rpcConn {
+	if maxVersion < 2 {
+		maxVersion = 2
 	}
+	r := &rpcConn{
+		c:          c,
+		br:         bufio.NewReaderSize(c, 32<<10),
+		maxVersion: maxVersion,
+		wq:         make(chan *wbuf, sendQueueLen),
+		wquit:      make(chan struct{}),
+		pending:    make(map[uint64]chan envelope),
+		hset:       make(chan struct{}),
+	}
+	go r.writeLoop()
+	return r
 }
+
+// version returns the negotiated protocol version (v2 until the hello
+// completes).
+func (r *rpcConn) version() uint32 {
+	if v := r.negotiated.Load(); v != 0 {
+		return v
+	}
+	return 2
+}
+
+// armCorrupt makes the reader flip bytes in the next incoming frame's
+// payload before decoding it, simulating wire corruption caught by the
+// frame checksum (fault injection only).
+func (r *rpcConn) armCorrupt() { r.corruptNext.Store(true) }
 
 // setHandler installs (or replaces) the incoming-request handler;
 // requests arriving before the first installation wait.  Replacement
@@ -86,19 +149,89 @@ func (r *rpcConn) isClosed() bool {
 	return r.closed
 }
 
+// readOne reads and decodes the next frame.  The payload buffer is
+// reused across frames (decoders copy what they keep).
+func (r *rpcConn) readOne() (envelope, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		return envelope{}, err
+	}
+	n := int(uint32(hdr[0])<<24 | uint32(hdr[1])<<16 | uint32(hdr[2])<<8 | uint32(hdr[3]))
+	if n > MaxFrame {
+		return envelope{}, ErrFrameTooLarge
+	}
+	if cap(r.rbuf) < n {
+		r.rbuf = make([]byte, n)
+	}
+	payload := r.rbuf[:n]
+	if _, err := io.ReadFull(r.br, payload); err != nil {
+		return envelope{}, err
+	}
+	Metrics.FramesRecv.Inc()
+	Metrics.BytesRecv.Add(uint64(n) + 4)
+	if r.corruptNext.CompareAndSwap(true, false) && n > 0 {
+		payload[n/2] ^= 0xA5
+		payload[n-1] ^= 0x5A
+	}
+	if r.rxV3.Load() {
+		return decodeEnvelopeV3(payload)
+	}
+	return decodeEnvelopeV2(payload)
+}
+
+// negotiate inspects the first frame of the connection — always the
+// hello, in v2 — and arms v3 framing when both sides speak it.  The
+// receiving direction flips immediately (every later incoming frame is
+// past the peer's own flip point); the sending direction flips here on
+// the client, but on the server only after the hello reply goes out
+// (see dispatch), since that reply must still travel v2.
+func (r *rpcConn) negotiate(env *envelope) {
+	switch b := env.Body.(type) {
+	case helloReply:
+		if env.Reply && env.Err == "" {
+			v := negotiateVersion(r.maxVersion, b.Version)
+			r.negotiated.Store(v)
+			if v >= 3 {
+				r.rxV3.Store(true)
+				r.txV3.Store(true)
+			}
+		}
+	case helloBody:
+		if !env.Reply && env.Method == "hello" {
+			v := negotiateVersion(r.maxVersion, b.Version)
+			r.negotiated.Store(v)
+			if v >= 3 {
+				r.rxV3.Store(true)
+			}
+		}
+	}
+}
+
 // serve runs the read loop until the connection dies.  A corrupt frame
-// is skipped (framing is length-delimited, so the stream stays in
-// sync); an oversized or short frame tears the connection down.
+// is counted and — when the envelope ID is recoverable and names a
+// pending call — fails that call immediately with ErrCorruptReply
+// instead of letting it hang until its deadline.  Framing is
+// length-delimited, so the stream stays in sync and the connection
+// keeps working; an oversized or short frame tears it down.
 func (r *rpcConn) serve() {
+	first := true
 	for {
-		env, err := readFrame(r.c)
+		env, err := r.readOne()
 		if err != nil {
 			var corrupt corruptFrameError
 			if errors.As(err, &corrupt) {
+				Metrics.CorruptFrames.Inc()
+				if corrupt.reply && corrupt.id != 0 {
+					r.failPendingCorrupt(corrupt.id)
+				}
 				continue
 			}
 			r.shutdown()
 			return
+		}
+		if first {
+			first = false
+			r.negotiate(&env)
 		}
 		if env.Reply {
 			r.mu.Lock()
@@ -111,6 +244,20 @@ func (r *rpcConn) serve() {
 			continue
 		}
 		go r.dispatch(env)
+	}
+}
+
+// failPendingCorrupt fails the pending call whose reply frame arrived
+// corrupt.  A garbage ID that happens to collide with another pending
+// call costs that call one retry — safe, since corrupt-reply failures
+// are retried under the same sequence number.
+func (r *rpcConn) failPendingCorrupt(id uint64) {
+	r.mu.Lock()
+	ch := r.pending[id]
+	delete(r.pending, id)
+	r.mu.Unlock()
+	if ch != nil {
+		ch <- envelope{ID: id, Reply: true, corrupt: true}
 	}
 }
 
@@ -131,17 +278,106 @@ func (r *rpcConn) dispatch(env envelope) {
 		reply.Body = emptyBody{}
 	}
 	r.send(reply)
+	// The server's side of the version flip: the hello reply just
+	// encoded (in v2) is the last pre-negotiation frame it sends.
+	if env.Method == "hello" && err == nil && r.negotiated.Load() >= 3 {
+		r.txV3.Store(true)
+	}
 }
 
+// send encodes env into a pooled buffer and hands it to the write
+// loop.  Encoding errors (oversized frames) surface here; write errors
+// surface as connection death failing every pending call.
 func (r *rpcConn) send(env envelope) error {
-	r.wmu.Lock()
-	defer r.wmu.Unlock()
-	r.c.SetWriteDeadline(time.Now().Add(writeTimeout))
-	if err := writeFrame(r.c, &env); err != nil {
-		r.shutdown()
+	v3 := r.txV3.Load()
+	hint := 256
+	if v3 {
+		if _, sz, ok := v3Tag(&env); ok {
+			hint = 4 + v3HeaderSize + sz
+		}
+	}
+	w := getBuf(hint)
+	var err error
+	if v3 {
+		err = encodeEnvelopeV3(w, &env)
+	} else {
+		err = encodeEnvelopeV2(w, &env)
+	}
+	if err != nil {
+		putBuf(w)
 		return fmt.Errorf("netrpc: send %s: %w", env.Method, err)
 	}
-	return nil
+	select {
+	case r.wq <- w:
+		return nil
+	case <-r.wquit:
+		putBuf(w)
+		return ErrClosed
+	}
+}
+
+// writeLoop is the connection's only writer: it drains the send queue,
+// coalescing queued frames into one vectored write per syscall.  Frame
+// and byte accounting reflect what actually reached the socket — under
+// a partial write only the fully-written frames count.  The first write
+// error (including a short write) shuts the connection down; no further
+// frames are attempted on a desynced stream.
+func (r *rpcConn) writeLoop() {
+	batch := make([]*wbuf, 0, maxCoalesce)
+	var bufs net.Buffers
+	for {
+		select {
+		case <-r.wquit:
+			r.drainSendQueue()
+			return
+		case w := <-r.wq:
+			batch = append(batch[:0], w)
+		coalesce:
+			for len(batch) < maxCoalesce {
+				select {
+				case w2 := <-r.wq:
+					batch = append(batch, w2)
+				default:
+					break coalesce
+				}
+			}
+			bufs = bufs[:0]
+			for _, w := range batch {
+				bufs = append(bufs, w.b)
+			}
+			r.c.SetWriteDeadline(time.Now().Add(writeTimeout))
+			n, err := bufs.WriteTo(r.c)
+			Metrics.BytesSent.Add(uint64(n))
+			rem := n
+			for _, w := range batch {
+				if rem < int64(len(w.b)) {
+					break
+				}
+				rem -= int64(len(w.b))
+				Metrics.FramesSent.Inc()
+			}
+			for _, w := range batch {
+				putBuf(w)
+			}
+			if err != nil {
+				r.shutdown()
+				r.drainSendQueue()
+				return
+			}
+		}
+	}
+}
+
+// drainSendQueue recycles frames the write loop will never send.
+func (r *rpcConn) drainSendQueue() {
+	for {
+		select {
+		case w := <-r.wq:
+			putBuf(w)
+		default:
+			return
+		}
+	}
 }
 
 // call issues a request and blocks for the reply, at most timeout
@@ -181,6 +417,9 @@ func (r *rpcConn) call(method string, seq uint64, body interface{}, timeout time
 		if !ok {
 			return nil, ErrClosed
 		}
+		if env.corrupt {
+			return nil, fmt.Errorf("%w: %s", ErrCorruptReply, method)
+		}
 		if env.Err != "" {
 			return nil, remoteError{s: env.Err}
 		}
@@ -199,8 +438,8 @@ func (r *rpcConn) notify(method string, body interface{}) {
 }
 
 // shutdown fails every pending call fast (callers see ErrClosed, they
-// do not hang waiting for replies that will never arrive) and runs the
-// close hook once.
+// do not hang waiting for replies that will never arrive), stops the
+// write loop, and runs the close hook once.
 func (r *rpcConn) shutdown() {
 	r.mu.Lock()
 	if r.closed {
@@ -208,6 +447,7 @@ func (r *rpcConn) shutdown() {
 		return
 	}
 	r.closed = true
+	close(r.wquit)
 	for id, ch := range r.pending {
 		close(ch)
 		delete(r.pending, id)

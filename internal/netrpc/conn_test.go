@@ -39,7 +39,7 @@ func TestConnPendingFailFastOnPeerDeath(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rc := newRPCConn(cc)
+	rc := newRPCConn(cc, ProtocolVersion)
 	rc.setHandler(func(string, uint64, interface{}) (interface{}, error) { return nil, nil })
 	go rc.serve()
 	peer := <-accepted
@@ -87,7 +87,7 @@ func TestConnCallDeadline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rc := newRPCConn(cc)
+	rc := newRPCConn(cc, ProtocolVersion)
 	go rc.serve()
 	defer rc.Close()
 	peer := <-accepted

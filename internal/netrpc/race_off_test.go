@@ -1,0 +1,7 @@
+//go:build !race
+
+package netrpc
+
+// raceEnabled reports that the race detector instruments this build;
+// allocation-exactness tests skip themselves under it.
+const raceEnabled = false

@@ -31,9 +31,10 @@ var ErrSessionExpired = errors.New(sessionExpiredMsg)
 
 // Server exposes a core.Server engine on a TCP listener.
 type Server struct {
-	engine *core.Server
-	ln     net.Listener
-	grace  time.Duration
+	engine     *core.Server
+	ln         net.Listener
+	grace      time.Duration
+	maxVersion atomic.Uint32 // protocol-version ceiling for new conns
 
 	mu        sync.Mutex
 	conns     map[*rpcConn]bool
@@ -64,8 +65,19 @@ func ServeGrace(engine *core.Server, ln net.Listener, grace time.Duration) *Serv
 		sessions: make(map[uint64]*session),
 		done:     make(chan struct{}),
 	}
+	s.maxVersion.Store(ProtocolVersion)
 	go s.acceptLoop()
 	return s
+}
+
+// SetMaxVersion pins the protocol-version ceiling offered to newly
+// accepted connections (interop testing against down-level clients).
+// Versions below 2 are clamped to 2.
+func (s *Server) SetMaxVersion(v uint32) {
+	if v < 2 {
+		v = 2
+	}
+	s.maxVersion.Store(v)
 }
 
 // Addr returns the listen address.
@@ -107,7 +119,7 @@ func (s *Server) acceptLoop() {
 				continue
 			}
 		}
-		rc := newRPCConn(c)
+		rc := newRPCConn(c, s.maxVersion.Load())
 		s.mu.Lock()
 		s.conns[rc] = true
 		s.mu.Unlock()
@@ -168,7 +180,11 @@ func (s *Server) handleHello(rc *rpcConn, body interface{}) (interface{}, error)
 	s.owners[rc] = sess
 	s.mu.Unlock()
 	rc.setHandler(sess.handle)
-	return helloReply{Token: sess.token, Version: ProtocolVersion}, nil
+	// Reply with the version both sides speak; the conn's read loop
+	// already negotiated the same value from the hello body, and the
+	// dispatch path flips this connection to v3 framing right after
+	// this reply goes out in v2.
+	return helloReply{Token: sess.token, Version: negotiateVersion(rc.maxVersion, hb.Version)}, nil
 }
 
 // session is the server side of one logical client, across however

@@ -1,0 +1,215 @@
+package netrpc
+
+import (
+	"encoding/binary"
+	"hash/crc32"
+	"testing"
+
+	"clientlog/internal/lock"
+	"clientlog/internal/msg"
+)
+
+// hotPayload validates a v3 frame payload the way the read loop does
+// (header + checksum) and returns the body bytes for a typed decode.
+// This is the engine's hot receive path minus the interface boxing that
+// decodeEnvelopeV3 pays to fit the generic envelope.
+func hotPayload(tb testing.TB, payload []byte) []byte {
+	if len(payload) < v3HeaderSize {
+		tb.Fatal("short v3 payload")
+	}
+	if crc32.ChecksumIEEE(payload[4:]) != binary.LittleEndian.Uint32(payload[:4]) {
+		tb.Fatal("v3 checksum mismatch")
+	}
+	if payload[5]&v3FlagHasErr != 0 {
+		tb.Fatal("unexpected error flag")
+	}
+	return payload[v3HeaderSize:]
+}
+
+func benchLockEnv() *envelope {
+	return &envelope{
+		ID:     7,
+		Seq:    42,
+		Method: "lock",
+		Body: msg.LockReq{
+			Client:    3,
+			Name:      lock.Name{Page: 9, Slot: 4},
+			Mode:      lock.X,
+			HasCached: true,
+			CachedPSN: 77,
+		},
+	}
+}
+
+func benchFetchReplyEnv(imageLen int) *envelope {
+	img := make([]byte, imageLen)
+	for i := range img {
+		img[i] = byte(i)
+	}
+	return &envelope{ID: 8, Reply: true, Body: msg.FetchReply{Image: img, DCTPSN: 12}}
+}
+
+// TestWireHotPathZeroAllocs is the allocation gate for the v3 fast
+// path: encoding a hot envelope into a reused frame buffer and decoding
+// its body into a reused struct must not allocate at all in steady
+// state.  Skipped under the race detector, whose instrumentation
+// allocates.
+func TestWireHotPathZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not exact under -race")
+	}
+	cases := []struct {
+		name string
+		env  *envelope
+		dec  func(d *msg.WireDec)
+	}{
+		{
+			name: "lock-req",
+			env:  benchLockEnv(),
+			dec: func() func(*msg.WireDec) {
+				var req msg.LockReq
+				return func(d *msg.WireDec) { req.DecodeWire(d) }
+			}(),
+		},
+		{
+			name: "fetch-reply-4k",
+			env:  benchFetchReplyEnv(4096),
+			dec: func() func(*msg.WireDec) {
+				var rep msg.FetchReply
+				return func(d *msg.WireDec) { rep.DecodeWire(d) }
+			}(),
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := getBuf(bufMed)
+			defer putBuf(w)
+			var d msg.WireDec
+			allocs := testing.AllocsPerRun(1000, func() {
+				w.b = w.b[:0]
+				if err := encodeEnvelopeV3(w, tc.env); err != nil {
+					t.Fatal(err)
+				}
+				d.Reset(hotPayload(t, w.b[4:]))
+				tc.dec(&d)
+				if d.Err() != nil || d.Remaining() != 0 {
+					t.Fatalf("decode: err=%v rem=%d", d.Err(), d.Remaining())
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("hot wire path allocates %.1f per op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkWire compares the v3 binary codec against the v2 gob
+// envelope on the hot message shapes.  The V3 variants are the
+// allocation gate (allocs/op must stay 0); the Gob variants exist so CI
+// can assert the binary path stays faster without depending on absolute
+// machine speed.
+func BenchmarkWire(b *testing.B) {
+	b.Run("lock-req-v3", func(b *testing.B) {
+		env := benchLockEnv()
+		w := getBuf(bufSmall)
+		defer putBuf(w)
+		var d msg.WireDec
+		var req msg.LockReq
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.b = w.b[:0]
+			if err := encodeEnvelopeV3(w, env); err != nil {
+				b.Fatal(err)
+			}
+			d.Reset(hotPayload(b, w.b[4:]))
+			req.DecodeWire(&d)
+			if d.Err() != nil {
+				b.Fatal(d.Err())
+			}
+		}
+	})
+	b.Run("lock-req-v2-gob", func(b *testing.B) {
+		env := benchLockEnv()
+		w := getBuf(bufSmall)
+		defer putBuf(w)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.b = w.b[:0]
+			if err := encodeEnvelopeV2(w, env); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := decodeEnvelopeV2(w.b[4:]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fetch-reply-8k-v3", func(b *testing.B) {
+		env := benchFetchReplyEnv(8192)
+		w := getBuf(bufMed)
+		defer putBuf(w)
+		var d msg.WireDec
+		var rep msg.FetchReply
+		b.SetBytes(8192)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.b = w.b[:0]
+			if err := encodeEnvelopeV3(w, env); err != nil {
+				b.Fatal(err)
+			}
+			d.Reset(hotPayload(b, w.b[4:]))
+			rep.DecodeWire(&d)
+			if d.Err() != nil {
+				b.Fatal(d.Err())
+			}
+		}
+	})
+	b.Run("fetch-reply-8k-v2-gob", func(b *testing.B) {
+		env := benchFetchReplyEnv(8192)
+		w := getBuf(bufMed)
+		defer putBuf(w)
+		b.SetBytes(8192)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.b = w.b[:0]
+			if err := encodeEnvelopeV2(w, env); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := decodeEnvelopeV2(w.b[4:]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("commit-ship-v3", func(b *testing.B) {
+		env := &envelope{
+			ID:     9,
+			Seq:    50,
+			Method: "commit-ship",
+			Body: msg.CommitShipReq{
+				Client:  3,
+				Txn:     1 << 33,
+				Records: [][]byte{make([]byte, 96), make([]byte, 96), make([]byte, 96)},
+			},
+		}
+		w := getBuf(bufSmall)
+		defer putBuf(w)
+		var d msg.WireDec
+		var req msg.CommitShipReq
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.b = w.b[:0]
+			if err := encodeEnvelopeV3(w, env); err != nil {
+				b.Fatal(err)
+			}
+			d.Reset(hotPayload(b, w.b[4:]))
+			req.DecodeWire(&d)
+			if d.Err() != nil {
+				b.Fatal(d.Err())
+			}
+		}
+	})
+}

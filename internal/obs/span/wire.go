@@ -1,0 +1,35 @@
+package span
+
+import (
+	"encoding/binary"
+
+	"clientlog/internal/ident"
+)
+
+// WireSize is the fixed encoded size of a Context on the v3 binary
+// wire: txn u64 | span u64 | sampled u8, little-endian like the page
+// and wal codecs.
+const WireSize = 17
+
+// AppendWire appends the fixed-size binary encoding of c to b.
+func (c Context) AppendWire(b []byte) []byte {
+	var s byte
+	if c.Sampled {
+		s = 1
+	}
+	b = binary.LittleEndian.AppendUint64(b, uint64(c.Txn))
+	b = binary.LittleEndian.AppendUint64(b, c.Span)
+	return append(b, s)
+}
+
+// DecodeWire decodes a Context from the front of b and returns the
+// remainder; ok is false when b is too short.
+func DecodeWire(b []byte) (c Context, rest []byte, ok bool) {
+	if len(b) < WireSize {
+		return Context{}, b, false
+	}
+	c.Txn = ident.TxnID(binary.LittleEndian.Uint64(b))
+	c.Span = binary.LittleEndian.Uint64(b[8:])
+	c.Sampled = b[16] != 0
+	return c, b[WireSize:], true
+}

@@ -61,6 +61,7 @@ func All() []Experiment {
 		{"E12", "Server lock scaling: sharded subsystem locks vs the old big lock", E12LockScaling},
 		{"E13", "Scale sweep: 16→1k→5k clients across UNIFORM/ZIPF/HICON ± churn, §3.6 pressure", E13ScaleSweep},
 		{"E14", "Partitioned fleet: throughput vs partitions, cross-partition share, distributed deadlocks", E14FleetScaling},
+		{"E15", "Wire codec over real TCP: gob envelope (v2) vs binary codec (v3)", E15WireSweep},
 	}
 }
 

@@ -161,7 +161,17 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "FAIL seed %d (%d faults injected): %v\n", seed, stats.Faults, err)
-			fmt.Fprintf(os.Stderr, "waits-for at failure:\n%s", span.Summary(stats.WaitsFor))
+			// The fleet-merged graph (partition-tagged in fleet runs), so
+			// a cross-partition deadlock post-mortem is self-contained.
+			fmt.Fprintf(os.Stderr, "waits-for at failure (fleet-merged):\n%s", span.Summary(stats.WaitsFor))
+			if len(stats.WaitsFor.Victims) > 0 {
+				fmt.Fprintf(os.Stderr, "waits-for graph (graphviz):\n%s", span.WaitsForDot(stats.WaitsFor))
+			}
+			// Stitched span trees of the slowest transactions, server
+			// spans carrying @pN provenance.
+			for _, tr := range opt.Spans.Slowest(3) {
+				fmt.Fprint(os.Stderr, span.TreeString(tr))
+			}
 			if len(stats.SlowestTraces) > 0 {
 				fmt.Fprintf(os.Stderr, "slowest traced txns (inspect via /trace/<txnid>):")
 				for _, id := range stats.SlowestTraces {

@@ -19,14 +19,19 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"clientlog/internal/core"
 	"clientlog/internal/fleet"
 	"clientlog/internal/ident"
 	"clientlog/internal/msg"
 	"clientlog/internal/netrpc"
+	"clientlog/internal/obs"
+	"clientlog/internal/obs/fleetobs"
 	"clientlog/internal/obs/span"
 	"clientlog/internal/repl"
 	"clientlog/internal/wal"
@@ -38,6 +43,8 @@ func main() {
 	id := flag.Uint("id", 0, "recover as this previously crashed client id")
 	objSize := flag.Int("objsize", 32, "object size for write padding")
 	diskless := flag.Bool("diskless", false, "host the private log at the server")
+	fleetAdmin := flag.String("fleet-admin", "", "serve the fleet observability plane (merged /metrics, stitched /trace/<txnid>, merged /waitsfor, /rates, /alerts) on this address")
+	fleetPeers := flag.String("fleet-peers", "", "comma-separated admin base URLs of the fleet members in partition order (e.g. http://127.0.0.1:7171,http://127.0.0.1:7172); used with -fleet-admin")
 	flag.Parse()
 
 	srv, transports, err := dialFleet(strings.Split(*addrs, ","))
@@ -67,6 +74,40 @@ func main() {
 	}
 	fmt.Printf("connected as client %v over %d conn(s) (recover later with -id %d)\n",
 		client.ID(), len(transports), uint32(client.ID()))
+
+	if *fleetAdmin != "" {
+		// The client side of the observability plane: its own registry
+		// and span store (the published commit traces are the stitch
+		// base) plus one HTTP scrape source per fleet member.
+		reg := obs.NewRegistry()
+		client.RegisterObs(reg)
+		netrpc.RegisterObs(reg)
+		netrpc.RegisterWireObs(reg)
+		cfg.Spans.RegisterObs(reg)
+		sources := []fleetobs.Source{&fleetobs.LocalSource{
+			SourceName: "client", Client: true, Registry: reg, Spans: cfg.Spans,
+		}}
+		for i, u := range strings.Split(*fleetPeers, ",") {
+			u = strings.TrimSpace(u)
+			if u == "" {
+				continue
+			}
+			sources = append(sources, &fleetobs.HTTPSource{
+				SourceName: fmt.Sprintf("p%d", i),
+				Base:       strings.TrimRight(u, "/"),
+			})
+		}
+		plane := fleetobs.NewPlane(sources, fleetobs.AlertConfig{})
+		plane.Monitor().Start(time.Second)
+		defer plane.Monitor().Stop()
+		ln, err := net.Listen("tcp", *fleetAdmin)
+		if err != nil {
+			log.Fatalf("fleet admin: %v", err)
+		}
+		go func() { _ = http.Serve(ln, plane.Handler()) }()
+		fmt.Printf("fleet observability plane on http://%s (%d source(s))\n",
+			ln.Addr(), len(sources))
+	}
 
 	sess := repl.NewSession(client, *objSize)
 	defer sess.Close()

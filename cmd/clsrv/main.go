@@ -7,7 +7,9 @@
 // /metrics (Prometheus text), /events (protocol trace tail as JSON
 // lines), /trace/<txnid> and /trace/slowest (causal span trees of
 // sampled transactions), /waitsfor (live GLM wait graph, JSON or
-// ?format=dot), /healthz and /debug/pprof.
+// ?format=dot), /healthz, /debug/pprof, and /fleet/ — the raw-state
+// export (metrics snapshot, span slices, tagged waits-for) the fleet
+// aggregation plane scrapes (cmd/fleetprobe, clcli -fleet-admin).
 //
 // Clients connect with cmd/clcli.
 package main
@@ -27,6 +29,7 @@ import (
 	"clientlog/internal/core"
 	"clientlog/internal/netrpc"
 	"clientlog/internal/obs"
+	"clientlog/internal/obs/fleetobs"
 	"clientlog/internal/obs/span"
 	"clientlog/internal/storage"
 	"clientlog/internal/trace"
@@ -104,6 +107,7 @@ func main() {
 		engine.SetTracer(ring)
 		engine.RegisterObs(reg)
 		netrpc.RegisterObs(reg)
+		netrpc.RegisterWireObs(reg)
 		spans.RegisterObs(reg)
 		adm, err := obs.StartAdmin(*admin, obs.AdminOptions{
 			Registry: reg,
@@ -112,6 +116,13 @@ func main() {
 			Handlers: map[string]http.Handler{
 				"/trace/":   spans.TraceHandler(),
 				"/waitsfor": span.WaitsForHandler(engine.GLM().WaitsFor),
+				// Raw-state export the fleet aggregation plane scrapes
+				// (cmd/fleetprobe, clcli -fleet-admin).
+				"/fleet/": fleetobs.MemberHandler(fleetobs.MemberOptions{
+					Registry: reg,
+					Spans:    spans,
+					WaitsFor: engine.GLM().WaitsFor,
+				}),
 			},
 		})
 		if err != nil {

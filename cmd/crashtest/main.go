@@ -13,6 +13,7 @@ import (
 	"os"
 
 	"clientlog/internal/core"
+	"clientlog/internal/obs/span"
 	"clientlog/internal/sim"
 )
 
@@ -40,6 +41,9 @@ func main() {
 		stats, err := sim.Torture(core.DefaultConfig(), opt)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "FAIL seed %d: %v\n", seed, err)
+			// Fleet-merged graph, @pN-tagged in partitioned runs, so a
+			// cross-partition deadlock post-mortem needs no second run.
+			fmt.Fprintf(os.Stderr, "waits-for at failure (fleet-merged):\n%s", span.Summary(stats.WaitsFor))
 			os.Exit(1)
 		}
 		total.Commits += stats.Commits

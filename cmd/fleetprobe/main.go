@@ -1,0 +1,379 @@
+// Command fleetprobe drives a deterministic roaming-commit probe
+// against a running partitioned fleet and stands up the fleet
+// observability plane over it:
+//
+//	fleetprobe -addrs 127.0.0.1:7070,127.0.0.1:7071,127.0.0.1:7072 \
+//	           -admins http://127.0.0.1:7171,http://127.0.0.1:7172,http://127.0.0.1:7173 \
+//	           -listen 127.0.0.1:7180 -out probe.json
+//
+// It allocates pages on every partition, commits one probe transaction
+// spanning at least two of them, runs a balanced (uniform) workload
+// phase and then a deliberately skewed one, and checks the plane's
+// invariants: the probe's /trace/<txnid> stitches into one tree with
+// server spans from >= 2 partitions, partition-tagged metrics sum to
+// the fleet rollups, the merged /waitsfor answers, /alerts stays quiet
+// on the uniform phase and fires partition-skew on the skewed one.
+// Results land in -out as JSON; the exit status reports the probe
+// verdict.  With -hold the plane keeps serving on -listen after the
+// probe so external tools can curl the fleet endpoints.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"clientlog/internal/core"
+	"clientlog/internal/fleet"
+	"clientlog/internal/msg"
+	"clientlog/internal/netrpc"
+	"clientlog/internal/obs"
+	"clientlog/internal/obs/fleetobs"
+	"clientlog/internal/obs/span"
+	"clientlog/internal/page"
+	"clientlog/internal/wal"
+)
+
+type result struct {
+	ProbeTxn        string             `json:"probe_txn"`
+	Origins         []string           `json:"origins"`
+	Shares          map[string]float64 `json:"shares"`
+	StitchedSpans   int                `json:"stitched_spans"`
+	SumsOK          bool               `json:"partition_sums_ok"`
+	UniformAlerts   []fleetobs.Alert   `json:"uniform_alerts"`
+	SkewAlerts      []fleetobs.Alert   `json:"skew_alerts"`
+	SkewFired       bool               `json:"skew_fired"`
+	WaitsForServes  bool               `json:"waitsfor_serves"`
+	GobEscapeShares map[string]float64 `json:"gob_escape_shares"`
+	OK              bool               `json:"ok"`
+	Failures        []string           `json:"failures"`
+}
+
+func main() {
+	addrs := flag.String("addrs", "", "comma-separated fleet RPC addresses in partition order")
+	admins := flag.String("admins", "", "comma-separated fleet admin base URLs in partition order")
+	listen := flag.String("listen", "127.0.0.1:0", "serve the fleet plane on this address")
+	out := flag.String("out", "", "write the probe result JSON here (stdout if empty)")
+	txns := flag.Int("txns", 150, "transactions per workload phase")
+	objSize := flag.Int("objsize", 32, "object size in bytes")
+	hold := flag.Bool("hold", false, "keep serving the plane after the probe until SIGTERM")
+	flag.Parse()
+
+	rpcAddrs := splitList(*addrs)
+	adminURLs := splitList(*admins)
+	if len(rpcAddrs) < 2 {
+		log.Fatal("need at least two -addrs for a roaming probe")
+	}
+	if len(adminURLs) != len(rpcAddrs) {
+		log.Fatalf("got %d -admins for %d -addrs; they must pair up in partition order",
+			len(adminURLs), len(rpcAddrs))
+	}
+	n := len(rpcAddrs)
+
+	// Two clients over separate conn sets: the setup client allocates
+	// the working set (and keeps its cached locks, like any warm peer),
+	// the probe client then has to take every lock over the wire —
+	// callbacks included — so the servers record their side of the
+	// probe's spans.  Every probe transaction is sampled so the probe
+	// trace is guaranteed to publish.
+	dial := func() (msg.Server, []*netrpc.Transport) {
+		parts := make([]msg.Server, 0, n)
+		transports := make([]*netrpc.Transport, 0, n)
+		for _, a := range rpcAddrs {
+			tr, err := netrpc.Dial(a)
+			if err != nil {
+				log.Fatalf("dial %s: %v", a, err)
+			}
+			transports = append(transports, tr)
+			parts = append(parts, tr)
+		}
+		return fleet.NewRouter(parts), transports
+	}
+	setupSrv, setupTrs := dial()
+	setup, err := core.NewClient(core.DefaultConfig(), setupSrv, wal.NewMemStore(0))
+	if err != nil {
+		log.Fatalf("setup client: %v", err)
+	}
+	for _, tr := range setupTrs {
+		tr.SetLocal(setup)
+		defer tr.Close()
+	}
+	defer setup.Disconnect()
+
+	cfg := core.DefaultConfig()
+	spans := span.NewStore(span.Options{SampleEvery: 1})
+	cfg.Spans = spans
+	probeSrv, probeTrs := dial()
+	client, err := core.NewClient(cfg, probeSrv, wal.NewMemStore(0))
+	if err != nil {
+		log.Fatalf("probe client: %v", err)
+	}
+	for _, tr := range probeTrs {
+		tr.SetLocal(client)
+		defer tr.Close()
+	}
+	defer client.Disconnect()
+
+	// Client-side metrics: the commit/abort counters, span histograms
+	// and the per-method wire accounting all feed the plane.
+	reg := obs.NewRegistry()
+	client.RegisterObs(reg)
+	netrpc.RegisterObs(reg)
+	netrpc.RegisterWireObs(reg)
+	spans.RegisterObs(reg)
+
+	sources := []fleetobs.Source{&fleetobs.LocalSource{
+		SourceName: "client", Client: true, Registry: reg, Spans: spans,
+	}}
+	for i, u := range adminURLs {
+		sources = append(sources, &fleetobs.HTTPSource{
+			SourceName: fmt.Sprintf("p%d", i),
+			Base:       strings.TrimRight(u, "/"),
+		})
+	}
+	plane := fleetobs.NewPlane(sources, fleetobs.AlertConfig{})
+
+	res := result{Shares: map[string]float64{}, GobEscapeShares: map[string]float64{}}
+	fail := func(format string, args ...any) {
+		res.Failures = append(res.Failures, fmt.Sprintf(format, args...))
+		log.Printf("FAIL: "+format, args...)
+	}
+
+	// Allocate a working set with pages on every partition (on the
+	// setup client, so the probe's locks must go over the wire).
+	perPart := make(map[int][]page.ID)
+	{
+		txn, err := setup.Begin()
+		if err != nil {
+			log.Fatalf("begin: %v", err)
+		}
+		for len(perPart) < n || shortest(perPart, n) < 4 {
+			pid, err := txn.AllocPage()
+			if err != nil {
+				log.Fatalf("alloc: %v", err)
+			}
+			// Fresh pages are empty; give each one an object at slot 0
+			// for the workload to overwrite.
+			if _, err := txn.Insert(pid, fill(*objSize, 0)); err != nil {
+				log.Fatalf("insert: %v", err)
+			}
+			perPart[fleet.Owner(pid, n)] = append(perPart[fleet.Owner(pid, n)], pid)
+		}
+		if err := txn.Commit(); err != nil {
+			log.Fatalf("alloc commit: %v", err)
+		}
+	}
+
+	// The roaming probe: one transaction writing a page on every
+	// partition, so its trace must stitch across all of them.
+	probe, err := client.Begin()
+	if err != nil {
+		log.Fatalf("probe begin: %v", err)
+	}
+	for p := 0; p < n; p++ {
+		obj := page.ObjectID{Page: perPart[p][0], Slot: 0}
+		if err := probe.Overwrite(obj, fill(*objSize, byte('A'+p))); err != nil {
+			log.Fatalf("probe write p%d: %v", p, err)
+		}
+	}
+	probeTxn := probe.ID()
+	if err := probe.Commit(); err != nil {
+		log.Fatalf("probe commit: %v", err)
+	}
+	res.ProbeTxn = probeTxn.String()
+
+	// Uniform phase: round-robin writes across all partitions.
+	plane.Monitor().Tick()
+	runPhase(client, perPart, n, *txns, *objSize, false)
+	time.Sleep(300 * time.Millisecond) // let server-side counters settle
+	plane.Monitor().Tick()
+	if r, ok := plane.Monitor().Rates(); ok {
+		res.UniformAlerts = fleetobs.EvaluateAlerts(r, fleetobs.AlertConfig{})
+		for name, pr := range r.Partitions {
+			res.GobEscapeShares[name] = pr.GobEscapeShare
+		}
+	} else {
+		fail("monitor not ready after uniform phase")
+	}
+	for _, a := range res.UniformAlerts {
+		if a.Kind == "partition-skew" {
+			fail("uniform phase fired partition-skew: %s", a.Message)
+		}
+	}
+
+	// Skewed phase: everything lands on partition 0; the anomaly pass
+	// must notice.
+	skewMon := fleetobs.NewMonitor(plane.Sources(), 8)
+	skewMon.Tick()
+	runPhase(client, perPart, n, *txns, *objSize, true)
+	time.Sleep(300 * time.Millisecond)
+	skewMon.Tick()
+	if r, ok := skewMon.Rates(); ok {
+		res.SkewAlerts = fleetobs.EvaluateAlerts(r, fleetobs.AlertConfig{})
+	} else {
+		fail("monitor not ready after skew phase")
+	}
+	for _, a := range res.SkewAlerts {
+		if a.Kind == "partition-skew" {
+			res.SkewFired = true
+		}
+	}
+	if !res.SkewFired {
+		fail("skewed phase fired no partition-skew alert")
+	}
+
+	// The stitched probe trace: one tree, client spans plus server
+	// spans from >= 2 distinct partitions, with critical-path shares.
+	if tr, ok := plane.CollectTrace(probeTxn); ok {
+		r := span.RenderTrace(tr)
+		res.Origins = r.Origins
+		res.Shares = r.Shares
+		res.StitchedSpans = len(tr.Spans)
+		if len(r.Origins) < 2 {
+			fail("stitched trace spans %d partition(s), want >= 2 (origins %v)", len(r.Origins), r.Origins)
+		}
+		if r.Partial {
+			fail("probe trace is partial despite the client publishing it")
+		}
+		fmt.Println(span.TreeString(tr))
+	} else {
+		fail("probe trace %s not collectable from any source", probeTxn)
+	}
+
+	// Partition tags must sum to the fleet rollup on the merged view.
+	res.SumsOK = checkSums(plane, fail)
+
+	// The merged waits-for graph must answer (usually empty here — the
+	// probe is single-client — but the endpoint must serve).
+	wf := plane.MergedWaitsFor()
+	res.WaitsForServes = true
+	log.Printf("merged waits-for: %d waiter(s), %d edge(s), %d victim(s)",
+		len(wf.Waiters), len(wf.Edges), len(wf.Victims))
+
+	res.OK = len(res.Failures) == 0
+	emit(res, *out)
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *listen, err)
+	}
+	go func() { _ = http.Serve(ln, plane.Handler()) }()
+	log.Printf("fleet plane on http://%s (probe ok=%v)", ln.Addr(), res.OK)
+	if *hold {
+		plane.Monitor().Start(time.Second)
+		defer plane.Monitor().Stop()
+		sigc := make(chan os.Signal, 1)
+		signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+		<-sigc
+	}
+	if !res.OK {
+		os.Exit(1)
+	}
+}
+
+// runPhase commits txns transactions; uniform mode round-robins the
+// target partition per transaction, skewed mode hammers partition 0.
+func runPhase(client *core.Client, perPart map[int][]page.ID, n, txns, objSize int, skew bool) {
+	for i := 0; i < txns; i++ {
+		p := i % n
+		if skew {
+			p = 0
+		}
+		pages := perPart[p]
+		txn, err := client.Begin()
+		if err != nil {
+			log.Fatalf("phase begin: %v", err)
+		}
+		obj := page.ObjectID{Page: pages[i%len(pages)], Slot: 0}
+		if err := txn.Overwrite(obj, fill(objSize, byte(i))); err != nil {
+			log.Fatalf("phase write: %v", err)
+		}
+		if err := txn.Commit(); err != nil {
+			log.Fatalf("phase commit: %v", err)
+		}
+		// Returning the page keeps the next transaction's lock and fetch
+		// on the wire (otherwise the client cache absorbs the workload
+		// and the servers see nothing to balance).
+		if err := client.FlushCache(); err != nil {
+			log.Fatalf("phase flush: %v", err)
+		}
+	}
+}
+
+// checkSums asserts the partition-tag sum invariant over the plane's
+// merged JSON view.
+func checkSums(plane *fleetobs.Plane, fail func(string, ...any)) bool {
+	req, _ := http.NewRequest("GET", "/metrics.json", nil)
+	rec := httptest.NewRecorder()
+	plane.Handler().ServeHTTP(rec, req)
+	var mj struct {
+		Sources map[string]map[string]uint64 `json:"sources"`
+		Fleet   map[string]uint64            `json:"fleet"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &mj); err != nil {
+		fail("metrics.json: %v", err)
+		return false
+	}
+	ok := true
+	for fam, total := range mj.Fleet {
+		var sum uint64
+		for _, fams := range mj.Sources {
+			sum += fams[fam]
+		}
+		if sum != total {
+			fail("family %s: partition sum %d != fleet total %d", fam, sum, total)
+			ok = false
+		}
+	}
+	return ok
+}
+
+func shortest(perPart map[int][]page.ID, n int) int {
+	min := 1 << 30
+	for p := 0; p < n; p++ {
+		if len(perPart[p]) < min {
+			min = len(perPart[p])
+		}
+	}
+	return min
+}
+
+func fill(n int, b byte) []byte {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = b
+	}
+	return buf
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func emit(res result, path string) {
+	b, _ := json.MarshalIndent(res, "", "  ")
+	b = append(b, '\n')
+	if path == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	if err := os.WriteFile(path, b, 0644); err != nil {
+		log.Fatalf("writing %s: %v", path, err)
+	}
+	log.Printf("probe result written to %s", path)
+}

@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"clientlog/internal/obs"
+	"clientlog/internal/page"
+)
+
+// TestFleetRegistryMonotonePerPartition checks the fleet-observability
+// contract behind sum-on-read rebinding: after a partition crash and
+// restart, every counter series must stay monotone *per partition tag*
+// — the restarted engine's fresh zero counters rebind under the same
+// partition="i" key, so aggregation planes scraping the registry never
+// see a tagged series go backwards.
+func TestFleetRegistryMonotonePerPartition(t *testing.T) {
+	cl := NewCluster(fleetConfig())
+	defer cl.Close()
+	ids, err := cl.SeedPages(6, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := cl.AddClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	workload := func() {
+		t.Helper()
+		txn, err := c.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, id := range ids {
+			if err := txn.Overwrite(page.ObjectID{Page: id, Slot: 0}, val('m')); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := txn.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.FlushCache(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	workload()
+	before := cl.Registry().Snapshot()
+
+	// Every partition must publish tagged series (the fleet plane keys
+	// its merged view on them).
+	seen := map[string]bool{}
+	for k := range before.Counters {
+		if p := obs.TagValue(k, "partition"); p != "" {
+			seen[p] = true
+		}
+	}
+	for _, want := range []string{"0", "1", "2"} {
+		if !seen[want] {
+			t.Fatalf("no counter series tagged partition=%q (have %v)", want, seen)
+		}
+	}
+
+	victim := cl.Owner(ids[1])
+	cl.CrashPartition(victim)
+	if err := cl.RestartPartition(victim); err != nil {
+		t.Fatal(err)
+	}
+	mid := cl.Registry().Snapshot()
+	// A second client's writes can't be served from the first client's
+	// lock cache, so they force fresh grants on every partition —
+	// including the restarted one.
+	c2, err := cl.AddClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	txn2, err := c2.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		if err := txn2.Overwrite(page.ObjectID{Page: id, Slot: 0}, val('n')); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := txn2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	after := cl.Registry().Snapshot()
+
+	check := func(old, new obs.Snapshot, when string) {
+		t.Helper()
+		for k, v1 := range old.Counters {
+			if obs.TagValue(k, "partition") == "" {
+				continue
+			}
+			if v2 := new.Counters[k]; v2 < v1 {
+				t.Errorf("%s: %s went backwards: %d -> %d", when, k, v1, v2)
+			}
+		}
+	}
+	check(before, mid, "across restart")
+	check(mid, after, "after restart workload")
+
+	// The restarted partition's series must still advance under its
+	// original tag: the recovery traffic plus the second workload lands
+	// on the fresh engine, summed onto the pre-crash counts.
+	victimTag := obs.T("partition", itoa(victim))
+	if b, a := before.TotalWhere("lock_grants_total", victimTag),
+		after.TotalWhere("lock_grants_total", victimTag); a <= b {
+		t.Errorf("partition %d lock_grants_total did not advance across restart: %d -> %d",
+			victim, b, a)
+	}
+}
+
+func itoa(i int) string {
+	return string(rune('0' + i))
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -159,6 +160,10 @@ type Server struct {
 	// spans stages the server's side of sampled transactions (GLM queue
 	// waits, callback round trips, commit processing); nil disables it.
 	spans *span.Store
+	// spanOrigin names this server on recorded spans ("p1") when it is
+	// a fleet member, so @pN provenance survives even when the fleet
+	// shares one in-process store; empty for a single server.
+	spanOrigin string
 	// traceMu guards lockTraces: a client with a sampled Lock in flight
 	// maps to its GLM queue-wait span, so the callbacks that wait
 	// triggers can parent under it.  Best-effort: a client running
@@ -181,28 +186,38 @@ func (s *Server) SetTracer(r trace.Recorder) {
 // and global lock manager — into reg under scope=server.  Safe to call
 // on every restart: the registry sums all engines ever bound to a
 // series, so /metrics stays monotone while each engine's own Metrics
-// start from zero.
+// start from zero.  In a fleet (Partitions > 1) every series also
+// carries partition=<index>, so sum-on-read rebinding stays monotone
+// per partition, not just per process — a restarted partition's fresh
+// engine binds to the same partition-tagged series its predecessor
+// fed.
 func (s *Server) RegisterObs(reg *obs.Registry) {
 	if reg == nil {
 		return
 	}
-	sc := obs.T("scope", "server")
-	reg.BindCounter(&s.Metrics.Merges, "server_merges_total", sc)
-	reg.BindCounter(&s.Metrics.PageForces, "server_page_forces_total", sc)
-	reg.BindCounter(&s.Metrics.Replacements, "server_replacements_total", sc)
-	reg.BindCounter(&s.Metrics.TokenTransfers, "server_token_transfers_total", sc)
-	reg.BindCounter(&s.Metrics.CallbacksSent, "server_callbacks_sent_total", sc)
-	reg.BindCounter(&s.Metrics.Deescalations, "server_deescalations_total", sc)
-	reg.BindCounter(&s.Metrics.RecoverySteps, "server_recovery_steps_total", sc)
-	reg.BindCounter(&s.lockWait.registry, "mutex_wait_nanos_total", sc, obs.T("lock", "registry"))
-	reg.BindCounter(&s.lockWait.pageShard, "mutex_wait_nanos_total", sc, obs.T("lock", "page-shard"))
-	reg.BindCounter(&s.lockWait.notify, "mutex_wait_nanos_total", sc, obs.T("lock", "notify"))
-	reg.BindCounter(&s.lockWait.origins, "mutex_wait_nanos_total", sc, obs.T("lock", "origins"))
-	reg.BindCounter(&s.lockWait.inflight, "mutex_wait_nanos_total", sc, obs.T("lock", "inflight"))
-	reg.BindCounter(&s.lockWait.complex, "mutex_wait_nanos_total", sc, obs.T("lock", "complex"))
-	s.slog.RegisterObs(reg, sc)
-	s.pool.RegisterObs(reg, sc)
-	s.glm.RegisterObs(reg, sc)
+	tags := []obs.Tag{obs.T("scope", "server")}
+	if s.cfg.partitions() > 1 {
+		tags = append(tags, obs.T("partition", strconv.Itoa(s.cfg.PartitionIndex)))
+	}
+	bind := func(c *obs.Counter, name string, extra ...obs.Tag) {
+		reg.BindCounter(c, name, append(append([]obs.Tag{}, tags...), extra...)...)
+	}
+	bind(&s.Metrics.Merges, "server_merges_total")
+	bind(&s.Metrics.PageForces, "server_page_forces_total")
+	bind(&s.Metrics.Replacements, "server_replacements_total")
+	bind(&s.Metrics.TokenTransfers, "server_token_transfers_total")
+	bind(&s.Metrics.CallbacksSent, "server_callbacks_sent_total")
+	bind(&s.Metrics.Deescalations, "server_deescalations_total")
+	bind(&s.Metrics.RecoverySteps, "server_recovery_steps_total")
+	bind(&s.lockWait.registry, "mutex_wait_nanos_total", obs.T("lock", "registry"))
+	bind(&s.lockWait.pageShard, "mutex_wait_nanos_total", obs.T("lock", "page-shard"))
+	bind(&s.lockWait.notify, "mutex_wait_nanos_total", obs.T("lock", "notify"))
+	bind(&s.lockWait.origins, "mutex_wait_nanos_total", obs.T("lock", "origins"))
+	bind(&s.lockWait.inflight, "mutex_wait_nanos_total", obs.T("lock", "inflight"))
+	bind(&s.lockWait.complex, "mutex_wait_nanos_total", obs.T("lock", "complex"))
+	s.slog.RegisterObs(reg, tags...)
+	s.pool.RegisterObs(reg, tags...)
+	s.glm.RegisterObs(reg, tags...)
 }
 
 type inflightKey struct {
@@ -232,6 +247,9 @@ func NewServer(cfg Config, store storage.Store, logStore wal.Store) *Server {
 		complexPending: make(map[ident.ClientID]bool),
 		spans:          cfg.Spans,
 		lockTraces:     make(map[ident.ClientID]span.Context),
+	}
+	if cfg.partitions() > 1 {
+		s.spanOrigin = fmt.Sprintf("p%d", cfg.PartitionIndex)
 	}
 	for i := range s.pageShards {
 		sh := &s.pageShards[i]
@@ -343,7 +361,7 @@ func (s *Server) Lock(req msg.LockReq) (msg.LockReply, error) {
 	if !req.Upgrade {
 		s.waitInflightClear(req.Client, req.Name)
 	}
-	sp := s.spans.ServerStart(req.Trace, span.CatGLMQueue, req.Name.String())
+	sp := s.spans.ServerStart(req.Trace, span.CatGLMQueue, req.Name.String()).WithOrigin(s.spanOrigin)
 	if ctx := sp.Context(); ctx.Sampled {
 		s.traceMu.Lock()
 		s.lockTraces[req.Client] = ctx
@@ -779,7 +797,7 @@ func (s *Server) Free(req msg.FreeReq) error {
 // baselines): the shipped log records are appended to the server log
 // and forced; shipped pages are merged.
 func (s *Server) CommitShip(req msg.CommitShipReq) error {
-	sp := s.spans.ServerStart(req.Trace, span.CatCommitProc, "")
+	sp := s.spans.ServerStart(req.Trace, span.CatCommitProc, "").WithOrigin(s.spanOrigin)
 	defer sp.End()
 	for _, raw := range req.Records {
 		if _, err := s.slog.AppendEncoded(raw); err != nil {
@@ -1146,7 +1164,7 @@ func (s *Server) runObjectCallback(holder, requester ident.ClientID, obj lock.Na
 	}
 	s.Metrics.CallbacksSent.Add(1)
 	s.tracer.Record(trace.CallbackSent, holder, obj.Page, fmt.Sprintf("obj=%v wanted=%v for=%v", obj, wanted, requester))
-	sp := s.spans.ServerStart(s.lockTrace(requester), span.CatCallback, obj.String())
+	sp := s.spans.ServerStart(s.lockTrace(requester), span.CatCallback, obj.String()).WithOrigin(s.spanOrigin)
 	reply, err := conn.CallbackObject(msg.CallbackReq{Requester: requester, Object: obj, Wanted: wanted})
 	sp.End()
 	if err != nil {
@@ -1208,7 +1226,7 @@ func (s *Server) runDeescalation(holder, requester ident.ClientID, pg page.ID, w
 	}
 	s.Metrics.Deescalations.Add(1)
 	s.tracer.Record(trace.DeescSent, holder, pg, fmt.Sprintf("wanted=%v for=%v", wanted, requester))
-	sp := s.spans.ServerStart(s.lockTrace(requester), span.CatDeesc, lock.PageName(pg).String())
+	sp := s.spans.ServerStart(s.lockTrace(requester), span.CatDeesc, lock.PageName(pg).String()).WithOrigin(s.spanOrigin)
 	reply, err := conn.DeescalatePage(msg.DeescReq{Requester: requester, Page: pg, Wanted: wanted})
 	sp.End()
 	if err != nil {

@@ -51,6 +51,8 @@ type Transport struct {
 	inj    *fault.Injector
 	stream string
 
+	wireStats atomic.Pointer[WireStats] // per-instance accounting; nil = Wire
+
 	local      msg.Client
 	localReady chan struct{}
 	localOnce  sync.Once
@@ -97,6 +99,10 @@ func (t *Transport) NegotiatedVersion() uint32 {
 	}
 	return t.conn.version()
 }
+
+// SetWireStats points future connections (including redials) at ws
+// instead of the process-wide Wire accounting sink.
+func (t *Transport) SetWireStats(ws *WireStats) { t.wireStats.Store(ws) }
 
 // SetRetry replaces the retry budget (before issuing calls).
 func (t *Transport) SetRetry(p msg.RetryPolicy) { t.retry = p }
@@ -153,6 +159,9 @@ func (t *Transport) getConn() (*rpcConn, error) {
 		return nil, err
 	}
 	rc := newRPCConn(c, t.maxVersion)
+	if ws := t.wireStats.Load(); ws != nil {
+		rc.stats = ws
+	}
 	rc.setHandler(t.dispatch)
 	go rc.serve()
 	body, err := rc.call("hello", 0, helloBody{Token: t.token, Version: t.maxVersion}, t.callTimeout)

@@ -95,6 +95,11 @@ type rpcConn struct {
 	hdone  bool
 
 	rbuf []byte // reusable frame payload buffer (reader goroutine only)
+
+	// stats is the per-{method, version} accounting sink; Wire unless
+	// the owning Server/Transport injected its own.  Assigned before
+	// serve() starts, read-only afterwards.
+	stats *WireStats
 }
 
 func newRPCConn(c net.Conn, maxVersion uint32) *rpcConn {
@@ -109,6 +114,7 @@ func newRPCConn(c net.Conn, maxVersion uint32) *rpcConn {
 		wquit:      make(chan struct{}),
 		pending:    make(map[uint64]chan envelope),
 		hset:       make(chan struct{}),
+		stats:      Wire,
 	}
 	go r.writeLoop()
 	return r
@@ -173,10 +179,23 @@ func (r *rpcConn) readOne() (envelope, error) {
 		payload[n/2] ^= 0xA5
 		payload[n-1] ^= 0x5A
 	}
+	t0 := r.stats.now()
 	if r.rxV3.Load() {
-		return decodeEnvelopeV3(payload)
+		env, err := decodeEnvelopeV3(payload)
+		if err == nil {
+			if len(payload) >= v3HeaderSize && payload[4] != tagGob {
+				r.stats.recordV3(payload[4], n+4, t0, false)
+			} else {
+				r.stats.recordGob(env.Method, env.Reply, true, n+4, t0, false)
+			}
+		}
+		return env, err
 	}
-	return decodeEnvelopeV2(payload)
+	env, err := decodeEnvelopeV2(payload)
+	if err == nil {
+		r.stats.recordGob(env.Method, env.Reply, false, n+4, t0, false)
+	}
+	return env, err
 }
 
 // negotiate inspects the first frame of the connection — always the
@@ -291,12 +310,15 @@ func (r *rpcConn) dispatch(env envelope) {
 func (r *rpcConn) send(env envelope) error {
 	v3 := r.txV3.Load()
 	hint := 256
+	tag, binaryV3 := byte(0), false
 	if v3 {
-		if _, sz, ok := v3Tag(&env); ok {
+		if t, sz, ok := v3Tag(&env); ok {
 			hint = 4 + v3HeaderSize + sz
+			tag, binaryV3 = t, true
 		}
 	}
 	w := getBuf(hint)
+	t0 := r.stats.now()
 	var err error
 	if v3 {
 		err = encodeEnvelopeV3(w, &env)
@@ -306,6 +328,11 @@ func (r *rpcConn) send(env envelope) error {
 	if err != nil {
 		putBuf(w)
 		return fmt.Errorf("netrpc: send %s: %w", env.Method, err)
+	}
+	if binaryV3 {
+		r.stats.recordV3(tag, len(w.b), t0, true)
+	} else {
+		r.stats.recordGob(env.Method, env.Reply, v3, len(w.b), t0, true)
 	}
 	select {
 	case r.wq <- w:

@@ -34,7 +34,8 @@ type Server struct {
 	engine     *core.Server
 	ln         net.Listener
 	grace      time.Duration
-	maxVersion atomic.Uint32 // protocol-version ceiling for new conns
+	maxVersion atomic.Uint32             // protocol-version ceiling for new conns
+	wireStats  atomic.Pointer[WireStats] // per-instance accounting; nil = Wire
 
 	mu        sync.Mutex
 	conns     map[*rpcConn]bool
@@ -80,6 +81,11 @@ func (s *Server) SetMaxVersion(v uint32) {
 	s.maxVersion.Store(v)
 }
 
+// SetWireStats points newly accepted connections at ws instead of the
+// process-wide Wire sink, so fleets hosted in one process keep
+// per-partition wire accounting.  Existing connections are unaffected.
+func (s *Server) SetWireStats(ws *WireStats) { s.wireStats.Store(ws) }
+
 // Addr returns the listen address.
 func (s *Server) Addr() net.Addr { return s.ln.Addr() }
 
@@ -120,6 +126,9 @@ func (s *Server) acceptLoop() {
 			}
 		}
 		rc := newRPCConn(c, s.maxVersion.Load())
+		if ws := s.wireStats.Load(); ws != nil {
+			rc.stats = ws
+		}
 		s.mu.Lock()
 		s.conns[rc] = true
 		s.mu.Unlock()

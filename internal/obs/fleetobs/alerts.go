@@ -1,0 +1,128 @@
+package fleetobs
+
+import "fmt"
+
+// AlertConfig holds the anomaly thresholds.  Zero fields take the
+// defaults below; the defaults are deliberately loose so a healthy
+// UNIFORM workload stays quiet.
+type AlertConfig struct {
+	// SkewFactor fires partition-skew when the busiest partition's
+	// share of fleet work exceeds SkewFactor/partitions (default 2.0:
+	// twice its fair share).
+	SkewFactor float64
+	// MinWorkRate is the fleet work rate (grants/s) below which skew is
+	// never evaluated — an idle fleet is trivially "skewed" by noise.
+	MinWorkRate float64
+	// ConvoyShare fires lock-convoy when the p95 lock-wait share of the
+	// commit path exceeds it (default 0.5).
+	ConvoyShare float64
+	// MinCommitRate gates the convoy and deadlock alerts (default 5/s).
+	MinCommitRate float64
+	// DeadlockShare fires when deadlock kills exceed this fraction of
+	// commits (default 0.05).
+	DeadlockShare float64
+	// LogPressureRate fires §3.6 log-space pressure when reclaim
+	// failures plus forced ships exceed this rate (default 0.5/s).
+	LogPressureRate float64
+}
+
+func (c AlertConfig) withDefaults() AlertConfig {
+	if c.SkewFactor <= 0 {
+		c.SkewFactor = 2.0
+	}
+	if c.MinWorkRate <= 0 {
+		c.MinWorkRate = 50
+	}
+	if c.ConvoyShare <= 0 {
+		c.ConvoyShare = 0.5
+	}
+	if c.MinCommitRate <= 0 {
+		c.MinCommitRate = 5
+	}
+	if c.DeadlockShare <= 0 {
+		c.DeadlockShare = 0.05
+	}
+	if c.LogPressureRate <= 0 {
+		c.LogPressureRate = 0.5
+	}
+	return c
+}
+
+// Alert is one fired anomaly.
+type Alert struct {
+	Kind    string  `json:"kind"`
+	Value   float64 `json:"value"`
+	Limit   float64 `json:"limit"`
+	Message string  `json:"message"`
+}
+
+// EvaluateAlerts runs the anomaly pass over one rates window:
+// partition skew, lock convoys (p95 lock-wait share spikes), §3.6
+// log-space pressure, corrupt frames, and deadlock churn.
+func EvaluateAlerts(r Rates, cfg AlertConfig) []Alert {
+	cfg = cfg.withDefaults()
+	alerts := []Alert{}
+
+	// Partition skew: the busiest member holds more than SkewFactor×
+	// its fair share of fleet work.
+	if n := len(r.Partitions); n >= 2 {
+		var fleetWork, maxShare float64
+		maxName := ""
+		for name, pr := range r.Partitions {
+			fleetWork += pr.WorkPerSec
+			if pr.Share > maxShare {
+				maxShare, maxName = pr.Share, name
+			}
+		}
+		limit := cfg.SkewFactor / float64(n)
+		if limit > 1 {
+			limit = 1
+		}
+		if fleetWork >= cfg.MinWorkRate && maxShare > limit {
+			alerts = append(alerts, Alert{
+				Kind: "partition-skew", Value: maxShare, Limit: limit,
+				Message: fmt.Sprintf("partition %s carries %.0f%% of fleet work (fair share %.0f%%, limit %.0f%%)",
+					maxName, maxShare*100, 100/float64(n), limit*100),
+			})
+		}
+	}
+
+	// Lock convoy: the p95 commit spends most of its time waiting on
+	// locks.
+	if r.CommitsPerSec >= cfg.MinCommitRate && r.LockWaitShareP95 > cfg.ConvoyShare {
+		alerts = append(alerts, Alert{
+			Kind: "lock-convoy", Value: r.LockWaitShareP95, Limit: cfg.ConvoyShare,
+			Message: fmt.Sprintf("p95 lock-wait share of the commit path is %.0f%% (limit %.0f%%)",
+				r.LockWaitShareP95*100, cfg.ConvoyShare*100),
+		})
+	}
+
+	// §3.6 log-space pressure: clients are failing to reclaim log space
+	// (or force-shipping pages to make room) at a sustained rate.
+	if r.LogPressurePerSec > cfg.LogPressureRate {
+		alerts = append(alerts, Alert{
+			Kind: "log-pressure", Value: r.LogPressurePerSec, Limit: cfg.LogPressureRate,
+			Message: fmt.Sprintf("log-space pressure events at %.1f/s (reclaim failures + forced ships, limit %.1f/s)",
+				r.LogPressurePerSec, cfg.LogPressureRate),
+		})
+	}
+
+	// Corrupt frames: any sustained rate is wrong.
+	if r.CorruptFramesPerSec > 0 {
+		alerts = append(alerts, Alert{
+			Kind: "corrupt-frames", Value: r.CorruptFramesPerSec, Limit: 0,
+			Message: fmt.Sprintf("corrupt wire frames at %.2f/s", r.CorruptFramesPerSec),
+		})
+	}
+
+	// Deadlock churn: kills are eating a visible fraction of commits.
+	if r.CommitsPerSec >= cfg.MinCommitRate &&
+		r.DeadlocksPerSec > cfg.DeadlockShare*r.CommitsPerSec {
+		alerts = append(alerts, Alert{
+			Kind: "deadlock-rate", Value: r.DeadlocksPerSec, Limit: cfg.DeadlockShare * r.CommitsPerSec,
+			Message: fmt.Sprintf("deadlock kills at %.1f/s against %.1f commits/s",
+				r.DeadlocksPerSec, r.CommitsPerSec),
+		})
+	}
+	return alerts
+}

@@ -11,44 +11,75 @@ import (
 	"clientlog/internal/ident"
 )
 
-// spanJSON is one node of the rendered trace tree.  Times are offsets
+// SpanJSON is one node of the rendered trace tree.  Times are offsets
 // from the root's start so trees are readable without wall clocks.
-type spanJSON struct {
+type SpanJSON struct {
 	ID       uint64      `json:"id"`
 	Cat      string      `json:"cat"`
 	Label    string      `json:"label,omitempty"`
+	Origin   string      `json:"origin,omitempty"`
 	StartNS  int64       `json:"start_ns"`
 	DurNS    int64       `json:"dur_ns"`
-	Children []*spanJSON `json:"children,omitempty"`
+	Children []*SpanJSON `json:"children,omitempty"`
 }
 
-type traceJSON struct {
-	Txn         string           `json:"txn"`
-	TxnID       uint64           `json:"txn_id"`
-	Commit      bool             `json:"commit"`
-	Partial     bool             `json:"partial,omitempty"`
-	TotalNS     int64            `json:"total_ns"`
-	ExclusiveNS map[string]int64 `json:"exclusive_ns"`
-	Root        *spanJSON        `json:"root"`
+// TraceJSON is the rendered form of one trace: the span tree plus the
+// critical-path attribution computed over it — per-category exclusive
+// time and the lat_breakdown bucket shares (lock-wait / wal-force /
+// net / other as fractions of the root duration).
+type TraceJSON struct {
+	Txn         string             `json:"txn"`
+	TxnID       uint64             `json:"txn_id"`
+	Commit      bool               `json:"commit"`
+	Partial     bool               `json:"partial,omitempty"`
+	TotalNS     int64              `json:"total_ns"`
+	ExclusiveNS map[string]int64   `json:"exclusive_ns"`
+	BucketNS    map[string]int64   `json:"bucket_ns"`
+	Shares      map[string]float64 `json:"shares"`
+	// Origins lists the distinct remote processes whose spans the tree
+	// contains (empty for a purely local trace, ≥2 entries for a
+	// stitched cross-partition commit).
+	Origins []string  `json:"origins,omitempty"`
+	Root    *SpanJSON `json:"root"`
 }
 
-func renderTrace(tr *Trace) traceJSON {
+// RenderTrace builds the JSON tree plus critical-path attribution for
+// one trace (local or stitched).
+func RenderTrace(tr *Trace) TraceJSON {
 	ex, total := Exclusive(tr)
 	exNames := make(map[string]int64, len(ex))
+	bucketNS := make(map[string]int64, len(Buckets))
+	shares := make(map[string]float64, len(Buckets))
+	for _, b := range Buckets {
+		bucketNS[b] = 0
+	}
 	for c, ns := range ex {
 		if ns != 0 {
 			exNames[c.String()] = ns
 		}
+		bucketNS[c.Bucket()] += ns
 	}
-	nodes := make(map[uint64]*spanJSON, len(tr.Spans))
+	for b, ns := range bucketNS {
+		if total > 0 {
+			shares[b] = float64(ns) / float64(total)
+		} else {
+			shares[b] = 0
+		}
+	}
+	originSet := map[string]bool{}
+	nodes := make(map[uint64]*SpanJSON, len(tr.Spans))
 	root := tr.Spans[0]
 	for _, sp := range tr.Spans {
-		nodes[sp.ID] = &spanJSON{
+		nodes[sp.ID] = &SpanJSON{
 			ID:      sp.ID,
 			Cat:     sp.Cat.String(),
 			Label:   sp.Label,
+			Origin:  sp.Origin,
 			StartNS: sp.Start.Sub(root.Start).Nanoseconds(),
 			DurNS:   int64(sp.Duration()),
+		}
+		if sp.Origin != "" {
+			originSet[sp.Origin] = true
 		}
 	}
 	for _, sp := range tr.Spans[1:] {
@@ -66,20 +97,28 @@ func renderTrace(tr *Trace) traceJSON {
 			return n.Children[i].ID < n.Children[j].ID
 		})
 	}
-	return traceJSON{
+	var origins []string
+	for o := range originSet {
+		origins = append(origins, o)
+	}
+	sort.Strings(origins)
+	return TraceJSON{
 		Txn:         tr.Txn.String(),
 		TxnID:       uint64(tr.Txn),
 		Commit:      tr.Commit,
 		Partial:     tr.Partial,
 		TotalNS:     total,
 		ExclusiveNS: exNames,
+		BucketNS:    bucketNS,
+		Shares:      shares,
+		Origins:     origins,
 		Root:        nodes[root.ID],
 	}
 }
 
-// parseTxnID accepts a raw uint64 ("4294967301") or the c<id>:<seq>
+// ParseTxnID accepts a raw uint64 ("4294967301") or the c<id>:<seq>
 // shorthand printed by ident.TxnID.String ("c1:5").
-func parseTxnID(s string) (ident.TxnID, error) {
+func ParseTxnID(s string) (ident.TxnID, error) {
 	if n, err := strconv.ParseUint(s, 10, 64); err == nil {
 		return ident.TxnID(n), nil
 	}
@@ -130,7 +169,7 @@ func (s *Store) TraceHandler() http.Handler {
 			_ = json.NewEncoder(w).Encode(map[string]any{"n": len(rows), "traces": rows})
 			return
 		}
-		txn, err := parseTxnID(rest)
+		txn, err := ParseTxnID(rest)
 		if err != nil {
 			w.WriteHeader(http.StatusBadRequest)
 			_ = json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
@@ -144,6 +183,6 @@ func (s *Store) TraceHandler() http.Handler {
 			})
 			return
 		}
-		_ = json.NewEncoder(w).Encode(renderTrace(tr))
+		_ = json.NewEncoder(w).Encode(RenderTrace(tr))
 	})
 }

@@ -137,6 +137,10 @@ type Span struct {
 	Label  string
 	Start  time.Time
 	End    time.Time
+	// Origin names the process the span was recorded on when the trace
+	// was stitched across a fleet ("p0", "p1", ...); empty for spans
+	// local to the store that published the trace.
+	Origin string
 }
 
 // Duration returns the span's length (zero if it never ended).
@@ -383,6 +387,17 @@ func (s *Store) ServerStart(ctx Context, cat Category, label string) ServerSpan 
 			Start:  time.Now(),
 		},
 	}
+}
+
+// WithOrigin stamps the span's fleet provenance ("p1") at record time.
+// Networked members leave it empty (the stitcher stamps adopted spans),
+// but in-process fleets share one store across partitions, so the
+// server must name itself for @pN attribution to survive.
+func (p ServerSpan) WithOrigin(origin string) ServerSpan {
+	if p.store != nil {
+		p.span.Origin = origin
+	}
+	return p
 }
 
 // End closes the span and stages it for its trace's publication.

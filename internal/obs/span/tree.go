@@ -1,0 +1,58 @@
+package span
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// TreeString renders a trace as a compact indented tree for terminal
+// output — the chaos/crashtest failure dumps print the slowest
+// stitched traces this way so a cross-partition post-mortem is
+// readable without an HTTP endpoint.  Spans stitched in from fleet
+// members carry their @origin.
+func TreeString(tr *Trace) string {
+	if tr == nil || len(tr.Spans) == 0 {
+		return "(empty trace)\n"
+	}
+	rt := RenderTrace(tr)
+	var sb strings.Builder
+	state := "commit"
+	if !tr.Commit {
+		state = "abort"
+	}
+	if tr.Partial {
+		state += " partial"
+	}
+	fmt.Fprintf(&sb, "trace %s %s total=%v", rt.Txn, state,
+		time.Duration(rt.TotalNS).Round(time.Microsecond))
+	if len(rt.Origins) > 0 {
+		fmt.Fprintf(&sb, " origins=%s", strings.Join(rt.Origins, ","))
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "  shares: lock-wait %.0f%% | wal-force %.0f%% | net %.0f%% | other %.0f%%\n",
+		rt.Shares[BucketLockWait]*100, rt.Shares[BucketWALForce]*100,
+		rt.Shares[BucketNet]*100, rt.Shares[BucketOther]*100)
+	var walk func(n *SpanJSON, prefix string, last bool)
+	walk = func(n *SpanJSON, prefix string, last bool) {
+		branch, childPrefix := "├─ ", prefix+"│  "
+		if last {
+			branch, childPrefix = "└─ ", prefix+"   "
+		}
+		line := prefix + branch + n.Cat
+		if n.Label != "" {
+			line += " " + n.Label
+		}
+		line += " " + time.Duration(n.DurNS).Round(time.Microsecond).String()
+		if n.Origin != "" {
+			line += " @" + n.Origin
+		}
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+		for i, c := range n.Children {
+			walk(c, childPrefix, i == len(n.Children)-1)
+		}
+	}
+	walk(rt.Root, "  ", true)
+	return sb.String()
+}

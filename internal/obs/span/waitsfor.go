@@ -195,18 +195,50 @@ func WaitsForHandler(src func() lock.WaitsForSnapshot) http.Handler {
 }
 
 // Summary renders a compact multi-line waits-for report for terminal
-// output (the chaos failure snapshot).
+// output (the chaos failure snapshot).  A merged fleet snapshot (any
+// entry from a partition other than 0) carries @pN provenance on every
+// line, so a cross-partition deadlock post-mortem names the server
+// each wait was observed on.
 func Summary(snap lock.WaitsForSnapshot) string {
+	fleet := false
+	for _, w := range snap.Waiters {
+		if w.Partition != 0 {
+			fleet = true
+		}
+	}
+	for _, e := range snap.Edges {
+		if e.Partition != 0 {
+			fleet = true
+		}
+	}
+	for _, v := range snap.Victims {
+		if v.Partition != 0 || v.Distributed {
+			fleet = true
+		}
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "waits-for: %d waiter(s), %d edge(s), %d deadlock victim(s)\n",
 		len(snap.Waiters), len(snap.Edges), len(snap.Victims))
 	for _, w := range snap.Waiters {
-		fmt.Fprintf(&sb, "  %v waits for %v %v (%v)\n", w.Client, w.Name, w.Mode, w.Age.Truncate(time.Microsecond))
+		if fleet {
+			fmt.Fprintf(&sb, "  %v waits for %v %v (%v) @p%d\n", w.Client, w.Name, w.Mode, w.Age.Truncate(time.Microsecond), w.Partition)
+		} else {
+			fmt.Fprintf(&sb, "  %v waits for %v %v (%v)\n", w.Client, w.Name, w.Mode, w.Age.Truncate(time.Microsecond))
+		}
+	}
+	// In a fleet, annotate each edge's partition of origin so chain
+	// hops can be cross-referenced back to servers.
+	edgePart := make(map[[2]ident.ClientID]int, len(snap.Edges))
+	for _, e := range snap.Edges {
+		edgePart[[2]ident.ClientID{e.Waiter, e.Blocker}] = e.Partition
 	}
 	for _, chain := range LongestChains(snap.Edges, 3) {
 		parts := make([]string, len(chain))
 		for i, c := range chain {
 			parts[i] = c.String()
+			if fleet && i > 0 {
+				parts[i] += fmt.Sprintf("@p%d", edgePart[[2]ident.ClientID{chain[i-1], chain[i]}])
+			}
 		}
 		fmt.Fprintf(&sb, "  chain: %s\n", strings.Join(parts, " -> "))
 	}
@@ -215,7 +247,15 @@ func Summary(snap lock.WaitsForSnapshot) string {
 		snap.Victims = snap.Victims[n-3:]
 	}
 	for _, v := range snap.Victims {
-		fmt.Fprintf(&sb, "  victim: %v on %v %v\n", v.Client, v.Name, v.Mode)
+		if fleet {
+			kind := ""
+			if v.Distributed {
+				kind = " (distributed)"
+			}
+			fmt.Fprintf(&sb, "  victim: %v on %v %v @p%d%s\n", v.Client, v.Name, v.Mode, v.Partition, kind)
+		} else {
+			fmt.Fprintf(&sb, "  victim: %v on %v %v\n", v.Client, v.Name, v.Mode)
+		}
 	}
 	return sb.String()
 }

@@ -62,6 +62,7 @@ func All() []Experiment {
 		{"E13", "Scale sweep: 16→1k→5k clients across UNIFORM/ZIPF/HICON ± churn, §3.6 pressure", E13ScaleSweep},
 		{"E14", "Partitioned fleet: throughput vs partitions, cross-partition share, distributed deadlocks", E14FleetScaling},
 		{"E15", "Wire codec over real TCP: gob envelope (v2) vs binary codec (v3)", E15WireSweep},
+		{"E16", "Fleet observability overhead: dark vs fully-instrumented 3-partition TCP fleet", E16ObsOverhead},
 	}
 }
 

@@ -78,6 +78,10 @@ type TortureStats struct {
 	// Churn accounting (zero unless TortureOptions.Churn).
 	Leaves int
 	Joins  int
+	// WaitsFor is the fleet-merged waits-for graph captured when a run
+	// fails (zero value on success), so cross-partition deadlock
+	// post-mortems are self-contained in the failure output.
+	WaitsFor lock.WaitsForSnapshot
 }
 
 // VerifyEveryRound makes Torture check the reference state after every
@@ -395,7 +399,12 @@ func Torture(cfg core.Config, opt TortureOptions) (TortureStats, error) {
 		return TortureStats{}, err
 	}
 	if err := h.run(); err != nil {
+		h.stats.WaitsFor = cl.WaitsFor()
 		return h.stats, err
 	}
-	return h.stats, h.verify("final")
+	if err := h.verify("final"); err != nil {
+		h.stats.WaitsFor = cl.WaitsFor()
+		return h.stats, err
+	}
+	return h.stats, nil
 }
